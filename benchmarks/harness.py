@@ -1,0 +1,48 @@
+"""Shared machinery for the experiment benchmarks.
+
+Every benchmark regenerates one table or figure of the paper's evaluation:
+it sweeps the figure's x-axis through :mod:`repro.experiments`, overlays
+the analytic cost models, prints the series as the paper would tabulate it
+(saved under ``benchmarks/results/``), and asserts the figure's
+qualitative claims (who wins, trends, crossovers).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+# Re-exported so the individual bench files keep a single import point.
+from repro.experiments.runner import PointResult, run_point  # noqa: F401
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_table(
+    name: str,
+    title: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    notes: Sequence[str] = (),
+) -> str:
+    """Format a result table, print it, and save it under results/."""
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows)) if rows else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    lines = [title, ""]
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(str(v).rjust(w) for v, w in zip(r, widths)))
+    text = "\n".join(lines)
+    if notes:
+        text += "\n\n" + "\n".join(notes)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+    return text
+
+
+def fmt(x: float, digits: int = 2) -> str:
+    return f"{x:.{digits}f}"

@@ -1,0 +1,92 @@
+"""Ablation: heterogeneous nodes (stragglers).
+
+The paper's testbed is homogeneous and its cost models assume uniform
+nodes; real deployments age unevenly.  This ablation degrades one node at
+a time — a slow storage disk, then a slow compute CPU — and measures how
+each algorithm's makespan responds.
+
+Expected asymmetry: a slow *storage* disk hurts both algorithms' transfer
+phase equally (both stream every byte off every disk exactly once), while
+a slow *compute* CPU hurts the Indexed Join more whenever its per-node CPU
+share is larger (high ``n_e·c_S``) — the static two-stage schedule cannot
+rebalance around the straggler, whereas Grace Hash's CPU share is
+degree-independent.
+"""
+
+import pytest
+
+from benchmarks.harness import fmt, record_table
+from repro import GraceHashQES, IndexedJoinQES, MachineSpec
+from repro.cluster import ClusterSim, ClusterTopology
+from repro.workloads import GridSpec, build_oil_reservoir_dataset
+
+SPEC = GridSpec(g=(128, 128, 128), p=(16, 16, 16), q=(32, 32, 32))  # degree 8
+N_S = N_J = 5
+BASE = MachineSpec()
+SLOW_DISK = MachineSpec(disk_read_bw=6e6, disk_write_bw=5e6)
+SLOW_CPU = BASE.with_cpu_factor(0.25)
+
+
+def run_case(storage_specs=None, compute_specs=None):
+    ds = build_oil_reservoir_dataset(SPEC, num_storage=N_S, functional=False)
+    out = {}
+    for name, cls in (("IJ", IndexedJoinQES), ("GH", GraceHashQES)):
+        cluster = ClusterSim(
+            ClusterTopology(N_S, N_J), spec=BASE,
+            storage_specs=storage_specs, compute_specs=compute_specs,
+        )
+        out[name] = cls(
+            cluster, ds.metadata, "T1", "T2", ds.join_attrs, ds.provider
+        ).run().total_time
+    return out
+
+
+def run_ablation():
+    return {
+        "homogeneous": run_case(),
+        "1 slow storage disk": run_case(storage_specs={0: SLOW_DISK}),
+        "1 slow compute cpu": run_case(compute_specs={0: SLOW_CPU}),
+    }
+
+
+def test_ablation_straggler(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    base = results["homogeneous"]
+    rows = [
+        [
+            name,
+            fmt(times["IJ"], 2),
+            fmt(times["IJ"] / base["IJ"], 2) + "x",
+            fmt(times["GH"], 2),
+            fmt(times["GH"] / base["GH"], 2) + "x",
+        ]
+        for name, times in results.items()
+    ]
+    record_table(
+        "ablation_straggler",
+        f"Straggler ablation — degree-8 dataset {SPEC.g}, {N_S}+{N_J} nodes, "
+        f"one degraded node at a time",
+        ["cluster", "IJ (s)", "IJ slowdown", "GH (s)", "GH slowdown"],
+        rows,
+    )
+
+    # every straggler slows every algorithm
+    for name, times in results.items():
+        if name == "homogeneous":
+            continue
+        assert times["IJ"] > base["IJ"]
+        assert times["GH"] > base["GH"]
+
+    # a slow CPU hurts IJ relatively more than GH on this high-degree
+    # dataset (IJ's per-node CPU share is ~8x GH's)
+    cpu_case = results["1 slow compute cpu"]
+    ij_cpu_slowdown = cpu_case["IJ"] / base["IJ"]
+    gh_cpu_slowdown = cpu_case["GH"] / base["GH"]
+    assert ij_cpu_slowdown > gh_cpu_slowdown
+
+    # a slow storage disk hurts both; neither degrades catastrophically
+    # (the other four disks keep serving; only the slow disk's chunks wait)
+    disk_case = results["1 slow storage disk"]
+    assert disk_case["IJ"] < base["IJ"] * 4
+    assert disk_case["GH"] < base["GH"] * 4

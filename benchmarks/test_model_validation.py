@@ -1,0 +1,111 @@
+"""Section 6.1 — cost model validation.
+
+"The experimental results show that the models fit actual execution times
+closely and predict the crossover point (Figure 4) accurately."
+
+This bench sweeps a grid of configurations spanning every axis the
+evaluation varies — connectivity degree, topology, record size, computing
+power — and reports predicted vs simulated times for both algorithms, the
+per-point relative error, and whether the models pick the simulated
+winner.  It also cross-checks the Section 6.2 selection inequality against
+direct total comparison.
+"""
+
+import statistics
+
+import pytest
+
+from benchmarks.harness import fmt, record_table, run_point
+from repro import PAPER_MACHINE, io_over_f_threshold, preferred_algorithm
+from repro.workloads import GridSpec
+
+#: (label, spec, n_s, n_j, F, extra_attrs)
+CONFIGS = [
+    ("degree 1",        GridSpec((128, 128, 128), (32, 32, 32), (32, 32, 32)), 5, 5, 1.0, 0),
+    ("degree 2",        GridSpec((128, 128, 128), (16, 32, 32), (32, 32, 32)), 5, 5, 1.0, 0),
+    ("degree 8",        GridSpec((128, 128, 128), (16, 16, 16), (32, 32, 32)), 5, 5, 1.0, 0),
+    ("degree 64",       GridSpec((128, 128, 128), (8, 8, 8),    (32, 32, 32)), 5, 5, 1.0, 0),
+    ("nested (S fine)", GridSpec((128, 128, 128), (32, 32, 32), (16, 16, 16)), 5, 5, 1.0, 0),
+    ("2 joiners",       GridSpec((128, 128, 128), (32, 32, 32), (32, 32, 32)), 5, 2, 1.0, 0),
+    ("8 joiners",       GridSpec((128, 128, 128), (32, 32, 32), (32, 32, 32)), 5, 8, 1.0, 0),
+    ("3 storage",       GridSpec((128, 128, 128), (32, 32, 32), (32, 32, 32)), 3, 5, 1.0, 0),
+    ("wide records",    GridSpec((64, 64, 64),    (16, 16, 16), (16, 16, 16)), 5, 5, 1.0, 17),
+    ("fast cpu F=4",    GridSpec((128, 128, 128), (16, 16, 16), (32, 32, 32)), 5, 5, 4.0, 0),
+    ("slow cpu F=0.5",  GridSpec((128, 128, 128), (16, 16, 16), (32, 32, 32)), 5, 5, 0.5, 0),
+]
+
+
+def run_validation():
+    out = []
+    for label, spec, n_s, n_j, f, extra in CONFIGS:
+        machine = PAPER_MACHINE.with_cpu_factor(f)
+        out.append((label, run_point(spec, n_s, n_j, machine=machine,
+                                     extra_attributes=extra)))
+    return out
+
+
+def test_model_validation(benchmark):
+    results = benchmark.pedantic(run_validation, rounds=1, iterations=1)
+
+    rows = []
+    agreements = 0
+    errors = []
+    for label, r in results:
+        agree = r.sim_winner == r.model_winner
+        agreements += agree
+        errors.extend([r.ij_error, r.gh_error])
+        rows.append(
+            [
+                label,
+                fmt(r.ij_sim), fmt(r.ij_pred), f"{r.ij_error:.1%}",
+                fmt(r.gh_sim), fmt(r.gh_pred), f"{r.gh_error:.1%}",
+                r.sim_winner, r.model_winner,
+            ]
+        )
+    record_table(
+        "model_validation",
+        "Section 6.1 — cost-model validation across the evaluation's axes",
+        ["config", "IJ sim", "IJ model", "err", "GH sim", "GH model", "err",
+         "sim winner", "model pick"],
+        rows,
+        notes=[
+            f"median relative error: {statistics.median(errors):.1%}; "
+            f"max: {max(errors):.1%}; "
+            f"winner agreement: {agreements}/{len(results)}",
+            "configs dominated by many small synchronous sub-table fetches "
+            "(e.g. a finely-cut S table) carry FIFO queueing losses at the "
+            "storage NICs that the closed-form model idealises away; the "
+            "paper positions the model as a selection tool, and selection "
+            "is unaffected (winner agreement above)",
+        ],
+    )
+
+    # "the models fit actual execution times closely"
+    assert statistics.median(errors) < 0.10
+    assert max(errors) < 0.40
+
+    # the planner would pick the simulated winner in (almost) every config;
+    # allow one miss in a near-tie
+    near_ties = sum(
+        1 for _, r in results
+        if abs(r.ij_sim - r.gh_sim) / max(r.ij_sim, r.gh_sim) < 0.15
+    )
+    assert agreements >= len(results) - max(1, near_ties)
+
+    # Section 6.2 inequality agrees with direct model comparison whenever
+    # its assumptions (readIO == writeIO) are relaxed to our spec
+    for label, r in results:
+        gamma2 = PAPER_MACHINE.alpha_lookup
+        f = PAPER_MACHINE.alpha_lookup / r.params.alpha_lookup
+        threshold = io_over_f_threshold(r.params, gamma2=gamma2, f=f)
+        winner, _, _ = preferred_algorithm(r.params)
+        if threshold is None:
+            assert winner == "indexed-join", label
+        # with readIO != writeIO the inequality is approximate; check the
+        # unambiguous cases only (threshold far from the actual ratio)
+        else:
+            io_over_f = r.params.read_io_bw / f
+            if io_over_f < 0.5 * threshold:
+                assert winner == "indexed-join", label
+            elif io_over_f > 2.0 * threshold:
+                assert winner == "grace-hash", label

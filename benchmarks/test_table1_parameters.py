@@ -1,0 +1,65 @@
+"""Table 1: dataset and system parameters.
+
+The paper's Table 1 is definitional — it lists the parameters the cost
+models range over.  This bench regenerates it with the concrete values our
+reproduction uses: the dataset half from a representative evaluation
+configuration (derived live from the MetaData Service, exactly as the
+Query Planning Service does), the system half from the paper-testbed
+machine spec.
+"""
+
+import pytest
+
+from benchmarks.harness import record_table
+from repro import JoinView, PAPER_MACHINE, QueryPlanningService
+from repro.workloads import GridSpec, build_oil_reservoir_dataset
+
+SPEC = GridSpec(g=(128, 128, 128), p=(32, 32, 32), q=(16, 16, 16))
+N_S = N_J = 5
+
+
+def run_table1():
+    ds = build_oil_reservoir_dataset(SPEC, num_storage=N_S, functional=False)
+    qps = QueryPlanningService(ds.metadata, N_S, N_J, machine=PAPER_MACHINE)
+    params, _ = qps.derive_parameters(JoinView("V1", "T1", "T2", on=ds.join_attrs))
+    return params
+
+
+def test_table1_parameters(benchmark):
+    p = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+
+    rows = [
+        ["T", "Number of tuples in tables R and S", f"{p.T:,}"],
+        ["c_R", "Number of tuples in an R sub-table", f"{p.c_R:,}"],
+        ["c_S", "Number of tuples in an S sub-table", f"{p.c_S:,}"],
+        ["n_e", "Number of edges in connectivity graph", f"{p.n_e:,}"],
+        ["RS_R", "Record size of R (bytes)", p.RS_R],
+        ["RS_S", "Record size of S (bytes)", p.RS_S],
+        ["a, b", "Left/right sub-tables in a component", f"{SPEC.a}, {SPEC.b}"],
+        ["Net_bw(n_s,n_j)", "Aggregate storage-compute bandwidth (B/s)", f"{p.net_bw:,.0f}"],
+        ["readIO_bw", "Disk read I/O bandwidth (B/s)", f"{p.read_io_bw:,.0f}"],
+        ["writeIO_bw", "Disk write I/O bandwidth (B/s)", f"{p.write_io_bw:,.0f}"],
+        ["n_s", "Number of storage nodes", p.n_s],
+        ["n_j", "Number of joiner nodes", p.n_j],
+        ["alpha_build", "Cost per tuple, hash-table build (s)", f"{p.alpha_build:.2e}"],
+        ["alpha_lookup", "Cost per tuple, hash-table lookup (s)", f"{p.alpha_lookup:.2e}"],
+    ]
+    record_table(
+        "table1_parameters",
+        f"Table 1 — dataset and system parameters as instantiated "
+        f"(grid {SPEC.g}, p={SPEC.p}, q={SPEC.q}, paper-testbed machine)",
+        ["symbol", "description", "value"],
+        rows,
+    )
+
+    # the dataset half must agree with the closed forms of Section 6
+    assert p.T == SPEC.T
+    assert p.c_R == SPEC.c_R
+    assert p.c_S == SPEC.c_S
+    assert p.n_e == SPEC.n_e
+    # the system half must be the paper machine
+    assert p.read_io_bw == PAPER_MACHINE.disk_read_bw
+    assert p.write_io_bw == PAPER_MACHINE.disk_write_bw
+    assert p.net_bw == min(N_S, N_J) * PAPER_MACHINE.link_bw
+    assert p.alpha_build == PAPER_MACHINE.alpha_build
+    assert p.alpha_lookup == PAPER_MACHINE.alpha_lookup

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""The Figure 4 story, interactively: where does IJ stop winning?
+
+Sweeps ``n_e·c_S`` at constant grid size and constant edge ratio (the
+paper's Section 6.1 protocol), runs both QES on the simulated cluster at
+every point, overlays the cost-model predictions, and shows that the Query
+Planning Service picks the simulated winner on both sides of the crossover.
+
+Run:  python examples/planner_crossover.py
+"""
+
+from repro import (
+    CostParameters,
+    GraceHashQES,
+    IndexedJoinQES,
+    PAPER_MACHINE,
+    build_oil_reservoir_dataset,
+    constant_edge_ratio_sweep,
+    crossover_ne_cs,
+    grace_hash_cost,
+    indexed_join_cost,
+    paper_cluster,
+)
+
+N_STORAGE = N_COMPUTE = 5
+GRID = (128, 128, 128)
+COMPONENT = (32, 32, 32)
+STEPS = 7
+
+
+def bar(value: float, scale: float, width: int = 34) -> str:
+    n = max(1, round(width * value / scale))
+    return "#" * n
+
+
+def main() -> None:
+    points = constant_edge_ratio_sweep(GRID, COMPONENT, steps=STEPS)
+    rows = []
+    for pt in points:
+        spec = pt.spec
+        ds = build_oil_reservoir_dataset(spec, num_storage=N_STORAGE, functional=False)
+        params = CostParameters.from_machine(
+            PAPER_MACHINE,
+            T=spec.T, c_R=spec.c_R, c_S=spec.c_S, n_e=spec.n_e,
+            RS_R=16, RS_S=16, n_s=N_STORAGE, n_j=N_COMPUTE,
+        )
+        ij_sim = IndexedJoinQES(
+            paper_cluster(N_STORAGE, N_COMPUTE), ds.metadata,
+            "T1", "T2", ds.join_attrs, ds.provider,
+        ).run().total_time
+        gh_sim = GraceHashQES(
+            paper_cluster(N_STORAGE, N_COMPUTE), ds.metadata,
+            "T1", "T2", ds.join_attrs, ds.provider,
+        ).run().total_time
+        rows.append((spec, params, ij_sim, gh_sim))
+
+    params0 = rows[0][1]
+    predicted_x = crossover_ne_cs(params0)
+    scale = max(max(r[2], r[3]) for r in rows)
+
+    print(f"grid {GRID}, component {COMPONENT}, edge ratio "
+          f"{rows[0][0].edge_ratio:.2e} (constant), {N_STORAGE}+{N_COMPUTE} nodes")
+    print(f"cost models predict crossover at n_e*c_S ~ {predicted_x:,.0f}\n")
+    print(f"{'n_e*c_S':>14} {'IJ sim':>8} {'IJ model':>9} {'GH sim':>8} {'GH model':>9}  winner")
+    for spec, params, ij_sim, gh_sim in rows:
+        ij_pred = indexed_join_cost(params).total
+        gh_pred = grace_hash_cost(params).total
+        winner = "IJ" if ij_sim < gh_sim else "GH"
+        planned = "IJ" if ij_pred <= gh_pred else "GH"
+        marker = "" if winner == planned else "   (planner missed!)"
+        print(f"{spec.ne_cs:>14,} {ij_sim:8.2f} {ij_pred:9.2f} {gh_sim:8.2f} {gh_pred:9.2f}"
+              f"   {winner}{marker}")
+    print("\nsimulated execution time (s):")
+    for spec, _, ij_sim, gh_sim in rows:
+        print(f"  {spec.ne_cs:>14,}  IJ {bar(ij_sim, scale)} {ij_sim:.2f}")
+        print(f"  {'':>14}  GH {bar(gh_sim, scale)} {gh_sim:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so the package can be installed on air-gapped machines that lack the
+``wheel`` package (PEP 517 editable installs need it):
+
+    python setup.py develop
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,265 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``info``
+    Print a grid configuration's dataset statistics (the Section 6 closed
+    forms: T, c_R, c_S, n_e, N_C, E_C, a, b, edge ratio).
+``plan``
+    Evaluate both cost models for a configuration and show the Query
+    Planning Service's choice.
+``run``
+    Execute both QES algorithms on the simulated cluster (model-only) and
+    report simulated times next to the predictions.
+``sweep``
+    Regenerate one of the paper's figure sweeps at a chosen scale
+    (``ne-cs``, ``compute-nodes``, ``tuples``, ``attributes``, ``cpu``,
+    ``nfs``).
+``calibrate``
+    Measure this host's per-tuple hash constants (α_build, α_lookup).
+
+Every command takes ``--grid/--p/--q`` as comma-separated sizes and the
+deployment shape via ``--storage/--compute``; ``--calibrated`` swaps the
+paper-testbed CPU constants for the host's measured ones.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cluster.nodes import MachineSpec, PAPER_MACHINE
+from repro.core.cost_models import (
+    CostParameters,
+    crossover_ne_cs,
+    grace_hash_cost,
+    indexed_join_cost,
+)
+from repro.experiments.calibration import calibrate_host_machine
+from repro.experiments.figures import (
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+)
+from repro.experiments.runner import run_point
+from repro.workloads.generator import GridSpec
+
+__all__ = ["main"]
+
+
+def _dims(text: str) -> Tuple[int, ...]:
+    try:
+        dims = tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a comma-separated int list: {text!r}")
+    if not dims or any(d <= 0 for d in dims):
+        raise argparse.ArgumentTypeError(f"sizes must be positive: {text!r}")
+    return dims
+
+
+def _add_spec_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--grid", type=_dims, default=(64, 64, 64),
+                   help="grid size per dimension (default 64,64,64)")
+    p.add_argument("--p", dest="p", type=_dims, default=(16, 16, 16),
+                   help="left-table partition sizes (default 16,16,16)")
+    p.add_argument("--q", dest="q", type=_dims, default=(16, 16, 16),
+                   help="right-table partition sizes (default 16,16,16)")
+
+
+def _add_deploy_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--storage", type=int, default=5, help="storage nodes (default 5)")
+    p.add_argument("--compute", type=int, default=5, help="compute nodes (default 5)")
+    p.add_argument("--nfs", action="store_true",
+                   help="shared-NFS deployment (single server, diskless compute)")
+    p.add_argument("--cpu-factor", type=float, default=1.0,
+                   help="computing-power factor F (default 1.0)")
+    p.add_argument("--calibrated", action="store_true",
+                   help="use this host's measured hash constants instead of "
+                        "the paper testbed's")
+
+
+def _machine(args: argparse.Namespace) -> MachineSpec:
+    base = PAPER_MACHINE
+    if getattr(args, "calibrated", False):
+        base = calibrate_host_machine().machine(base)
+    return base.with_cpu_factor(getattr(args, "cpu_factor", 1.0))
+
+
+def _spec(args: argparse.Namespace) -> GridSpec:
+    return GridSpec(g=args.grid, p=args.p, q=args.q)
+
+
+def _table(header: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows)) if rows else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    lines = ["  ".join(str(h).rjust(w) for h, w in zip(header, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(str(v).rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+# -- commands ---------------------------------------------------------------------
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    spec = _spec(args)
+    print(spec.describe())
+    print(f"left sub-tables (m_R): {spec.m_R:,}   right sub-tables (m_S): {spec.m_S:,}")
+    print(f"avg right-sub-table degree (n_e/m_S): {spec.n_e / spec.m_S:g}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    spec = _spec(args)
+    machine = _machine(args)
+    rs = 4 * (spec.ndim + 1)
+    params = CostParameters.from_machine(
+        machine,
+        T=spec.T, c_R=spec.c_R, c_S=spec.c_S, n_e=spec.n_e,
+        RS_R=rs, RS_S=rs,
+        n_s=1 if args.nfs else args.storage, n_j=args.compute,
+        shared_nfs=args.nfs,
+    )
+    ij = indexed_join_cost(params)
+    gh = grace_hash_cost(params)
+    print(spec.describe())
+    print(_table(
+        ["QES", "transfer", "write", "read", "cpu", "total (s)"],
+        [
+            ["indexed-join", f"{ij.transfer:.3f}", "-", "-", f"{ij.cpu:.3f}", f"{ij.total:.3f}"],
+            ["grace-hash", f"{gh.transfer:.3f}", f"{gh.write:.3f}", f"{gh.read:.3f}",
+             f"{gh.cpu:.3f}", f"{gh.total:.3f}"],
+        ],
+    ))
+    winner = "indexed-join" if ij.total <= gh.total else "grace-hash"
+    print(f"planner choice: {winner}")
+    print(f"predicted crossover: n_e*c_S = {crossover_ne_cs(params):,.0f} "
+          f"(this configuration: {spec.ne_cs:,})")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _spec(args)
+    machine = _machine(args)
+    result = run_point(
+        spec,
+        n_s=1 if args.nfs else args.storage,
+        n_j=args.compute,
+        machine=machine,
+        shared_nfs=args.nfs,
+    )
+    print(spec.describe())
+    print(_table(
+        ["QES", "simulated (s)", "model (s)", "error"],
+        [
+            ["indexed-join", f"{result.ij_sim:.3f}", f"{result.ij_pred:.3f}",
+             f"{result.ij_error:.1%}"],
+            ["grace-hash", f"{result.gh_sim:.3f}", f"{result.gh_pred:.3f}",
+             f"{result.gh_error:.1%}"],
+        ],
+    ))
+    print(f"simulated winner: {result.sim_winner}   model pick: {result.model_winner}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    machine = _machine(args)
+    rows: List[Sequence[object]] = []
+    if args.axis == "ne-cs":
+        results = run_figure4(n_s=args.storage, n_j=args.compute, machine=machine)
+        header = ["n_e*c_S", "IJ (s)", "GH (s)", "winner"]
+        rows = [[f"{r.spec.ne_cs:,}", f"{r.ij_sim:.2f}", f"{r.gh_sim:.2f}", r.sim_winner]
+                for r in results]
+    elif args.axis == "compute-nodes":
+        results = run_figure5(n_s=args.storage, machine=machine)
+        header = ["n_j", "IJ (s)", "GH (s)", "gap"]
+        rows = [[n, f"{r.ij_sim:.2f}", f"{r.gh_sim:.2f}", f"{r.gh_sim - r.ij_sim:.2f}"]
+                for n, r in results]
+    elif args.axis == "tuples":
+        results = run_figure6(factors=(1, 4, 16, 64), n_s=args.storage,
+                              n_j=args.compute, machine=machine)
+        header = ["T", "IJ (s)", "GH (s)"]
+        rows = [[f"{r.spec.T:,}", f"{r.ij_sim:.2f}", f"{r.gh_sim:.2f}"] for r in results]
+    elif args.axis == "attributes":
+        results = run_figure7(n_s=args.storage, n_j=args.compute, machine=machine)
+        header = ["attrs", "IJ (s)", "GH (s)"]
+        rows = [[n, f"{r.ij_sim:.2f}", f"{r.gh_sim:.2f}"] for n, r in results]
+    elif args.axis == "cpu":
+        results = run_figure8(n_s=args.storage, n_j=args.compute, machine=machine)
+        header = ["F", "IJ (s)", "GH (s)", "winner"]
+        rows = [[f, f"{r.ij_sim:.2f}", f"{r.gh_sim:.2f}", r.sim_winner]
+                for f, r in results]
+    elif args.axis == "nfs":
+        results = run_figure9()
+        header = ["n_j", "IJ (s)", "GH (s)", "GH/IJ"]
+        rows = [[n, f"{r.ij_sim:.2f}", f"{r.gh_sim:.2f}", f"{r.gh_sim / r.ij_sim:.1f}x"]
+                for n, r in results]
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(args.axis)
+    print(_table(header, rows))
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    result = calibrate_host_machine(tuples=args.tuples, repeats=args.repeats)
+    print(f"alpha_build  = {result.alpha_build:.3e} s/tuple")
+    print(f"alpha_lookup = {result.alpha_lookup:.3e} s/tuple")
+    ratio = PAPER_MACHINE.alpha_build / result.alpha_build
+    print(f"host is ~{ratio:.1f}x the paper testbed's hash-build rate "
+          f"(F = {ratio:.1f} in Figure 8 terms)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Object-relational views of scientific datasets "
+                    "(Narayanan et al., ICPP 2006) — planner, simulator and sweeps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="dataset statistics for a grid configuration")
+    _add_spec_args(p_info)
+    p_info.set_defaults(fn=_cmd_info)
+
+    p_plan = sub.add_parser("plan", help="evaluate the cost models and pick a QES")
+    _add_spec_args(p_plan)
+    _add_deploy_args(p_plan)
+    p_plan.set_defaults(fn=_cmd_plan)
+
+    p_run = sub.add_parser("run", help="execute both QES on the simulated cluster")
+    _add_spec_args(p_run)
+    _add_deploy_args(p_run)
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="regenerate one of the paper's sweeps")
+    p_sweep.add_argument(
+        "axis",
+        choices=["ne-cs", "compute-nodes", "tuples", "attributes", "cpu", "nfs"],
+    )
+    _add_deploy_args(p_sweep)
+    p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_cal = sub.add_parser("calibrate", help="measure this host's hash constants")
+    p_cal.add_argument("--tuples", type=int, default=100_000)
+    p_cal.add_argument("--repeats", type=int, default=3)
+    p_cal.set_defaults(fn=_cmd_calibrate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,263 @@
+"""Cluster assembly: engine + fabric + nodes, with testbed presets.
+
+:class:`ClusterSim` wires a :class:`~repro.cluster.events.SimEngine`, a
+network fabric and the storage/compute node bundles together and exposes
+the composite operations the QES implementations need:
+
+* ``read_and_send(storage, compute, nbytes)`` — BDS chunk service: disk
+  read on the storage node, then network transfer to the compute node
+  (synchronous RPC-style, mirroring the request/response implementation
+  the paper describes).
+* ``scratch_write`` / ``scratch_read`` — Grace Hash bucket I/O on the
+  compute node; in the NFS topology these route over the network to the
+  shared server's disk.
+* ``compute(...)`` — CPU reservations for hash build/probe work.
+
+Topology presets:
+
+* :func:`paper_cluster` — ``n_s`` storage + ``n_j`` compute nodes on a
+  switched fabric (the 10-node testbed of Section 6).
+* :func:`nfs_cluster` — the Figure 9 scenario: a single NFS server holds
+  all data *and* all scratch space; compute nodes have no local disks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cluster.events import Event, SimEngine, Timeout
+from repro.cluster.network import NetworkFabric, NFSFabric, SwitchedFabric
+from repro.cluster.nodes import ComputeNode, MachineSpec, StorageNode, PAPER_MACHINE
+from repro.cluster.resources import BandwidthResource
+from repro.cluster.trace import Tracer
+
+__all__ = ["ClusterSim", "ClusterTopology", "paper_cluster", "nfs_cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """Shape of a cluster: node counts and storage mode."""
+
+    num_storage: int
+    num_compute: int
+    shared_nfs: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_storage <= 0 or self.num_compute <= 0:
+            raise ValueError("need at least one storage and one compute node")
+        if self.shared_nfs and self.num_storage != 1:
+            raise ValueError("the shared-NFS topology has exactly one storage server")
+
+
+class ClusterSim:
+    """A simulated coupled storage/compute cluster.
+
+    Fabric ids: storage nodes take ``0 .. n_s-1``, compute nodes take
+    ``n_s .. n_s+n_j-1``.
+    """
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        spec: MachineSpec = PAPER_MACHINE,
+        backplane_bandwidth: Optional[float] = None,
+        storage_specs: Optional[Dict[int, MachineSpec]] = None,
+        compute_specs: Optional[Dict[int, MachineSpec]] = None,
+        trace: bool = False,
+    ):
+        """Assemble a cluster.
+
+        ``storage_specs`` / ``compute_specs`` override the uniform ``spec``
+        for individual node ids — heterogeneous clusters (mixed hardware
+        generations, a degraded disk, a straggler CPU) are the norm on real
+        deployments and the subject of the straggler ablation.  The network
+        fabric stays uniform at ``spec.link_bw`` (a switch port is a switch
+        port); per-node overrides affect disks and CPU constants.
+        """
+        self.topology = topology
+        self.spec = spec
+        storage_specs = storage_specs or {}
+        compute_specs = compute_specs or {}
+        for d, limit, kind in (
+            (storage_specs, topology.num_storage, "storage"),
+            (compute_specs, topology.num_compute, "compute"),
+        ):
+            for node_id in d:
+                if not (0 <= node_id < limit):
+                    raise ValueError(f"no {kind} node {node_id} in this topology")
+        self.engine = SimEngine()
+        if trace:
+            self.engine.tracer = Tracer()
+        total = topology.num_storage + topology.num_compute
+        if topology.shared_nfs:
+            self.fabric: NetworkFabric = NFSFabric(
+                self.engine, total, spec.link_bw, server=0, latency=spec.net_latency
+            )
+        else:
+            self.fabric = SwitchedFabric(
+                self.engine,
+                total,
+                spec.link_bw,
+                backplane_bandwidth=backplane_bandwidth,
+                latency=spec.net_latency,
+            )
+        self.storage_nodes: List[StorageNode] = [
+            StorageNode(self.engine, i, i, storage_specs.get(i, spec))
+            for i in range(topology.num_storage)
+        ]
+        self.compute_nodes: List[ComputeNode] = [
+            ComputeNode(
+                self.engine,
+                j,
+                topology.num_storage + j,
+                compute_specs.get(j, spec),
+                has_local_disk=not topology.shared_nfs,
+            )
+            for j in range(topology.num_compute)
+        ]
+
+    # -- shorthand accessors ----------------------------------------------------
+
+    @property
+    def num_storage(self) -> int:
+        return self.topology.num_storage
+
+    @property
+    def num_compute(self) -> int:
+        return self.topology.num_compute
+
+    def storage(self, i: int) -> StorageNode:
+        return self.storage_nodes[i]
+
+    def joiner(self, j: int) -> ComputeNode:
+        return self.compute_nodes[j]
+
+    # -- composite operations ------------------------------------------------------
+
+    def read_and_send(self, storage: int, compute: int, nbytes: int) -> Timeout:
+        """BDS sub-table service: stream a chunk from disk over the wire.
+
+        The BDS streams through a read-ahead buffer: the request completes
+        when the slowest device finishes (usually the wire), but each
+        device is only occupied for its own service time, so a fast disk
+        frees up for the next request while the NICs drain.  This yields
+        exactly the ``min(Net_bw, readIO_bw · n_s)`` aggregate of the cost
+        models without convoying at saturation.
+        """
+        s = self.storage_nodes[storage]
+        c = self.compute_nodes[compute]
+        resources = [s.disk] + self.fabric.transfer_resources(s.fabric_id, c.fabric_id)
+        return BandwidthResource.reserve_pipeline(resources, nbytes)
+
+    def send(self, src_compute_or_storage_fabric: int, dst_fabric: int, nbytes: int) -> Timeout:
+        """Raw fabric transfer between two fabric ids."""
+        return self.fabric.transfer(src_compute_or_storage_fabric, dst_fabric, nbytes)
+
+    def stream_batch(self, storage: int, compute: int, nbytes: int) -> Timeout:
+        """Stream ``nbytes`` of freshly-read records from a storage node to
+        a compute node (same pipelined read-ahead semantics as
+        :meth:`read_and_send`)."""
+        s = self.storage_nodes[storage]
+        c = self.compute_nodes[compute]
+        resources = [s.disk] + self.fabric.transfer_resources(s.fabric_id, c.fabric_id)
+        return BandwidthResource.reserve_pipeline(resources, nbytes)
+
+    def ingest_write(self, compute: int, nbytes: int) -> Event:
+        """Bucket write of a just-received batch by the joiner's QES thread.
+
+        The QES instance is single-threaded: while it writes the batch to
+        its scratch disk it cannot drain its NIC, so the write holds the
+        node's NIC *and* scratch disk for the write's (disk-paced)
+        duration.  This is what makes the Grace Hash cost model's
+        ``Transfer + Write`` terms additive per joiner rather than
+        pipelined.  In the NFS topology the write routes through the
+        shared server instead (no local disk to hold).
+        """
+        c = self.compute_nodes[compute]
+        if not c.has_local_disk:
+            return self._nfs_scratch(c, nbytes, write=True)
+        seconds = c.spec.disk_latency + nbytes / c.spec.disk_write_bw
+        resources = [self.fabric.nic(c.fabric_id), c.scratch]
+        return BandwidthResource.reserve_joint_seconds(resources, seconds, nbytes)
+
+    def scratch_write(self, compute: int, nbytes: int) -> Event:
+        """Write ``nbytes`` of bucket data from compute node ``compute``.
+
+        Local-disk topology: a write on the node's scratch disk.  NFS
+        topology: a transfer to the server followed by a server disk write.
+        """
+        c = self.compute_nodes[compute]
+        if c.has_local_disk:
+            return c.scratch_write(nbytes)
+        return self._nfs_scratch(c, nbytes, write=True)
+
+    def scratch_read(self, compute: int, nbytes: int) -> Event:
+        """Read bucket data back on compute node ``compute``."""
+        c = self.compute_nodes[compute]
+        if c.has_local_disk:
+            return c.scratch_read(nbytes)
+        return self._nfs_scratch(c, nbytes, write=False)
+
+    def _nfs_scratch(self, c: ComputeNode, nbytes: int, write: bool) -> Event:
+        server = self.storage_nodes[0]
+        spec = server.spec
+
+        def driver():
+            if write:
+                yield self.fabric.transfer(c.fabric_id, server.fabric_id, nbytes)
+                yield server.disk.reserve_at_rate(nbytes, spec.disk_write_bw)
+            else:
+                yield server.disk.reserve_at_rate(nbytes, spec.disk_read_bw)
+                yield self.fabric.transfer(server.fabric_id, c.fabric_id, nbytes)
+
+        return self.engine.process(
+            driver(), name=f"nfs_{'write' if write else 'read'} c{c.node_id}"
+        )
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The trace recorder, when constructed with ``trace=True``."""
+        return self.engine.tracer
+
+    # -- reporting ------------------------------------------------------------------
+
+    def resource_report(self) -> Dict[str, Dict[str, float]]:
+        """Utilisation counters for every resource (at current sim time)."""
+        horizon = self.engine.now
+        out: Dict[str, Dict[str, float]] = {}
+
+        def add(res: BandwidthResource) -> None:
+            out[res.name] = {
+                "busy_time": res.stats.busy_time,
+                "bytes": float(res.stats.bytes_served),
+                "requests": float(res.stats.num_requests),
+                "utilisation": res.stats.utilisation(horizon),
+            }
+
+        for s in self.storage_nodes:
+            add(s.disk)
+        for c in self.compute_nodes:
+            add(c.cpu)
+            if c.has_local_disk:
+                add(c.scratch)
+        for fid in range(self.num_storage + self.num_compute):
+            add(self.fabric.nic(fid))
+        return out
+
+
+def paper_cluster(
+    num_storage: int = 5,
+    num_compute: int = 5,
+    spec: MachineSpec = PAPER_MACHINE,
+) -> ClusterSim:
+    """The Section 6 testbed shape: switched fabric, local scratch disks."""
+    return ClusterSim(ClusterTopology(num_storage, num_compute), spec=spec)
+
+
+def nfs_cluster(num_compute: int, spec: MachineSpec = PAPER_MACHINE) -> ClusterSim:
+    """The Figure 9 scenario: one shared NFS server, diskless compute nodes."""
+    return ClusterSim(
+        ClusterTopology(num_storage=1, num_compute=num_compute, shared_nfs=True),
+        spec=spec,
+    )

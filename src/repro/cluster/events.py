@@ -1,0 +1,209 @@
+"""A minimal process-based discrete-event engine.
+
+The engine follows the simpy model at a fraction of its surface: simulation
+logic is written as generator functions that ``yield`` events; the engine
+resumes a process when the event it waits on fires.  Three event kinds
+cover everything the join algorithms need:
+
+* :class:`Timeout` — fires after a fixed delay (all resource waits reduce
+  to timeouts thanks to the reservation calculus in
+  :mod:`repro.cluster.resources`);
+* :class:`Process` — a running generator; itself an event that fires when
+  the generator returns, so processes can wait on (join) other processes;
+* :class:`AllOf` — barrier over a set of events (used for fork/join
+  phases, e.g. "all storage nodes finished streaming").
+
+Determinism: events scheduled for the same instant fire in scheduling
+order (a monotonically increasing sequence number breaks ties), so a given
+workload always produces the same trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = ["Event", "Timeout", "Process", "AllOf", "SimEngine", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for structural misuse of the engine (not model errors)."""
+
+
+class Event:
+    """Something that will happen at a simulated instant.
+
+    An event starts *pending*; :meth:`succeed` marks it triggered and
+    schedules its callbacks at the current simulation time.  Events carry an
+    optional value delivered to resumed processes.
+    """
+
+    __slots__ = ("engine", "callbacks", "_triggered", "_value")
+
+    def __init__(self, engine: "SimEngine"):
+        self.engine = engine
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._triggered = False
+        self._value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._value = value
+        self.engine._schedule(self.engine.now, self._run_callbacks)
+        return self
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+
+class Timeout(Event):
+    """Event that fires ``delay`` seconds after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "SimEngine", delay: float):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(engine)
+        engine._schedule(engine.now + delay, self._fire)
+
+    def _fire(self) -> None:
+        self._triggered = True
+        self._run_callbacks()
+
+
+class Process(Event):
+    """A generator being driven by the engine.
+
+    The generator may ``yield`` any :class:`Event`; it is resumed with the
+    event's value.  When the generator returns, the process event fires
+    with the return value.  Exceptions raised inside a process propagate
+    out of :meth:`SimEngine.run` — model bugs fail tests loudly instead of
+    silently deadlocking.
+    """
+
+    __slots__ = ("_gen", "name")
+
+    def __init__(self, engine: "SimEngine", gen: Generator[Event, Any, Any], name: str = ""):
+        super().__init__(engine)
+        self._gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        engine._schedule(engine.now, lambda: self._step(None))
+
+    def _step(self, send_value: Any) -> None:
+        try:
+            target = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}, not an Event"
+            )
+        if target.triggered:
+            # already done: resume at the current instant (not recursively,
+            # to keep stack depth bounded on long chains)
+            self.engine._schedule(self.engine.now, lambda: self._step(target._value))
+        else:
+            target.callbacks.append(lambda ev: self._step(ev._value))
+
+
+class AllOf(Event):
+    """Barrier: fires when every child event has fired.
+
+    Value is the list of child values in the order given.  An empty child
+    list fires immediately (a barrier over nothing).
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, engine: "SimEngine", events: Iterable[Event]):
+        super().__init__(engine)
+        self._children = list(events)
+        self._remaining = 0
+        for ev in self._children:
+            if not ev.triggered:
+                self._remaining += 1
+                ev.callbacks.append(self._child_done)
+        if self._remaining == 0:
+            self.succeed([ev._value for ev in self._children])
+
+    def _child_done(self, ev: Event) -> None:
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c._value for c in self._children])
+
+
+class SimEngine:
+    """Time-ordered event queue and the simulation clock."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List = []
+        self._seq = 0
+        #: optional :class:`repro.cluster.trace.Tracer` recording resource
+        #: busy intervals; assigned by the cluster when tracing is enabled
+        self.tracer = None
+
+    # -- scheduling -------------------------------------------------------------
+
+    def _schedule(self, at: float, fn: Callable[[], None]) -> None:
+        if at < self.now:
+            raise SimulationError(f"scheduling into the past: {at} < {self.now}")
+        heapq.heappush(self._queue, (at, self._seq, fn))
+        self._seq += 1
+
+    # -- public API --------------------------------------------------------------
+
+    def timeout(self, delay: float) -> Timeout:
+        return Timeout(self, delay)
+
+    def process(self, gen: Generator[Event, Any, Any], name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def event(self) -> Event:
+        """A bare event triggered manually (for signalling)."""
+        return Event(self)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the queue (optionally stopping at time ``until``).
+
+        Returns the final simulation time.
+        """
+        while self._queue:
+            at, _, fn = self._queue[0]
+            if until is not None and at > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = at
+            fn()
+        return self.now
+
+    def run_process(self, gen: Generator[Event, Any, Any], name: str = "") -> Any:
+        """Convenience: start a process, run to completion, return its value."""
+        proc = self.process(gen, name=name)
+        self.run()
+        if not proc.triggered:
+            raise SimulationError(
+                f"deadlock: process {proc.name!r} never completed "
+                "(waiting on an event nobody triggers)"
+            )
+        return proc.value

@@ -1,0 +1,46 @@
+"""The paper's primary contribution: cost-model-driven view creation.
+
+* :mod:`~repro.core.cost_models` — the Section 5 analytic cost models for
+  the Indexed Join and Grace Hash QES, the Section 6.2 algorithm-selection
+  inequality, and crossover-point prediction.
+* :mod:`~repro.core.view` — view definitions: join-based views with range
+  constraints (``V1 = T1 ⊕_xy T2 WHERE x ∈ [0,256] ...``) and aggregation
+  views over them.
+* :mod:`~repro.core.planner` — the Query Planning Service: derives dataset
+  and system parameters from the MetaData Service and the cluster spec,
+  evaluates both cost models, and picks the QES.
+* :mod:`~repro.core.engine` — the Derived Data Source: binds a view to the
+  services and executes queries end to end (plan → QES → result).
+"""
+
+from repro.core.cost_models import (
+    CostBreakdown,
+    CostParameters,
+    crossover_ne_cs,
+    grace_hash_cost,
+    indexed_join_cost,
+    io_over_f_threshold,
+    preferred_algorithm,
+)
+from repro.core.engine import DerivedDataSource, QueryResult
+from repro.core.materialize import materialize_table
+from repro.core.planner import Plan, QueryPlanningService
+from repro.core.view import AggregationView, Aggregate, JoinView
+
+__all__ = [
+    "Aggregate",
+    "AggregationView",
+    "CostBreakdown",
+    "CostParameters",
+    "DerivedDataSource",
+    "JoinView",
+    "Plan",
+    "QueryPlanningService",
+    "QueryResult",
+    "crossover_ne_cs",
+    "grace_hash_cost",
+    "indexed_join_cost",
+    "io_over_f_threshold",
+    "materialize_table",
+    "preferred_algorithm",
+]

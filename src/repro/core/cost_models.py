@@ -1,0 +1,221 @@
+"""Analytic cost models for the two join QES (Section 5 of the paper).
+
+Indexed Join::
+
+    Total_IJ    = Transfer_IJ + Cpu_IJ
+    Transfer_IJ = T·(RS_R + RS_S) / min(Net_bw(n_s, n_j), readIO_bw·n_s)
+    Cpu_IJ      = BuildHT_IJ + Lookup_IJ
+    BuildHT_IJ  = α_build · T / n_j
+    Lookup_IJ   = α_lookup · n_e · c_S / n_j
+
+Grace Hash::
+
+    Total_GH    = Transfer_GH + Write_GH + Read_GH + Cpu_GH
+    Transfer_GH = Transfer_IJ
+    Write_GH    = T·(RS_R + RS_S) / (writeIO_bw · n_j)
+    Read_GH     = T·(RS_R + RS_S) / (readIO_bw · n_j)
+    Cpu_GH      = α_build·T/n_j + α_lookup·T/n_j
+
+and the Section 6.2 decision rule: with ``IO_bw = readIO = writeIO``,
+``m_S = T/c_S`` and ``α = γ/F``, prefer IJ when::
+
+    IO_bw / F < 2·(RS_R + RS_S) / (γ2 · (n_e/m_S − 1))
+
+The models also support the Figure 9 shared-NFS deployment, where
+``Net_bw`` collapses to the single server's link and the Grace Hash bucket
+traffic additionally crosses the shared server (every scratch byte pays the
+network once and the server disk once, serialised with everything else).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.cluster.nodes import MachineSpec
+
+__all__ = [
+    "CostParameters",
+    "CostBreakdown",
+    "indexed_join_cost",
+    "grace_hash_cost",
+    "preferred_algorithm",
+    "io_over_f_threshold",
+    "crossover_ne_cs",
+]
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Table 1: dataset and system parameters, plus the topology flag."""
+
+    T: int                  #: tuples in each of R and S
+    c_R: int                #: tuples per R sub-table
+    c_S: int                #: tuples per S sub-table
+    n_e: int                #: edges in the sub-table connectivity graph
+    RS_R: int               #: record size of R (bytes)
+    RS_S: int               #: record size of S (bytes)
+    n_s: int                #: storage nodes
+    n_j: int                #: joiner (compute) nodes
+    link_bw: float          #: per-node NIC bandwidth (bytes/s)
+    read_io_bw: float       #: readIO_bw (bytes/s)
+    write_io_bw: float      #: writeIO_bw (bytes/s)
+    alpha_build: float      #: hash-table insert cost (s/tuple)
+    alpha_lookup: float     #: hash-table probe cost (s/tuple)
+    shared_nfs: bool = False
+
+    def __post_init__(self) -> None:
+        if self.T < 0 or self.c_R <= 0 or self.c_S <= 0 or self.n_e < 0:
+            raise ValueError("bad dataset parameters")
+        if self.n_s <= 0 or self.n_j <= 0:
+            raise ValueError("need at least one storage and one joiner node")
+        if min(self.link_bw, self.read_io_bw, self.write_io_bw) <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.alpha_build < 0 or self.alpha_lookup < 0:
+            raise ValueError("alpha costs must be >= 0")
+        if self.shared_nfs and self.n_s != 1:
+            raise ValueError("shared-NFS deployments have one storage server")
+
+    # -- derived quantities -------------------------------------------------------
+
+    @property
+    def net_bw(self) -> float:
+        """``Net_bw(n_s, n_j)``: aggregate storage↔compute bandwidth.
+
+        Switched fabric: the thinner side's links bound the aggregate.
+        Shared NFS: everything crosses the one server link.
+        """
+        if self.shared_nfs:
+            return self.link_bw
+        return min(self.n_s, self.n_j) * self.link_bw
+
+    @property
+    def m_S(self) -> int:
+        """Number of S sub-tables."""
+        return max(1, self.T // self.c_S)
+
+    @property
+    def bytes_total(self) -> int:
+        """``T·(RS_R + RS_S)``: bytes both algorithms pull from storage."""
+        return self.T * (self.RS_R + self.RS_S)
+
+    @property
+    def avg_right_degree(self) -> float:
+        """``n_e / m_S``: lookups per right record in IJ."""
+        return self.n_e / self.m_S
+
+    @classmethod
+    def from_machine(
+        cls,
+        machine: MachineSpec,
+        *,
+        T: int,
+        c_R: int,
+        c_S: int,
+        n_e: int,
+        RS_R: int,
+        RS_S: int,
+        n_s: int,
+        n_j: int,
+        shared_nfs: bool = False,
+    ) -> "CostParameters":
+        """Fill the system half of Table 1 from a machine spec (α values
+        already scaled by the spec's computing-power factor F)."""
+        return cls(
+            T=T, c_R=c_R, c_S=c_S, n_e=n_e, RS_R=RS_R, RS_S=RS_S,
+            n_s=n_s, n_j=n_j,
+            link_bw=machine.link_bw,
+            read_io_bw=machine.disk_read_bw,
+            write_io_bw=machine.disk_write_bw,
+            alpha_build=machine.build_cost,
+            alpha_lookup=machine.lookup_cost,
+            shared_nfs=shared_nfs,
+        )
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Predicted per-term times (seconds), mirroring the model equations."""
+
+    transfer: float = 0.0
+    write: float = 0.0
+    read: float = 0.0
+    cpu_build: float = 0.0
+    cpu_lookup: float = 0.0
+
+    @property
+    def cpu(self) -> float:
+        return self.cpu_build + self.cpu_lookup
+
+    @property
+    def total(self) -> float:
+        return self.transfer + self.write + self.read + self.cpu
+
+
+def indexed_join_cost(p: CostParameters) -> CostBreakdown:
+    """``Total_IJ`` and its terms."""
+    transfer = p.bytes_total / min(p.net_bw, p.read_io_bw * p.n_s)
+    return CostBreakdown(
+        transfer=transfer,
+        cpu_build=p.alpha_build * p.T / p.n_j,
+        cpu_lookup=p.alpha_lookup * p.n_e * p.c_S / p.n_j,
+    )
+
+
+def grace_hash_cost(p: CostParameters) -> CostBreakdown:
+    """``Total_GH`` and its terms.
+
+    In the shared-NFS deployment the bucket write and re-read also cross
+    the single server: each direction is bounded by the slower of the
+    server link and the server disk, and does not parallelise over
+    ``n_j`` — which is why adding compute nodes cannot help GH there.
+    """
+    transfer = p.bytes_total / min(p.net_bw, p.read_io_bw * p.n_s)
+    if p.shared_nfs:
+        write = p.bytes_total / min(p.link_bw, p.write_io_bw)
+        read = p.bytes_total / min(p.link_bw, p.read_io_bw)
+    else:
+        write = p.bytes_total / (p.write_io_bw * p.n_j)
+        read = p.bytes_total / (p.read_io_bw * p.n_j)
+    return CostBreakdown(
+        transfer=transfer,
+        write=write,
+        read=read,
+        cpu_build=p.alpha_build * p.T / p.n_j,
+        cpu_lookup=p.alpha_lookup * p.T / p.n_j,
+    )
+
+
+def preferred_algorithm(p: CostParameters) -> Tuple[str, CostBreakdown, CostBreakdown]:
+    """Compare totals; returns (winner, ij_cost, gh_cost)."""
+    ij = indexed_join_cost(p)
+    gh = grace_hash_cost(p)
+    return ("indexed-join" if ij.total <= gh.total else "grace-hash", ij, gh)
+
+
+def io_over_f_threshold(p: CostParameters, gamma2: float, f: float = 1.0) -> Optional[float]:
+    """The Section 6.2 inequality's right-hand side.
+
+    Prefer IJ when ``IO_bw / F <`` the returned threshold (with
+    ``IO_bw = readIO = writeIO`` assumed).  Returns ``None`` when
+    ``n_e/m_S <= 1`` — then IJ does no extra lookups and wins at any ratio
+    (the inequality's denominator vanishes or flips sign).
+    """
+    degree_excess = p.n_e / p.m_S - 1.0
+    if degree_excess <= 0:
+        return None
+    return 2.0 * (p.RS_R + p.RS_S) / (gamma2 * degree_excess)
+
+
+def crossover_ne_cs(p: CostParameters) -> float:
+    """The ``n_e·c_S`` value where ``Total_IJ == Total_GH`` (Figure 4's
+    crossover point), holding everything else in ``p`` fixed.
+
+    Solving ``α_lookup·n_e·c_S/n_j = Write_GH + Read_GH + α_lookup·T/n_j``.
+    """
+    if p.alpha_lookup <= 0:
+        return math.inf
+    gh = grace_hash_cost(p)
+    extra_io = gh.write + gh.read
+    return (extra_io * p.n_j / p.alpha_lookup) + p.T

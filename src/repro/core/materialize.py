@@ -1,0 +1,92 @@
+"""View materialisation: Derived Data Sources layered on other DDSs.
+
+Section 1: "Derived Data Sources (DDS) may be built on top of BDSs and
+provide more complex objects"; Section 4: views "may involve selection,
+projection, aggregation and/or join operations" and DDSs are "layered on
+BDSs *or other DDSs*".  Layering needs a way to make one view's output a
+first-class table the next view can reference:
+
+:func:`materialize_table` takes a materialised result (any
+:class:`~repro.datamodel.subtable.SubTable`), re-chunks it with spatial
+locality (records sorted by the coordinate attributes, then split into
+fixed-cardinality chunks whose bounding boxes the writer computes), writes
+the chunks through a generated extractor into the cluster's chunk stores
+(block-cyclic, like any other dataset), and registers the new table with
+the MetaData Service.  From that point on the materialised view is
+indistinguishable from a base table: range queries prune via the R-tree,
+join indexes build from the chunk boxes, and both QES algorithms can join
+it against anything else.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.datamodel.subtable import SubTable
+from repro.metadata.service import MetaDataService, TableCatalog
+from repro.storage.chunkstore import ChunkStore
+from repro.storage.extractor import ExtractorRegistry, build_extractor
+from repro.storage.placement import PlacementPolicy
+from repro.storage.writer import DatasetWriter, TablePartition
+
+__all__ = ["materialize_table"]
+
+
+def _layout_text(name: str, schema) -> str:
+    lines = [f"layout {name} {{", "    order: row_major;"]
+    for attr in schema:
+        coord = " coordinate" if attr.coordinate else ""
+        lines.append(f"    field {attr.name} {attr.dtype}{coord};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def materialize_table(
+    table: SubTable,
+    name: str,
+    table_id: int,
+    metadata: MetaDataService,
+    stores: Sequence[ChunkStore],
+    registry: ExtractorRegistry,
+    chunk_records: int,
+    placement: Optional[PlacementPolicy] = None,
+) -> TableCatalog:
+    """Persist ``table`` as a chunked, registered virtual table.
+
+    Records are sorted by the schema's coordinate attributes before
+    chunking so chunk bounding boxes stay tight — the property every
+    downstream optimisation (range pruning, join indexing) feeds on.
+
+    Returns the new table's catalog; the generated extractor is registered
+    under ``mat_<name>`` in ``registry`` so the existing per-node BDS
+    instances can serve the new chunks.
+    """
+    if chunk_records <= 0:
+        raise ValueError("chunk_records must be positive")
+    if not name.isidentifier():
+        raise ValueError(f"table name {name!r} must be an identifier")
+    schema = table.schema
+    coords = schema.coordinate_names
+    if coords:
+        table = table.sort_by(list(coords))
+
+    extractor = build_extractor(_layout_text(f"mat_{name}", schema))
+    registry.register(extractor)
+    writer = DatasetWriter(stores, placement=placement)
+
+    partitions = []
+    n = table.num_records
+    for start in range(0, n, chunk_records):
+        stop = min(start + chunk_records, n)
+        idx = np.arange(start, stop)
+        piece = table.take(idx)
+        partitions.append(
+            TablePartition(columns={a.name: piece.column(a.name) for a in schema})
+        )
+    if not partitions:
+        # an empty view still materialises (zero chunks) and registers
+        return metadata.register_table(table_id, name, schema)
+    written = writer.write_table(table_id, extractor, partitions)
+    return metadata.register_written_table(name, written)

@@ -1,0 +1,155 @@
+"""The Query Planning Service.
+
+"The Query Planning service (QPS) incorporates logic to choose between
+different Query Execution Systems (QES) based on cost models" (Section 4).
+The planner derives the dataset half of Table 1 from the MetaData Service
+(record counts, chunk cardinalities, record sizes, and ``n_e`` from the —
+possibly precomputed — page-level join index), takes the system half from
+the machine spec and topology, evaluates both Section 5 models, and picks
+the cheaper QES.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.cluster.nodes import MachineSpec, PAPER_MACHINE
+from repro.core.cost_models import (
+    CostBreakdown,
+    CostParameters,
+    grace_hash_cost,
+    indexed_join_cost,
+)
+from repro.core.view import JoinView
+from repro.joins.join_index import PageJoinIndex, build_join_index
+from repro.metadata.service import MetaDataService
+
+__all__ = ["Plan", "QueryPlanningService"]
+
+
+@dataclass(frozen=True)
+class Plan:
+    """Outcome of planning one join view."""
+
+    view: JoinView
+    algorithm: str
+    params: CostParameters
+    ij_cost: CostBreakdown
+    gh_cost: CostBreakdown
+    index: PageJoinIndex
+
+    @property
+    def predicted_time(self) -> float:
+        return min(self.ij_cost.total, self.gh_cost.total)
+
+    def describe(self) -> str:
+        return (
+            f"plan for {self.view.describe()}:\n"
+            f"  predicted IJ total: {self.ij_cost.total:.3f}s "
+            f"(transfer {self.ij_cost.transfer:.3f}, cpu {self.ij_cost.cpu:.3f})\n"
+            f"  predicted GH total: {self.gh_cost.total:.3f}s "
+            f"(transfer {self.gh_cost.transfer:.3f}, write {self.gh_cost.write:.3f}, "
+            f"read {self.gh_cost.read:.3f}, cpu {self.gh_cost.cpu:.3f})\n"
+            f"  chosen QES: {self.algorithm}"
+        )
+
+
+class QueryPlanningService:
+    """Plans join views for a fixed deployment (machine spec + topology)."""
+
+    def __init__(
+        self,
+        metadata: MetaDataService,
+        num_storage: int,
+        num_compute: int,
+        machine: MachineSpec = PAPER_MACHINE,
+        shared_nfs: bool = False,
+    ):
+        if num_storage <= 0 or num_compute <= 0:
+            raise ValueError("need at least one storage and one compute node")
+        self.metadata = metadata
+        self.num_storage = num_storage
+        self.num_compute = num_compute
+        self.machine = machine
+        self.shared_nfs = shared_nfs
+
+    # -- join index management ----------------------------------------------------
+
+    def _index_key(self, view: JoinView) -> str:
+        return f"join_index/{view.left}/{view.right}/{','.join(view.on)}"
+
+    def precompute_index(self, view: JoinView) -> PageJoinIndex:
+        """Build the *unconstrained* page index for the view's join
+        attributes and persist it in the MetaData Service — "the page-index
+        can be precomputed for common join attributes" (Section 4.1)."""
+        index = build_join_index(
+            self.metadata.table(view.left).all_chunks(),
+            self.metadata.table(view.right).all_chunks(),
+            view.on,
+        )
+        self.metadata.put(self._index_key(view), index.to_dict())
+        return index
+
+    def _index_for(self, view: JoinView) -> PageJoinIndex:
+        cached = self.metadata.get(self._index_key(view))
+        if cached is not None:
+            index = PageJoinIndex.from_dict(cached)  # type: ignore[arg-type]
+        else:
+            index = self.precompute_index(view)
+        if view.where is not None and len(view.where):
+            boxes = {
+                c.id: c.bbox
+                for cat in (self.metadata.table(view.left), self.metadata.table(view.right))
+                for c in cat.all_chunks()
+            }
+            index = index.restrict(view.where, boxes)
+        return index
+
+    # -- planning ---------------------------------------------------------------------
+
+    def derive_parameters(
+        self, view: JoinView, index: Optional[PageJoinIndex] = None
+    ) -> Tuple[CostParameters, PageJoinIndex]:
+        """Fill Table 1 from metadata for ``view`` under this deployment."""
+        index = index if index is not None else self._index_for(view)
+        left = self.metadata.table(view.left)
+        right = self.metadata.table(view.right)
+        if view.where is not None and len(view.where):
+            left_chunks = left.find_chunks(view.where)
+            right_chunks = right.find_chunks(view.where)
+        else:
+            left_chunks = left.all_chunks()
+            right_chunks = right.all_chunks()
+        T_left = sum(c.num_records for c in left_chunks)
+        c_R = max(1, round(T_left / len(left_chunks))) if left_chunks else 1
+        T_right = sum(c.num_records for c in right_chunks)
+        c_S = max(1, round(T_right / len(right_chunks))) if right_chunks else 1
+        params = CostParameters.from_machine(
+            self.machine,
+            T=T_left,
+            c_R=c_R,
+            c_S=c_S,
+            n_e=index.num_edges,
+            RS_R=left.schema.record_size,
+            RS_S=right.schema.record_size,
+            n_s=self.num_storage,
+            n_j=self.num_compute,
+            shared_nfs=self.shared_nfs,
+        )
+        return params, index
+
+    def plan(self, view: JoinView) -> Plan:
+        """Evaluate both cost models and choose the QES."""
+        params, index = self.derive_parameters(view)
+        ij = indexed_join_cost(params)
+        gh = grace_hash_cost(params)
+        algorithm = "indexed-join" if ij.total <= gh.total else "grace-hash"
+        return Plan(
+            view=view,
+            algorithm=algorithm,
+            params=params,
+            ij_cost=ij,
+            gh_cost=gh,
+            index=index,
+        )

@@ -1,0 +1,37 @@
+"""Data model primitives shared by every layer of the view framework.
+
+The paper's abstraction stack (Section 2 and 4) bottoms out in three
+concepts, all defined here:
+
+* :class:`~repro.datamodel.schema.Schema` — the ordered attribute list of a
+  virtual table (coordinate attributes plus scalar physical properties).
+* :class:`~repro.datamodel.bounding_box.BoundingBox` — per-attribute
+  ``[lo, hi]`` bounds attached to every chunk and sub-table; attributes that a
+  table does not carry are implicitly unbounded.  Bounding-box overlap is what
+  drives both the MetaData Service's range pruning and the page-level join
+  index.
+* :class:`~repro.datamodel.subtable.SubTable` — the unit a Basic Data Source
+  produces from a chunk: a column-oriented record container identified by a
+  ``(table_id, chunk_id)`` pair.
+
+:class:`~repro.datamodel.chunk.ChunkDescriptor` carries the metadata the
+MetaData Service stores for every file segment (location, size, attributes,
+usable extractors, bounding box).
+"""
+
+from repro.datamodel.bounding_box import BoundingBox, Interval
+from repro.datamodel.chunk import ChunkDescriptor, ChunkRef
+from repro.datamodel.schema import Attribute, Schema
+from repro.datamodel.subtable import SubTable, SubTableId, SubTableStub
+
+__all__ = [
+    "Attribute",
+    "BoundingBox",
+    "ChunkDescriptor",
+    "ChunkRef",
+    "Interval",
+    "Schema",
+    "SubTable",
+    "SubTableId",
+    "SubTableStub",
+]

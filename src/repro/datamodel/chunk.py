@@ -1,0 +1,102 @@
+"""Chunk descriptors — the metadata record for one file segment.
+
+Section 2: "Metadata information associated with each chunk includes
+information about which table the chunk belongs to, the location of the chunk
+in the storage system (i.e., offset in data file) and its size, what
+attributes it contains, a list of extractors that can read and parse this
+chunk, and the bounding box of the chunk."
+
+:class:`ChunkDescriptor` carries exactly those fields (plus the record count,
+which the writer knows and the cost models want), and :class:`ChunkRef` is
+the lightweight ``(table_id, chunk_id)``-plus-placement handle passed between
+services.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.datamodel.bounding_box import BoundingBox
+from repro.datamodel.subtable import SubTableId
+
+__all__ = ["ChunkRef", "ChunkDescriptor"]
+
+
+@dataclass(frozen=True, order=True)
+class ChunkRef:
+    """Where a chunk lives: which storage node, which file, what range."""
+
+    storage_node: int
+    path: str
+    offset: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.storage_node < 0:
+            raise ValueError("storage_node must be >= 0")
+        if self.offset < 0 or self.size < 0:
+            raise ValueError("offset and size must be >= 0")
+
+
+@dataclass(frozen=True)
+class ChunkDescriptor:
+    """Full MetaData Service record for one chunk."""
+
+    id: SubTableId
+    ref: ChunkRef
+    attributes: Tuple[str, ...]
+    extractors: Tuple[str, ...]
+    bbox: BoundingBox
+    num_records: int
+
+    def __post_init__(self) -> None:
+        if self.num_records < 0:
+            raise ValueError("num_records must be >= 0")
+        if not self.extractors:
+            raise ValueError(f"chunk {self.id} lists no usable extractor")
+
+    @property
+    def table_id(self) -> int:
+        return self.id.table_id
+
+    @property
+    def chunk_id(self) -> int:
+        return self.id.chunk_id
+
+    @property
+    def size(self) -> int:
+        """On-disk size in bytes (the I/O unit the BDS reads)."""
+        return self.ref.size
+
+    # -- (de)serialisation ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "table_id": self.id.table_id,
+            "chunk_id": self.id.chunk_id,
+            "storage_node": self.ref.storage_node,
+            "path": self.ref.path,
+            "offset": self.ref.offset,
+            "size": self.ref.size,
+            "attributes": list(self.attributes),
+            "extractors": list(self.extractors),
+            "bbox": self.bbox.to_dict(),
+            "num_records": self.num_records,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "ChunkDescriptor":
+        return cls(
+            id=SubTableId(int(d["table_id"]), int(d["chunk_id"])),
+            ref=ChunkRef(
+                storage_node=int(d["storage_node"]),
+                path=str(d["path"]),
+                offset=int(d["offset"]),
+                size=int(d["size"]),
+            ),
+            attributes=tuple(str(a) for a in d["attributes"]),
+            extractors=tuple(str(e) for e in d["extractors"]),
+            bbox=BoundingBox.from_dict({str(k): (float(v[0]), float(v[1])) for k, v in dict(d["bbox"]).items()}),
+            num_records=int(d["num_records"]),
+        )

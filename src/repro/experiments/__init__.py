@@ -1,0 +1,38 @@
+"""Experiment machinery: the paper's evaluation as a library.
+
+The benchmark suite and the command-line interface both drive the
+evaluation through this package:
+
+* :mod:`~repro.experiments.runner` — execute one configuration (both QES,
+  simulated + predicted) and produce a :class:`PointResult`.
+* :mod:`~repro.experiments.figures` — one function per table/figure of the
+  paper's evaluation, each returning the full measured series.
+* :mod:`~repro.experiments.calibration` — measure the ``α_build`` /
+  ``α_lookup`` CPU constants of the *host* machine, for users who want the
+  cost models parameterised for their own hardware rather than the
+  paper's testbed.
+"""
+
+from repro.experiments.calibration import CalibrationResult, calibrate_host_machine
+from repro.experiments.figures import (
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+)
+from repro.experiments.runner import PointResult, run_point
+
+__all__ = [
+    "CalibrationResult",
+    "PointResult",
+    "calibrate_host_machine",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+    "run_point",
+]

@@ -1,0 +1,99 @@
+"""One function per evaluation figure.
+
+Each function returns the measured series for its figure at configurable
+scale; the benchmark suite runs them at the defaults recorded in
+EXPERIMENTS.md, the CLI exposes them with user-chosen sizes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.cluster.nodes import MachineSpec, PAPER_MACHINE
+from repro.experiments.runner import PointResult, run_point
+from repro.workloads.generator import GridSpec
+from repro.workloads.sweeps import constant_edge_ratio_sweep, tuple_count_sweep
+
+__all__ = [
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+]
+
+
+def run_figure4(
+    grid: Tuple[int, ...] = (128, 128, 128),
+    component: Tuple[int, ...] = (32, 32, 32),
+    steps: int = 7,
+    n_s: int = 5,
+    n_j: int = 5,
+    machine: MachineSpec = PAPER_MACHINE,
+) -> List[PointResult]:
+    """Execution time vs ``n_e·c_S`` at constant grid and edge ratio."""
+    points = constant_edge_ratio_sweep(grid, component, steps=steps)
+    return [run_point(pt.spec, n_s, n_j, machine=machine) for pt in points]
+
+
+def run_figure5(
+    spec: GridSpec = GridSpec((128, 128, 128), (32, 32, 32), (32, 32, 32)),
+    n_s: int = 5,
+    n_j_sweep: Sequence[int] = (1, 2, 3, 4, 5),
+    machine: MachineSpec = PAPER_MACHINE,
+) -> List[Tuple[int, PointResult]]:
+    """Execution time vs number of compute nodes (low ``n_e·c_S``)."""
+    return [(n_j, run_point(spec, n_s, n_j, machine=machine)) for n_j in n_j_sweep]
+
+
+def run_figure6(
+    base: GridSpec = GridSpec((128, 128, 128), (32, 32, 32), (32, 32, 32)),
+    factors: Sequence[int] = (1, 4, 16, 64, 1024),
+    n_s: int = 5,
+    n_j: int = 5,
+    machine: MachineSpec = PAPER_MACHINE,
+) -> List[PointResult]:
+    """Execution time vs T, partitions held fixed (to ~2 B tuples)."""
+    points = tuple_count_sweep(base, factors, scale_dim=0)
+    return [run_point(pt.spec, n_s, n_j, machine=machine) for pt in points]
+
+
+def run_figure7(
+    spec: GridSpec = GridSpec((128, 128, 128), (32, 32, 32), (32, 32, 32)),
+    extra_attributes: Sequence[int] = (0, 4, 8, 12, 17),
+    n_s: int = 5,
+    n_j: int = 5,
+    machine: MachineSpec = PAPER_MACHINE,
+) -> List[Tuple[int, PointResult]]:
+    """Execution time vs attribute count (4-byte attributes)."""
+    return [
+        (4 + extra, run_point(spec, n_s, n_j, machine=machine, extra_attributes=extra))
+        for extra in extra_attributes
+    ]
+
+
+def run_figure8(
+    spec: GridSpec = GridSpec((128, 128, 128), (16, 16, 16), (32, 32, 32)),
+    f_sweep: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
+    n_s: int = 5,
+    n_j: int = 5,
+    machine: MachineSpec = PAPER_MACHINE,
+) -> List[Tuple[float, PointResult]]:
+    """Execution time vs computing-power factor F."""
+    return [
+        (f, run_point(spec, n_s, n_j, machine=machine.with_cpu_factor(f)))
+        for f in f_sweep
+    ]
+
+
+def run_figure9(
+    spec: GridSpec = GridSpec((64, 64, 64), (16, 16, 16), (16, 16, 16)),
+    n_j_sweep: Sequence[int] = (1, 2, 4, 8),
+    machine: MachineSpec = MachineSpec(disk_latency=5e-3),
+) -> List[Tuple[int, PointResult]]:
+    """Shared-NFS deployment: execution time vs compute nodes."""
+    return [
+        (n_j, run_point(spec, n_s=1, n_j=n_j, shared_nfs=True, machine=machine))
+        for n_j in n_j_sweep
+    ]

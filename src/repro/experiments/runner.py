@@ -1,0 +1,108 @@
+"""Single-configuration experiment runner.
+
+:func:`run_point` is the unit every sweep is made of: build the two-table
+dataset for a :class:`~repro.workloads.generator.GridSpec` (functionally or
+model-only), execute **both** QES algorithms on a fresh simulated cluster,
+and pair the simulated times with the analytic predictions in a
+:class:`PointResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import nfs_cluster, paper_cluster
+from repro.cluster.nodes import MachineSpec, PAPER_MACHINE
+from repro.core.cost_models import (
+    CostParameters,
+    grace_hash_cost,
+    indexed_join_cost,
+)
+from repro.joins.grace_hash import GraceHashQES
+from repro.joins.indexed_join import IndexedJoinQES
+from repro.joins.report import ExecutionReport
+from repro.workloads.generator import GridSpec
+from repro.workloads.oilres import build_oil_reservoir_dataset
+
+__all__ = ["PointResult", "run_point"]
+
+
+@dataclass
+class PointResult:
+    """Both algorithms, simulated and predicted, at one sweep point."""
+
+    spec: GridSpec
+    params: CostParameters
+    ij_sim: float
+    gh_sim: float
+    ij_report: ExecutionReport
+    gh_report: ExecutionReport
+
+    @property
+    def ij_pred(self) -> float:
+        return indexed_join_cost(self.params).total
+
+    @property
+    def gh_pred(self) -> float:
+        return grace_hash_cost(self.params).total
+
+    @property
+    def sim_winner(self) -> str:
+        return "IJ" if self.ij_sim <= self.gh_sim else "GH"
+
+    @property
+    def model_winner(self) -> str:
+        return "IJ" if self.ij_pred <= self.gh_pred else "GH"
+
+    @property
+    def ij_error(self) -> float:
+        """Relative |simulated − predicted| for the Indexed Join."""
+        return abs(self.ij_sim - self.ij_pred) / self.ij_pred
+
+    @property
+    def gh_error(self) -> float:
+        """Relative |simulated − predicted| for Grace Hash."""
+        return abs(self.gh_sim - self.gh_pred) / self.gh_pred
+
+
+def run_point(
+    spec: GridSpec,
+    n_s: int,
+    n_j: int,
+    machine: MachineSpec = PAPER_MACHINE,
+    shared_nfs: bool = False,
+    functional: bool = False,
+    extra_attributes: int = 0,
+) -> PointResult:
+    """Execute IJ and GH for one configuration and collect predictions."""
+    ds = build_oil_reservoir_dataset(
+        spec, num_storage=n_s, functional=functional,
+        extra_attributes=extra_attributes,
+    )
+    params = CostParameters.from_machine(
+        machine,
+        T=spec.T, c_R=spec.c_R, c_S=spec.c_S, n_e=spec.n_e,
+        RS_R=ds.metadata.table("T1").schema.record_size,
+        RS_S=ds.metadata.table("T2").schema.record_size,
+        n_s=n_s, n_j=n_j, shared_nfs=shared_nfs,
+    )
+
+    def cluster():
+        if shared_nfs:
+            return nfs_cluster(n_j, spec=machine)
+        return paper_cluster(n_s, n_j, spec=machine)
+
+    ij_report = IndexedJoinQES(
+        cluster(), ds.metadata, "T1", "T2", ds.join_attrs, ds.provider
+    ).run()
+    gh_report = GraceHashQES(
+        cluster(), ds.metadata, "T1", "T2", ds.join_attrs, ds.provider
+    ).run()
+    return PointResult(
+        spec=spec,
+        params=params,
+        ij_sim=ij_report.total_time,
+        gh_sim=gh_report.total_time,
+        ij_report=ij_report,
+        gh_report=gh_report,
+    )

@@ -1,0 +1,116 @@
+"""Execution reports: what a QES run tells you about itself.
+
+A report carries the *simulated* wall-clock (the quantity the paper's
+figures plot), a per-phase breakdown mirroring the cost-model terms
+(transfer / bucket write / bucket read / CPU), functional results when the
+run materialised data, and the raw counters (bytes, operations, cache
+statistics) used by tests and the model-validation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.datamodel.subtable import SubTable
+from repro.joins.hash_join import JoinKernelStats
+from repro.services.cache import CacheStats
+
+__all__ = ["PhaseBreakdown", "ExecutionReport"]
+
+
+@dataclass
+class PhaseBreakdown:
+    """Per-joiner accumulated wait times, keyed by cost-model term.
+
+    The entries are *waits observed by the joiner's control loop*: because
+    joiners run concurrently and resources are shared, sums across joiners
+    exceed the makespan — like per-thread profiles on a real cluster.
+    """
+
+    transfer: float = 0.0
+    scratch_write: float = 0.0
+    scratch_read: float = 0.0
+    cpu_build: float = 0.0
+    cpu_lookup: float = 0.0
+
+    @property
+    def cpu(self) -> float:
+        return self.cpu_build + self.cpu_lookup
+
+    @property
+    def total(self) -> float:
+        return self.transfer + self.scratch_write + self.scratch_read + self.cpu
+
+    def __iadd__(self, other: "PhaseBreakdown") -> "PhaseBreakdown":
+        self.transfer += other.transfer
+        self.scratch_write += other.scratch_write
+        self.scratch_read += other.scratch_read
+        self.cpu_build += other.cpu_build
+        self.cpu_lookup += other.cpu_lookup
+        return self
+
+
+@dataclass
+class ExecutionReport:
+    """Complete record of one distributed join execution."""
+
+    algorithm: str
+    functional: bool
+    #: Simulated end-to-end execution time (seconds) — the figures' y-axis.
+    total_time: float = 0.0
+    #: Per-joiner phase breakdowns.
+    per_joiner: List[PhaseBreakdown] = field(default_factory=list)
+    #: Bytes pulled from storage nodes over the network.
+    bytes_from_storage: int = 0
+    #: Bytes written to / read from compute-node scratch (Grace Hash only).
+    bytes_scratch_written: int = 0
+    bytes_scratch_read: int = 0
+    #: Aggregate kernel operation counts (simulated charges).
+    kernel: JoinKernelStats = field(default_factory=JoinKernelStats)
+    #: Per-joiner cache statistics (Indexed Join only).
+    cache_stats: List[CacheStats] = field(default_factory=list)
+    #: Number of sub-table pairs / bucket pairs joined.
+    pairs_joined: int = 0
+    #: Result tuples per joiner (functional runs only).
+    results: Optional[List[List[SubTable]]] = None
+    #: Free-form extras (algorithm-specific numbers worth surfacing).
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def result_tuples(self) -> int:
+        if self.results is None:
+            return self.kernel.matches
+        return sum(sub.num_records for per in self.results for sub in per)
+
+    def aggregate_phases(self) -> PhaseBreakdown:
+        """Sum of per-joiner breakdowns (exceeds makespan; see class doc)."""
+        out = PhaseBreakdown()
+        for pb in self.per_joiner:
+            out += pb
+        return out
+
+    def summary(self) -> str:
+        """One-paragraph human-readable account (examples print this)."""
+        agg = self.aggregate_phases()
+        lines = [
+            f"{self.algorithm}: {self.total_time:.3f}s simulated "
+            f"({'functional' if self.functional else 'model-only'} run)",
+            f"  pairs joined: {self.pairs_joined}, result tuples: {self.result_tuples}",
+            f"  bytes from storage: {self.bytes_from_storage:,}",
+        ]
+        if self.bytes_scratch_written or self.bytes_scratch_read:
+            lines.append(
+                f"  scratch: wrote {self.bytes_scratch_written:,} B, "
+                f"read {self.bytes_scratch_read:,} B"
+            )
+        lines.append(
+            f"  per-joiner waits (summed): transfer {agg.transfer:.3f}s, "
+            f"write {agg.scratch_write:.3f}s, read {agg.scratch_read:.3f}s, "
+            f"cpu {agg.cpu:.3f}s"
+        )
+        if self.cache_stats:
+            hits = sum(s.hits for s in self.cache_stats)
+            misses = sum(s.misses for s in self.cache_stats)
+            lines.append(f"  cache: {hits} hits / {misses} misses")
+        return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Pair scheduling for the Indexed Join.
+
+The paper's two-stage strategy (Section 5.1): "In the first stage, each QES
+instance in the compute cluster is assigned equal number of components.
+Then, local id pairs is sorted in lexicographic order of
+((i1, j1), (i2, j2)) ... This ensures that each QES instance in the compute
+cluster gets the same amount of work."
+
+Component-granular assignment is what makes the memory assumption
+(``mem ≥ 2·c_R + b·c_S``) sufficient to avoid cache misses: all pairs
+touching a sub-table land on one node, and the lexicographic order finishes
+one left sub-table's pairs before moving on.
+
+Alternative orders exist for the scheduling ablation:
+
+* :func:`schedule_random` — pairs shuffled across and within nodes; the
+  OPAS pathology (Section 6.2) on demand.
+* :func:`schedule_interleaved` — components *split* across nodes
+  (edge-granular round-robin), demonstrating why stage 1 deals whole
+  components.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.datamodel.subtable import SubTableId
+from repro.joins.join_index import PageJoinIndex
+
+__all__ = [
+    "PairSchedule",
+    "schedule_two_stage",
+    "schedule_random",
+    "schedule_interleaved",
+]
+
+Pair = Tuple[SubTableId, SubTableId]
+
+
+@dataclass
+class PairSchedule:
+    """Per-joiner ordered pair lists."""
+
+    per_joiner: List[List[Pair]]
+    strategy: str
+
+    @property
+    def num_joiners(self) -> int:
+        return len(self.per_joiner)
+
+    @property
+    def total_pairs(self) -> int:
+        return sum(len(p) for p in self.per_joiner)
+
+    def imbalance(self) -> float:
+        """max/mean pair count across joiners (1.0 = perfectly balanced)."""
+        counts = [len(p) for p in self.per_joiner]
+        mean = sum(counts) / len(counts) if counts else 0.0
+        return max(counts) / mean if mean else 1.0
+
+    def reference_string(self, joiner: int) -> List[SubTableId]:
+        """The cache reference string of one joiner (left id then right id
+        per pair) — the input Belady's policy needs."""
+        refs: List[SubTableId] = []
+        for l, r in self.per_joiner[joiner]:
+            refs.append(l)
+            refs.append(r)
+        return refs
+
+
+def schedule_two_stage(index: PageJoinIndex, num_joiners: int) -> PairSchedule:
+    """The paper's strategy: deal components, sort pairs lexicographically.
+
+    Components are dealt in *size order* (largest first, round-robin over
+    the currently least-loaded joiner) so that "equal number of components"
+    also yields near-equal pair counts when component sizes are uniform —
+    which they are under the paper's regular-partitioning assumption —
+    and degrades gracefully when they are not.
+    """
+    if num_joiners <= 0:
+        raise ValueError("num_joiners must be positive")
+    comps = index.components()
+    per_joiner: List[List[Pair]] = [[] for _ in range(num_joiners)]
+    loads = [0] * num_joiners
+    # stable greedy: biggest component to least-loaded joiner; ties keep
+    # deterministic component order
+    for comp in sorted(comps, key=lambda c: -c.num_edges):
+        target = loads.index(min(loads))
+        per_joiner[target].extend(comp.pairs)
+        loads[target] += comp.num_edges
+    for pairs in per_joiner:
+        pairs.sort()  # lexicographic ((i1,j1),(i2,j2))
+    return PairSchedule(per_joiner=per_joiner, strategy="two-stage")
+
+
+def schedule_random(index: PageJoinIndex, num_joiners: int, seed: int = 0) -> PairSchedule:
+    """Ablation: pairs shuffled, then dealt round-robin ignoring components."""
+    if num_joiners <= 0:
+        raise ValueError("num_joiners must be positive")
+    rng = random.Random(seed)
+    pairs = list(index.pairs)
+    rng.shuffle(pairs)
+    per_joiner: List[List[Pair]] = [[] for _ in range(num_joiners)]
+    for i, pair in enumerate(pairs):
+        per_joiner[i % num_joiners].append(pair)
+    return PairSchedule(per_joiner=per_joiner, strategy="random")
+
+
+def schedule_interleaved(index: PageJoinIndex, num_joiners: int) -> PairSchedule:
+    """Ablation: lexicographic pair list dealt round-robin — splits
+    components across joiners, causing the duplicate transfers Section 6.2
+    warns about."""
+    if num_joiners <= 0:
+        raise ValueError("num_joiners must be positive")
+    pairs = sorted(index.pairs)
+    per_joiner: List[List[Pair]] = [[] for _ in range(num_joiners)]
+    for i, pair in enumerate(pairs):
+        per_joiner[i % num_joiners].append(pair)
+    return PairSchedule(per_joiner=per_joiner, strategy="interleaved")

@@ -1,0 +1,19 @@
+"""MetaData Service.
+
+"The MetaData Service stores information about chunks and may also be used
+by other services to store persistent information" (Section 4).  Given the
+range part of a query, the service "may be queried ... to retrieve ids of
+all matching sub-tables ... done efficiently using index structures such as
+R-Trees [6]".
+
+* :mod:`~repro.metadata.rtree` — a from-scratch Guttman R-tree (quadratic
+  split) over n-dimensional boxes.
+* :mod:`~repro.metadata.service` — the chunk catalog: registration,
+  per-table R-tree indexes on coordinate attributes, range queries, and
+  JSON persistence.
+"""
+
+from repro.metadata.rtree import RTree
+from repro.metadata.service import MetaDataService, TableCatalog
+
+__all__ = ["MetaDataService", "RTree", "TableCatalog"]

@@ -1,0 +1,233 @@
+"""The MetaData Service: chunk catalogs, range queries, persistence.
+
+Per Section 4, the service stores for every chunk "which table the chunk
+belongs to, the location of the chunk in the storage system ... and its
+size, what attributes it contains, a list of extractors that can read and
+parse this chunk, and the bounding box of the chunk", and answers the range
+part of queries "efficiently using index structures such as R-Trees".
+
+Each registered table gets a :class:`TableCatalog` holding its chunk
+descriptors plus an R-tree over the chunk bounding boxes projected onto the
+table's coordinate attributes.  The service also provides the generic
+key-value store other services use for persistent state (e.g. precomputed
+page-level join indexes).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.datamodel.bounding_box import BoundingBox
+from repro.datamodel.chunk import ChunkDescriptor
+from repro.datamodel.schema import Schema
+from repro.datamodel.subtable import SubTableId
+from repro.metadata.rtree import RTree
+from repro.storage.writer import WrittenTable
+
+__all__ = ["MetaDataService", "TableCatalog"]
+
+#: Finite stand-in for infinite bounds inside the R-tree (area arithmetic
+#: cannot host IEEE infinities: inf * 0 = nan).
+_CLAMP = 1e18
+
+
+def _clamped(value: float) -> float:
+    if math.isinf(value):
+        return _CLAMP if value > 0 else -_CLAMP
+    return value
+
+
+@dataclass
+class TableCatalog:
+    """All metadata for one virtual table."""
+
+    table_id: int
+    name: str
+    schema: Schema
+    chunks: Dict[int, ChunkDescriptor] = field(default_factory=dict)
+    _rtree: Optional[RTree] = field(default=None, repr=False)
+
+    @property
+    def coordinate_names(self) -> Tuple[str, ...]:
+        return self.schema.coordinate_names
+
+    @property
+    def num_records(self) -> int:
+        """Total records — ``T`` of the cost models (per table)."""
+        return sum(c.num_records for c in self.chunks.values())
+
+    @property
+    def nbytes(self) -> int:
+        return sum(c.size for c in self.chunks.values())
+
+    @property
+    def avg_chunk_records(self) -> float:
+        """Average sub-table cardinality — ``c_R`` / ``c_S`` of Table 1."""
+        if not self.chunks:
+            return 0.0
+        return self.num_records / len(self.chunks)
+
+    def add_chunk(self, desc: ChunkDescriptor) -> None:
+        if desc.table_id != self.table_id:
+            raise ValueError(
+                f"chunk {desc.id} belongs to table {desc.table_id}, catalog is "
+                f"table {self.table_id}"
+            )
+        if desc.chunk_id in self.chunks:
+            raise ValueError(f"duplicate chunk id {desc.id}")
+        self.chunks[desc.chunk_id] = desc
+        if self._rtree is not None:
+            self._rtree.insert(self._box_of(desc), desc)
+
+    def _box_of(self, desc: ChunkDescriptor) -> Tuple[List[float], List[float]]:
+        names = self.coordinate_names
+        lo = [_clamped(desc.bbox.interval(n).lo) for n in names]
+        hi = [_clamped(desc.bbox.interval(n).hi) for n in names]
+        return lo, hi
+
+    def _ensure_index(self) -> RTree:
+        if self._rtree is None:
+            names = self.coordinate_names
+            if not names:
+                raise ValueError(
+                    f"table {self.name!r} has no coordinate attributes to index on"
+                )
+            tree = RTree(ndim=len(names))
+            for desc in self.chunks.values():
+                tree.insert(self._box_of(desc), desc)
+            self._rtree = tree
+        return self._rtree
+
+    def find_chunks(self, query: BoundingBox) -> List[ChunkDescriptor]:
+        """Chunks whose bounding boxes intersect ``query``.
+
+        The R-tree prunes on coordinate attributes; any non-coordinate
+        bounds in ``query`` are applied as a refinement filter against the
+        full chunk bounding boxes (chunk bboxes bound scalar attributes
+        too — see Figure 1).
+        """
+        names = self.coordinate_names
+        tree = self._ensure_index()
+        lo = [_clamped(query.interval(n).lo) for n in names]
+        hi = [_clamped(query.interval(n).hi) for n in names]
+        candidates = tree.search((lo, hi))
+        out = [c for c in candidates if c.bbox.overlaps(query)]
+        out.sort(key=lambda c: c.chunk_id)
+        return out
+
+    def all_chunks(self) -> List[ChunkDescriptor]:
+        return [self.chunks[k] for k in sorted(self.chunks)]
+
+
+class MetaDataService:
+    """Registry of table catalogs plus a generic persistent key-value store."""
+
+    def __init__(self) -> None:
+        self._by_id: Dict[int, TableCatalog] = {}
+        self._by_name: Dict[str, int] = {}
+        self._kv: Dict[str, object] = {}
+
+    # -- table registration -----------------------------------------------------
+
+    def register_table(
+        self, table_id: int, name: str, schema: Schema
+    ) -> TableCatalog:
+        if table_id in self._by_id:
+            raise ValueError(f"table id {table_id} already registered")
+        if name in self._by_name:
+            raise ValueError(f"table name {name!r} already registered")
+        catalog = TableCatalog(table_id=table_id, name=name, schema=schema)
+        self._by_id[table_id] = catalog
+        self._by_name[name] = table_id
+        return catalog
+
+    def register_written_table(self, name: str, written: WrittenTable) -> TableCatalog:
+        """Convenience: register a table straight from a writer result."""
+        catalog = self.register_table(written.table_id, name, written.schema)
+        for chunk in written.chunks:
+            catalog.add_chunk(chunk)
+        return catalog
+
+    # -- lookup ---------------------------------------------------------------------
+
+    def table(self, key: int | str) -> TableCatalog:
+        if isinstance(key, str):
+            if key not in self._by_name:
+                raise KeyError(f"no table named {key!r} (known: {sorted(self._by_name)})")
+            key = self._by_name[key]
+        try:
+            return self._by_id[key]
+        except KeyError:
+            raise KeyError(f"no table with id {key}") from None
+
+    def tables(self) -> List[TableCatalog]:
+        return [self._by_id[k] for k in sorted(self._by_id)]
+
+    def chunk(self, id: SubTableId) -> ChunkDescriptor:
+        catalog = self.table(id.table_id)
+        try:
+            return catalog.chunks[id.chunk_id]
+        except KeyError:
+            raise KeyError(f"no chunk {id} in table {catalog.name!r}") from None
+
+    def find_chunks(self, table: int | str, query: BoundingBox) -> List[ChunkDescriptor]:
+        """Range query: chunk descriptors of ``table`` intersecting ``query``."""
+        return self.table(table).find_chunks(query)
+
+    def chunks_on_node(self, table: int | str, storage_node: int) -> List[ChunkDescriptor]:
+        """Chunks of ``table`` that live on ``storage_node`` (what a local
+        BDS instance may serve)."""
+        return [
+            c
+            for c in self.table(table).all_chunks()
+            if c.ref.storage_node == storage_node
+        ]
+
+    # -- generic key-value store -------------------------------------------------------
+
+    def put(self, key: str, value: object) -> None:
+        """Store arbitrary JSON-serialisable service state."""
+        self._kv[key] = value
+
+    def get(self, key: str, default: object = None) -> object:
+        return self._kv.get(key, default)
+
+    # -- persistence --------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tables": [
+                {
+                    "table_id": cat.table_id,
+                    "name": cat.name,
+                    "schema": cat.schema.to_dict(),
+                    "chunks": [c.to_dict() for c in cat.all_chunks()],
+                }
+                for cat in self.tables()
+            ],
+            "kv": self._kv,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MetaDataService":
+        svc = cls()
+        for tbl in data.get("tables", []):  # type: ignore[union-attr]
+            catalog = svc.register_table(
+                int(tbl["table_id"]), str(tbl["name"]), Schema.from_dict(tbl["schema"])
+            )
+            for c in tbl["chunks"]:
+                catalog.add_chunk(ChunkDescriptor.from_dict(c))
+        svc._kv = dict(data.get("kv", {}))
+        return svc
+
+    def save(self, path: str | os.PathLike) -> None:
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "MetaDataService":
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,45 @@
+"""Query layer: predicates, aggregation, a small SQL dialect, execution.
+
+The paper's queries are of the form ``SELECT * FROM T1 WHERE x ∈ [0, 256],
+y ∈ [0, 512]`` against base tables and ``SELECT * FROM V1`` against join
+views, with the Section 2 wish list adding aggregation ("Find all
+reservoirs with average wp > 0.5").  This package provides:
+
+* :mod:`~repro.query.predicate` — vectorised record-level predicates
+  (comparisons, ranges, boolean combinations) and their chunk-level
+  bounding-box relaxations used for pruning;
+* :mod:`~repro.query.aggregate` — vectorised grouped aggregation
+  (SUM/AVG/MIN/MAX/COUNT);
+* :mod:`~repro.query.parser` — a recursive-descent parser for the SQL
+  subset above;
+* :mod:`~repro.query.executor` — query execution against base tables
+  (metadata range pruning → BDS fetch → filter → project) and against
+  derived data sources.
+"""
+
+from repro.query.aggregate import aggregate
+from repro.query.ast import SelectItem, SelectQuery
+from repro.query.executor import QueryExecutor
+from repro.query.parser import parse_query
+from repro.query.predicate import (
+    And,
+    Comparison,
+    Or,
+    Predicate,
+    RangePredicate,
+    TruePredicate,
+)
+
+__all__ = [
+    "And",
+    "Comparison",
+    "Or",
+    "Predicate",
+    "QueryExecutor",
+    "RangePredicate",
+    "SelectItem",
+    "SelectQuery",
+    "TruePredicate",
+    "aggregate",
+    "parse_query",
+]

@@ -1,0 +1,144 @@
+"""Query execution against base tables and derived data sources.
+
+:class:`QueryExecutor` is the client-facing entry point: register base
+tables (implicitly present via the MetaData Service) and derived data
+sources, then run SQL text or parsed :class:`~repro.query.ast.SelectQuery`
+objects against them.
+
+Base-table queries follow Section 4's range-query walk-through: "The
+MetaData Service may be queried using the range part of the query to
+retrieve ids of all matching sub-tables ... Once the sub-table ids are
+identified, the BDS is asked to generate each of the sub-tables" — then the
+record-level predicate, projection and (optional) aggregation are applied
+here.  View queries delegate to the Derived Data Source and post-process
+its output the same way.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+import numpy as np
+
+from repro.datamodel.subtable import SubTable, SubTableId, concat_subtables
+from repro.metadata.service import MetaDataService
+from repro.query.aggregate import aggregate
+from repro.query.ast import SelectQuery
+from repro.query.parser import parse_query
+from repro.query.predicate import TruePredicate
+from repro.services.bds import SubTableProvider
+
+if TYPE_CHECKING:  # avoid a circular import; engine imports query.aggregate
+    from repro.core.engine import DerivedDataSource
+
+__all__ = ["QueryExecutor"]
+
+
+class QueryExecutor:
+    """Routes SELECTs to base tables or registered derived data sources."""
+
+    def __init__(self, metadata: MetaDataService, provider: SubTableProvider):
+        self.metadata = metadata
+        self.provider = provider
+        self._dds: Dict[str, "DerivedDataSource"] = {}
+
+    def register_dds(self, dds: "DerivedDataSource") -> None:
+        name = dds.view.name
+        if name in self._dds:
+            raise ValueError(f"derived data source {name!r} already registered")
+        self._dds[name] = dds
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(self, query: str | SelectQuery, algorithm: str = "auto") -> SubTable:
+        """Run a query; returns the result sub-table.
+
+        Requires a functional provider for base-table queries (a stub
+        provider cannot produce records).
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        if query.source in self._dds:
+            return self._execute_on_view(query, algorithm)
+        return self._execute_on_table(query)
+
+    @staticmethod
+    def _needed_columns(query: SelectQuery, schema) -> Optional[list]:
+        """Columns a base-table scan must materialise: the select list plus
+        every attribute the predicate touches.  ``None`` means all (SELECT *
+        or COUNT(*) over everything)."""
+        if query.is_star:
+            return None
+        needed = set()
+        for item in query.items:
+            if item.is_aggregate:
+                if item.aggregate.attr == "*":
+                    continue
+                needed.add(item.aggregate.attr)
+            else:
+                needed.add(item.column)
+        needed.update(query.group_by)
+        # predicate attributes: collect from the bbox relaxation plus a walk
+        from repro.query.predicate import And, Comparison, Or, RangePredicate
+
+        def walk(pred):
+            if isinstance(pred, (And, Or)):
+                for child in pred.children:
+                    walk(child)
+            elif isinstance(pred, Comparison):
+                needed.add(pred.attr)
+            elif isinstance(pred, RangePredicate):
+                needed.add(pred.attr)
+
+        walk(query.where)
+        if not needed or needed >= set(schema.names):
+            return None
+        return [n for n in schema.names if n in needed]
+
+    def _execute_on_table(self, query: SelectQuery) -> SubTable:
+        catalog = self.metadata.table(query.source)  # raises KeyError if unknown
+        if not self.provider.functional:
+            raise ValueError("base-table queries need a functional provider")
+        # chunk-level pruning via the predicate's bounding-box relaxation,
+        # column pruning via projection pushdown into the BDS
+        chunks = catalog.find_chunks(query.where.bbox())
+        columns = self._needed_columns(query, catalog.schema)
+        out_schema = catalog.schema if columns is None else catalog.schema.project(columns)
+        parts = []
+        for desc in chunks:
+            sub = self.provider.fetch(desc, columns=columns)
+            assert isinstance(sub, SubTable)
+            if not isinstance(query.where, TruePredicate):
+                sub = sub.select(query.where.mask(sub))
+            if sub.num_records:
+                parts.append(sub)
+        if parts:
+            table = concat_subtables(parts, id=SubTableId(catalog.table_id, -1))
+        else:
+            table = SubTable(
+                SubTableId(catalog.table_id, -1),
+                out_schema,
+                {a.name: np.empty(0, dtype=a.np_dtype) for a in out_schema},
+            )
+        return self._shape_output(query, table)
+
+    def _execute_on_view(self, query: SelectQuery, algorithm: str) -> SubTable:
+        dds = self._dds[query.source]
+        result = dds.execute(algorithm=algorithm)
+        if result.table is None:
+            raise ValueError(
+                f"derived data source {query.source!r} ran model-only; no records"
+            )
+        table = result.table
+        if not isinstance(query.where, TruePredicate):
+            table = table.select(query.where.mask(table))
+        return self._shape_output(query, table)
+
+    @staticmethod
+    def _shape_output(query: SelectQuery, table: SubTable) -> SubTable:
+        if query.has_aggregates:
+            aggs = tuple(i.aggregate for i in query.items if i.is_aggregate)
+            return aggregate(table, aggs, query.group_by)
+        if not query.is_star:
+            return table.project([i.column for i in query.items])
+        return table

@@ -1,0 +1,215 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (case-insensitive keywords)::
+
+    query      := SELECT select_list FROM ident [WHERE disjunction]
+                  [GROUP BY ident_list]
+    select_list:= '*' | item (',' item)*
+    item       := ident | AGG '(' (ident | '*') ')' [AS ident]
+    AGG        := SUM | AVG | MIN | MAX | COUNT
+    disjunction:= conjunction (OR conjunction)*
+    conjunction:= term (AND term)*
+    term       := '(' disjunction ')' | comparison | range
+    comparison := ident op number        op := < <= > >= = !=
+    range      := ident IN '[' number ',' number ']'
+
+The range form mirrors the paper's ``x ∈ [0, 256]`` notation.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.core.view import Aggregate
+from repro.query.ast import SelectItem, SelectQuery
+from repro.query.predicate import (
+    And,
+    Comparison,
+    Or,
+    Predicate,
+    RangePredicate,
+    TruePredicate,
+)
+
+__all__ = ["parse_query", "QuerySyntaxError"]
+
+_KEYWORDS = {"select", "from", "where", "group", "by", "and", "or", "as", "in"}
+_AGGS = {"sum", "avg", "min", "max", "count"}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<num>-?\d+\.\d*(?:[eE][+-]?\d+)?|-?\.\d+(?:[eE][+-]?\d+)?|-?\d+(?:[eE][+-]?\d+)?)
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<punct>[()\[\],*])
+  | (?P<ws>\s+)
+  | (?P<bad>.)
+    """,
+    re.VERBOSE,
+)
+
+
+class QuerySyntaxError(ValueError):
+    """Raised with position information on malformed query text."""
+
+
+def _tokenize(text: str) -> List[Tuple[str, str, int]]:
+    tokens = []
+    for m in _TOKEN_RE.finditer(text):
+        kind = m.lastgroup
+        if kind == "ws":
+            continue
+        if kind == "bad":
+            raise QuerySyntaxError(f"unexpected character {m.group()!r} at {m.start()}")
+        tokens.append((kind, m.group(), m.start()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------------
+
+    def _peek(self) -> Optional[Tuple[str, str, int]]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self) -> Tuple[str, str, int]:
+        tok = self._peek()
+        if tok is None:
+            raise QuerySyntaxError("unexpected end of query")
+        self.pos += 1
+        return tok
+
+    def _accept_keyword(self, *words: str) -> bool:
+        tok = self._peek()
+        if tok and tok[0] == "ident" and tok[1].lower() in words:
+            self.pos += 1
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._accept_keyword(word):
+            tok = self._peek()
+            got = tok[1] if tok else "end of query"
+            raise QuerySyntaxError(f"expected {word.upper()}, got {got!r}")
+
+    def _accept_punct(self, p: str) -> bool:
+        tok = self._peek()
+        if tok and tok[0] == "punct" and tok[1] == p:
+            self.pos += 1
+            return True
+        return False
+
+    def _expect_punct(self, p: str) -> None:
+        if not self._accept_punct(p):
+            tok = self._peek()
+            got = tok[1] if tok else "end of query"
+            raise QuerySyntaxError(f"expected {p!r}, got {got!r}")
+
+    def _ident(self) -> str:
+        tok = self._next()
+        if tok[0] != "ident" or tok[1].lower() in _KEYWORDS:
+            raise QuerySyntaxError(f"expected identifier, got {tok[1]!r} at {tok[2]}")
+        return tok[1]
+
+    def _number(self) -> float:
+        tok = self._next()
+        if tok[0] != "num":
+            raise QuerySyntaxError(f"expected number, got {tok[1]!r} at {tok[2]}")
+        return float(tok[1])
+
+    # -- grammar --------------------------------------------------------------------
+
+    def parse(self) -> SelectQuery:
+        self._expect_keyword("select")
+        items = self._select_list()
+        self._expect_keyword("from")
+        source = self._ident()
+        where: Predicate = TruePredicate()
+        group_by: Tuple[str, ...] = ()
+        if self._accept_keyword("where"):
+            where = self._disjunction()
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            names = [self._ident()]
+            while self._accept_punct(","):
+                names.append(self._ident())
+            group_by = tuple(names)
+        if self._peek() is not None:
+            tok = self._peek()
+            raise QuerySyntaxError(f"trailing input at {tok[2]}: {tok[1]!r}")
+        try:
+            return SelectQuery(source=source, items=tuple(items), where=where, group_by=group_by)
+        except ValueError as exc:
+            raise QuerySyntaxError(str(exc)) from None
+
+    def _select_list(self) -> List[SelectItem]:
+        if self._accept_punct("*"):
+            return []
+        items = [self._select_item()]
+        while self._accept_punct(","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> SelectItem:
+        tok = self._peek()
+        if tok and tok[0] == "ident" and tok[1].lower() in _AGGS:
+            func = self._next()[1].lower()
+            self._expect_punct("(")
+            if self._accept_punct("*"):
+                attr = "*"
+            else:
+                attr = self._ident()
+            self._expect_punct(")")
+            alias = ""
+            if self._accept_keyword("as"):
+                alias = self._ident()
+            try:
+                agg = Aggregate(func, attr, alias)
+            except ValueError as exc:
+                raise QuerySyntaxError(str(exc)) from None
+            return SelectItem(aggregate=agg)
+        return SelectItem(column=self._ident())
+
+    def _disjunction(self) -> Predicate:
+        terms = [self._conjunction()]
+        while self._accept_keyword("or"):
+            terms.append(self._conjunction())
+        return terms[0] if len(terms) == 1 else Or(tuple(terms))
+
+    def _conjunction(self) -> Predicate:
+        terms = [self._term()]
+        while self._accept_keyword("and"):
+            terms.append(self._term())
+        return terms[0] if len(terms) == 1 else And(tuple(terms))
+
+    def _term(self) -> Predicate:
+        if self._accept_punct("("):
+            inner = self._disjunction()
+            self._expect_punct(")")
+            return inner
+        attr = self._ident()
+        if self._accept_keyword("in"):
+            self._expect_punct("[")
+            lo = self._number()
+            self._expect_punct(",")
+            hi = self._number()
+            self._expect_punct("]")
+            try:
+                return RangePredicate(attr, lo, hi)
+            except ValueError as exc:
+                raise QuerySyntaxError(str(exc)) from None
+        tok = self._next()
+        if tok[0] != "op":
+            raise QuerySyntaxError(f"expected comparison operator, got {tok[1]!r}")
+        value = self._number()
+        return Comparison(attr, tok[1], value)
+
+
+def parse_query(text: str) -> SelectQuery:
+    """Parse one SELECT statement into a :class:`SelectQuery`."""
+    return _Parser(text).parse()

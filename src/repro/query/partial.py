@@ -1,0 +1,109 @@
+"""Distributed aggregation: partial aggregates at joiners, merged centrally.
+
+The paper's Section 7 lists aggregation as future work for view creation;
+Section 2 motivates it ("Find all reservoirs with average wp > 0.5").  For
+a distributed join whose output is consumed by an aggregation view,
+shipping raw join tuples to a coordinator wastes the network: every
+standard SQL aggregate decomposes into per-node *partial* states merged by
+an associative operation —
+
+    SUM   → per-node SUM,   merged by SUM
+    COUNT → per-node COUNT, merged by SUM
+    MIN   → per-node MIN,   merged by MIN
+    MAX   → per-node MAX,   merged by MAX
+    AVG   → per-node (SUM, COUNT), merged by SUM, finalised as SUM/COUNT
+
+:func:`partial_aggregate` computes a node's partial state table;
+:func:`merge_partials` merges any number of them and finalises to exactly
+the schema the equivalent central :func:`repro.query.aggregate.aggregate`
+call would produce — a property the tests assert for random inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.view import Aggregate
+from repro.datamodel.subtable import SubTable, SubTableId, concat_subtables
+from repro.query.aggregate import aggregate
+
+__all__ = ["partial_aggregate", "merge_partials", "decompose"]
+
+#: merge function for each partial column produced by ``decompose``
+_MERGE_FUNC = {"sum": "sum", "count": "sum", "min": "min", "max": "max"}
+
+
+def decompose(aggregates: Sequence[Aggregate]) -> List[Aggregate]:
+    """The partial-state aggregates needed to answer ``aggregates``.
+
+    Deduplicated by (func, attr): ``AVG(wp), SUM(wp)`` share one partial
+    SUM.  Partial aliases are canonical (``func__attr``) so merging can
+    find them regardless of the user's output aliases.
+    """
+    partials: Dict[Tuple[str, str], Aggregate] = {}
+
+    def add(func: str, attr: str) -> None:
+        key = (func, attr)
+        if key not in partials:
+            alias = f"{func}__all" if attr == "*" else f"{func}__{attr}"
+            partials[key] = Aggregate(func, attr, alias)
+
+    for a in aggregates:
+        if a.func == "avg":
+            add("sum", a.attr)
+            add("count", "*")
+        else:
+            add(a.func, a.attr)
+    return list(partials.values())
+
+
+def partial_aggregate(
+    sub: SubTable,
+    aggregates: Sequence[Aggregate],
+    group_by: Sequence[str] = (),
+) -> SubTable:
+    """One node's partial-state table for ``aggregates``."""
+    return aggregate(sub, decompose(aggregates), group_by,
+                     result_id=SubTableId(-4, 0))
+
+
+def merge_partials(
+    parts: Sequence[SubTable],
+    aggregates: Sequence[Aggregate],
+    group_by: Sequence[str] = (),
+) -> SubTable:
+    """Merge partial-state tables and finalise the requested aggregates.
+
+    The output schema is identical to central aggregation: group-by columns
+    first, then one column per requested aggregate under its alias.
+    """
+    if not parts:
+        raise ValueError("need at least one partial table")
+    partial_aggs = decompose(aggregates)
+    merged_input = concat_subtables(parts, id=SubTableId(-4, 1))
+    # merge step: re-aggregate each partial column with its merge function
+    merge_aggs = [
+        Aggregate(_MERGE_FUNC[p.func], p.alias, p.alias) for p in partial_aggs
+    ]
+    merged = aggregate(merged_input, merge_aggs, group_by,
+                       result_id=SubTableId(-4, 2))
+
+    # finalisation: assemble the user-requested columns
+    from repro.datamodel.schema import Attribute, Schema
+
+    out_attrs = [merged.schema[g] for g in group_by]
+    columns: Dict[str, np.ndarray] = {g: merged.column(g) for g in group_by}
+    for a in aggregates:
+        if a.func == "avg":
+            sums = merged.column(f"sum__{a.attr}")
+            counts = merged.column("count__all")
+            with np.errstate(invalid="ignore", divide="ignore"):
+                values = np.where(counts > 0, sums / counts, np.nan)
+        else:
+            partial_alias = f"{a.func}__all" if a.attr == "*" else f"{a.func}__{a.attr}"
+            values = merged.column(partial_alias)
+        columns[a.alias] = np.asarray(values, dtype=np.float64)
+        out_attrs.append(Attribute(a.alias, "float64"))
+    return SubTable(SubTableId(-3, 0), Schema(out_attrs), columns)

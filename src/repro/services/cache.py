@@ -1,0 +1,347 @@
+"""Caching Service.
+
+"The Caching Service can be used by the QES to store and access frequently
+accessed objects" (Section 4).  Each compute node's QES instance owns one
+:class:`CachingService` holding recently used sub-tables (and, for the
+Indexed Join, the hash tables built on left sub-tables).
+
+The paper fixes LRU ("a reasonable policy in many cases and commonly
+used"); the OPAS discussion in Section 6.2 is all about what happens when
+the scheduling order defeats the cache, so the ablation benchmarks swap in
+FIFO, LFU and Belady's offline-optimal policy for comparison.
+
+Entries are byte-budgeted (cache capacity is the compute node's memory) and
+pinnable: a pinned entry is never chosen as a victim, which is how a QES
+protects the pair of sub-tables it is actively joining.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Generic, Hashable, Iterable, List, Optional, Sequence, TypeVar
+
+__all__ = [
+    "CacheStats",
+    "CachingService",
+    "EvictionPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "LFUPolicy",
+    "BeladyPolicy",
+    "make_policy",
+]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters plus byte traffic."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    bytes_inserted: int = 0
+    bytes_evicted: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class EvictionPolicy(Generic[K]):
+    """Victim-selection strategy; the service tells it about every event."""
+
+    name: str = ""
+
+    def on_insert(self, key: K) -> None:
+        raise NotImplementedError
+
+    def on_access(self, key: K) -> None:
+        raise NotImplementedError
+
+    def on_remove(self, key: K) -> None:
+        raise NotImplementedError
+
+    def victim(self, candidates: "set[K]") -> K:
+        """Pick a victim among ``candidates`` (never empty)."""
+        raise NotImplementedError
+
+
+class LRUPolicy(EvictionPolicy[K]):
+    """Least-recently-used — the paper's policy."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[K, None]" = OrderedDict()
+
+    def on_insert(self, key: K) -> None:
+        self._order[key] = None
+        self._order.move_to_end(key)
+
+    def on_access(self, key: K) -> None:
+        self._order.move_to_end(key)
+
+    def on_remove(self, key: K) -> None:
+        self._order.pop(key, None)
+
+    def victim(self, candidates: "set[K]") -> K:
+        for key in self._order:  # oldest first
+            if key in candidates:
+                return key
+        raise RuntimeError("no victim among candidates")
+
+
+class FIFOPolicy(EvictionPolicy[K]):
+    """Evict in insertion order regardless of use."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[K, None]" = OrderedDict()
+
+    def on_insert(self, key: K) -> None:
+        if key not in self._order:
+            self._order[key] = None
+
+    def on_access(self, key: K) -> None:
+        pass
+
+    def on_remove(self, key: K) -> None:
+        self._order.pop(key, None)
+
+    def victim(self, candidates: "set[K]") -> K:
+        for key in self._order:
+            if key in candidates:
+                return key
+        raise RuntimeError("no victim among candidates")
+
+
+class LFUPolicy(EvictionPolicy[K]):
+    """Least-frequently-used; ties broken by age (insertion counter)."""
+
+    name = "lfu"
+
+    def __init__(self) -> None:
+        self._counts: Dict[K, int] = {}
+        self._age: Dict[K, int] = {}
+        self._tick = 0
+
+    def on_insert(self, key: K) -> None:
+        self._tick += 1
+        self._counts[key] = self._counts.get(key, 0)
+        self._age[key] = self._tick
+
+    def on_access(self, key: K) -> None:
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def on_remove(self, key: K) -> None:
+        self._counts.pop(key, None)
+        self._age.pop(key, None)
+
+    def victim(self, candidates: "set[K]") -> K:
+        return min(candidates, key=lambda k: (self._counts.get(k, 0), self._age.get(k, 0)))
+
+
+class BeladyPolicy(EvictionPolicy[K]):
+    """Belady's offline-optimal policy: evict the entry whose next use is
+    farthest in the future.
+
+    Requires the full future reference string up front — available in our
+    setting because the IJ scheduler knows the entire pair list before
+    execution starts.  Used as the upper bound in the cache ablation.
+    """
+
+    name = "belady"
+
+    def __init__(self, future_references: Sequence[K]):
+        self._future: List[K] = list(future_references)
+        self._cursor = 0
+        # positions[key] = sorted list of future indices
+        self._positions: Dict[K, List[int]] = {}
+        for idx, key in enumerate(self._future):
+            self._positions.setdefault(key, []).append(idx)
+        self._heads: Dict[K, int] = {k: 0 for k in self._positions}
+
+    def _advance(self, key: K) -> None:
+        """Move the per-key head past the current cursor."""
+        positions = self._positions.get(key)
+        if positions is None:
+            return
+        head = self._heads[key]
+        while head < len(positions) and positions[head] < self._cursor:
+            head += 1
+        self._heads[key] = head
+
+    def note_reference(self, key: K) -> None:
+        """Advance the reference cursor (the service calls this per access)."""
+        self._cursor += 1
+
+    def _next_use(self, key: K) -> int:
+        self._advance(key)
+        positions = self._positions.get(key)
+        if positions is None:
+            return 2**62
+        head = self._heads[key]
+        return positions[head] if head < len(positions) else 2**62
+
+    def on_insert(self, key: K) -> None:
+        pass
+
+    def on_access(self, key: K) -> None:
+        pass
+
+    def on_remove(self, key: K) -> None:
+        pass
+
+    def victim(self, candidates: "set[K]") -> K:
+        return max(candidates, key=self._next_use)
+
+
+def make_policy(name: str, future_references: Optional[Sequence] = None) -> EvictionPolicy:
+    """Factory: ``lru`` / ``fifo`` / ``lfu`` / ``belady``."""
+    name = name.lower()
+    if name == "lru":
+        return LRUPolicy()
+    if name == "fifo":
+        return FIFOPolicy()
+    if name == "lfu":
+        return LFUPolicy()
+    if name == "belady":
+        if future_references is None:
+            raise ValueError("belady needs the future reference string")
+        return BeladyPolicy(future_references)
+    raise ValueError(f"unknown cache policy {name!r}")
+
+
+@dataclass
+class _Entry(Generic[V]):
+    value: V
+    nbytes: int
+    pins: int = 0
+
+
+class CachingService(Generic[K, V]):
+    """Byte-budgeted object cache with pluggable eviction and pinning."""
+
+    def __init__(self, capacity_bytes: int, policy: Optional[EvictionPolicy[K]] = None):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self.policy: EvictionPolicy[K] = policy if policy is not None else LRUPolicy()
+        self._entries: Dict[K, _Entry[V]] = {}
+        self._bytes = 0
+        self.stats = CacheStats()
+
+    # -- observers ----------------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return self._bytes
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> Iterable[K]:
+        return self._entries.keys()
+
+    # -- core operations -------------------------------------------------------------
+
+    def get(self, key: K) -> Optional[V]:
+        """Look up ``key``; counts a hit or miss and informs the policy."""
+        if isinstance(self.policy, BeladyPolicy):
+            self.policy.note_reference(key)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self.policy.on_access(key)
+        return entry.value
+
+    def peek(self, key: K) -> Optional[V]:
+        """Look up without touching statistics or recency state."""
+        entry = self._entries.get(key)
+        return entry.value if entry else None
+
+    def put(self, key: K, value: V, nbytes: int, pin: bool = False) -> bool:
+        """Insert ``key``; evicts unpinned victims until the entry fits.
+
+        Returns ``False`` (and does not insert) when the entry can never
+        fit: larger than capacity, or everything else is pinned.  Re-putting
+        an existing key replaces its value and size.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if key in self._entries:
+            old = self._entries[key]
+            self._bytes -= old.nbytes
+            old.value = value
+            old.nbytes = nbytes
+            self._bytes += nbytes
+            if pin:
+                old.pins += 1
+            self.policy.on_access(key)
+            return True
+        if nbytes > self.capacity_bytes:
+            return False
+        while self._bytes + nbytes > self.capacity_bytes:
+            if not self._evict_one():
+                return False
+        self._entries[key] = _Entry(value, nbytes, pins=1 if pin else 0)
+        self._bytes += nbytes
+        self.stats.bytes_inserted += nbytes
+        self.policy.on_insert(key)
+        return True
+
+    def pin(self, key: K) -> None:
+        """Protect ``key`` from eviction (counted; pair with :meth:`unpin`)."""
+        try:
+            self._entries[key].pins += 1
+        except KeyError:
+            raise KeyError(f"cannot pin absent key {key!r}") from None
+
+    def unpin(self, key: K) -> None:
+        entry = self._entries.get(key)
+        if entry is None:
+            raise KeyError(f"cannot unpin absent key {key!r}")
+        if entry.pins <= 0:
+            raise ValueError(f"key {key!r} is not pinned")
+        entry.pins -= 1
+
+    def remove(self, key: K) -> bool:
+        """Explicitly drop ``key`` (not counted as an eviction)."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self._bytes -= entry.nbytes
+        self.policy.on_remove(key)
+        return True
+
+    def clear(self) -> None:
+        for key in list(self._entries):
+            self.remove(key)
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _evict_one(self) -> bool:
+        candidates = {k for k, e in self._entries.items() if e.pins == 0}
+        if not candidates:
+            return False
+        victim = self.policy.victim(candidates)
+        entry = self._entries.pop(victim)
+        self._bytes -= entry.nbytes
+        self.stats.evictions += 1
+        self.stats.bytes_evicted += entry.nbytes
+        self.policy.on_remove(victim)
+        return True

@@ -1,0 +1,68 @@
+"""Flat-file storage substrate.
+
+Scientific datasets in the paper's setting are *not* ingested into a DBMS —
+they stay in application-specific binary files, split into contiguous
+segments called **chunks**, spread across the local disks of storage nodes.
+This package provides everything below the Basic Data Source:
+
+* :mod:`~repro.storage.layout` — binary chunk layouts (row-major,
+  column-major, interleaved blocks) that serialise/deserialise column data.
+* :mod:`~repro.storage.descriptor` — a small layout-description language in
+  the spirit of BinX / Weng et al. [17]; descriptors compile into extractors.
+* :mod:`~repro.storage.extractor` — extractor functions that interpret raw
+  chunk bytes as sub-tables, plus a registry the MetaData Service's
+  per-chunk "list of extractors" names into.
+* :mod:`~repro.storage.chunkstore` — append-only per-storage-node chunk
+  files (the storage nodes' local disks), backed by real files.
+* :mod:`~repro.storage.placement` — chunk→storage-node placement policies
+  (block-cyclic, the paper's choice, plus alternatives for ablations).
+* :mod:`~repro.storage.writer` — the dataset writer that partitions a
+  table into chunks, serialises, places and registers them.
+"""
+
+from repro.storage.chunkstore import ChunkStore, LocalChunkStore
+from repro.storage.compressed import CompressedColumnLayout
+from repro.storage.descriptor import LayoutDescriptor, parse_layout_descriptor
+from repro.storage.extractor import (
+    DescribedExtractor,
+    Extractor,
+    ExtractorRegistry,
+    build_extractor,
+)
+from repro.storage.layout import (
+    ChunkLayout,
+    ColumnMajorLayout,
+    InterleavedBlockLayout,
+    RowMajorLayout,
+    layout_by_name,
+)
+from repro.storage.placement import (
+    BlockCyclicPlacement,
+    ContiguousPlacement,
+    HashPlacement,
+    PlacementPolicy,
+)
+from repro.storage.writer import DatasetWriter, WrittenTable
+
+__all__ = [
+    "BlockCyclicPlacement",
+    "ChunkLayout",
+    "ChunkStore",
+    "ColumnMajorLayout",
+    "CompressedColumnLayout",
+    "ContiguousPlacement",
+    "DatasetWriter",
+    "DescribedExtractor",
+    "Extractor",
+    "ExtractorRegistry",
+    "HashPlacement",
+    "InterleavedBlockLayout",
+    "LayoutDescriptor",
+    "LocalChunkStore",
+    "PlacementPolicy",
+    "RowMajorLayout",
+    "WrittenTable",
+    "build_extractor",
+    "layout_by_name",
+    "parse_layout_descriptor",
+]

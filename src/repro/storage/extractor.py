@@ -1,0 +1,182 @@
+"""Extractor functions and their registry.
+
+"An extractor function reads a file segment (also called a chunk) and
+generates a set of objects or a set of tuples (i.e., an object-relational
+sub-table)" — Section 1.  Extractors are the interpretation layer between
+raw chunk bytes and the table view a Basic Data Source exposes.
+
+Each chunk's metadata lists the *names* of the extractors able to parse it;
+:class:`ExtractorRegistry` resolves those names.  Extractors are either
+hand-written subclasses of :class:`Extractor` or compiled from a layout
+descriptor via :func:`build_extractor` (the automatic-generation path of
+Weng et al. [17]).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.datamodel.bounding_box import BoundingBox
+from repro.datamodel.schema import Schema
+from repro.datamodel.subtable import SubTable, SubTableId
+from repro.storage.descriptor import LayoutDescriptor, parse_layout_descriptor
+from repro.storage.layout import ChunkLayout
+
+__all__ = ["Extractor", "DescribedExtractor", "ExtractorRegistry", "build_extractor"]
+
+
+class Extractor:
+    """Interprets raw chunk bytes as a sub-table.
+
+    Subclasses provide ``name``, ``schema`` and :meth:`extract`.  The base
+    class also exposes :meth:`encode` so dataset writers can produce chunks
+    an extractor is guaranteed to round-trip (not all extractors must
+    support writing; read-only ones may leave ``encode`` unimplemented).
+    """
+
+    name: str = ""
+    schema: Schema
+
+    def extract(
+        self,
+        raw: bytes,
+        id: SubTableId,
+        bbox: Optional[BoundingBox] = None,
+    ) -> SubTable:
+        """Parse ``raw`` into the sub-table identified by ``id``.
+
+        ``bbox`` is the chunk's metadata bounding box; when provided it is
+        attached to the sub-table so downstream consumers (join index, range
+        pruning) avoid rescanning the data.
+        """
+        raise NotImplementedError
+
+    def encode(self, subtable: SubTable) -> bytes:
+        """Serialise a sub-table into chunk bytes this extractor can parse."""
+        raise NotImplementedError(f"extractor {self.name!r} is read-only")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class DescribedExtractor(Extractor):
+    """Extractor compiled from a :class:`LayoutDescriptor`."""
+
+    def __init__(self, descriptor: LayoutDescriptor):
+        self.descriptor = descriptor
+        self.name = descriptor.name
+        self.schema = descriptor.schema
+        self._layout: ChunkLayout = descriptor.layout()
+
+    def extract(
+        self,
+        raw: bytes,
+        id: SubTableId,
+        bbox: Optional[BoundingBox] = None,
+    ) -> SubTable:
+        columns = self._layout.deserialize(raw, self.schema)
+        return SubTable(id, self.schema, columns, bbox=bbox)
+
+    def encode(self, subtable: SubTable) -> bytes:
+        if subtable.schema != self.schema:
+            raise ValueError(
+                f"sub-table schema {subtable.schema} does not match "
+                f"extractor schema {self.schema}"
+            )
+        return self._layout.serialize(
+            {n: subtable.column(n) for n in self.schema.names}, self.schema
+        )
+
+    # -- projection pushdown --------------------------------------------------------
+
+    def column_ranges(self, names, chunk_size: int):
+        """Byte ranges for the given columns, or ``None`` when this
+        extractor's layout is not column-selective (see
+        :meth:`repro.storage.layout.ChunkLayout.column_ranges`)."""
+        return self._layout.column_ranges(self.schema, names, chunk_size)
+
+    def extract_columns(
+        self,
+        data: bytes,
+        id: SubTableId,
+        names,
+        num_records: int,
+        bbox: Optional[BoundingBox] = None,
+    ) -> SubTable:
+        """Parse the concatenated :meth:`column_ranges` bytes into a
+        sub-table over the projected schema (columns in schema order)."""
+        ordered = [n for n in self.schema.names if n in set(names)]
+        columns = self._layout.deserialize_columns(
+            data, self.schema, ordered, num_records
+        )
+        return SubTable(id, self.schema.project(ordered), columns, bbox=bbox)
+
+
+def build_extractor(descriptor: LayoutDescriptor | str) -> DescribedExtractor:
+    """Compile a descriptor (or descriptor text containing exactly one
+    ``layout`` block) into a working extractor."""
+    if isinstance(descriptor, str):
+        parsed = parse_layout_descriptor(descriptor)
+        if len(parsed) != 1:
+            raise ValueError(
+                f"expected exactly one layout block, found {len(parsed)}"
+            )
+        descriptor = parsed[0]
+    return DescribedExtractor(descriptor)
+
+
+class ExtractorRegistry:
+    """Name → extractor resolution, as used by chunk metadata.
+
+    The registry also resolves a chunk's extractor *list*: metadata may name
+    several extractors able to parse the same chunk, and
+    :meth:`resolve_first` returns the first one that is actually registered
+    on this node (different nodes may have different extractor sets
+    installed).
+    """
+
+    def __init__(self, extractors: Iterable[Extractor] = ()):
+        self._extractors: Dict[str, Extractor] = {}
+        for e in extractors:
+            self.register(e)
+
+    def register(self, extractor: Extractor) -> Extractor:
+        if not extractor.name:
+            raise ValueError("extractor has no name")
+        if extractor.name in self._extractors and self._extractors[extractor.name] is not extractor:
+            raise ValueError(f"extractor name {extractor.name!r} already registered")
+        self._extractors[extractor.name] = extractor
+        return extractor
+
+    def register_descriptors(self, text: str) -> list[DescribedExtractor]:
+        """Parse descriptor text and register one extractor per block."""
+        built = [DescribedExtractor(d) for d in parse_layout_descriptor(text)]
+        for e in built:
+            self.register(e)
+        return built
+
+    def get(self, name: str) -> Extractor:
+        try:
+            return self._extractors[name]
+        except KeyError:
+            raise KeyError(
+                f"no extractor {name!r} registered (known: {sorted(self._extractors)})"
+            ) from None
+
+    def resolve_first(self, names: Iterable[str]) -> Extractor:
+        """First registered extractor out of a chunk's extractor list."""
+        names = list(names)
+        for name in names:
+            if name in self._extractors:
+                return self._extractors[name]
+        raise KeyError(f"none of the extractors {names} are registered")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._extractors
+
+    def __len__(self) -> int:
+        return len(self._extractors)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._extractors))

@@ -1,0 +1,44 @@
+"""Workload generators: the paper's synthetic datasets and sweeps.
+
+* :mod:`~repro.workloads.generator` — regular grid partitioning and the
+  closed-form dataset statistics of Section 6 (component size ``C``,
+  ``N_C``, ``E_C``, ``n_e``, ``T``, ``c_R``, ``c_S``), plus partition/chunk
+  generation for both functional and model-only runs.
+* :mod:`~repro.workloads.oilres` — the oil-reservoir datasets: the
+  evaluation's two-table form (T1(x,y,z,oilp), T2(x,y,z,wp)) and the
+  21-attribute Section 2 form, assembled end to end (written chunks,
+  metadata, BDS instances, providers).
+* :mod:`~repro.workloads.sweeps` — parameter sweeps used by the
+  benchmarks: the constant-edge-ratio ``n_e·c_S`` sweep of Figure 4 and
+  friends.
+"""
+
+from repro.workloads.generator import (
+    GridDataset,
+    GridSpec,
+    make_grid_chunk_descriptors,
+    make_grid_partitions,
+)
+from repro.workloads.oilres import (
+    OilReservoirDataset,
+    build_oil_reservoir_dataset,
+    oil_reservoir_schema_full,
+)
+from repro.workloads.sweeps import (
+    SweepPoint,
+    constant_edge_ratio_sweep,
+    power_of_two_partitions,
+)
+
+__all__ = [
+    "GridDataset",
+    "GridSpec",
+    "OilReservoirDataset",
+    "SweepPoint",
+    "build_oil_reservoir_dataset",
+    "constant_edge_ratio_sweep",
+    "make_grid_chunk_descriptors",
+    "make_grid_partitions",
+    "oil_reservoir_schema_full",
+    "power_of_two_partitions",
+]

@@ -1,0 +1,285 @@
+"""Regular grid partitioning and the Section 6 dataset formulas.
+
+The evaluation datasets are regular grids: "The two tables are partitioned
+along the x, y, and z attribute dimensions. ... If the size of the entire
+grid is [(0,0,0), (gx, gy, gz)] and the partition sizes are (px, py, pz)
+and (qx, qy, qz), the size of a component, number of components and number
+of edges in a component are calculated as:
+
+    C   = (max(px,qx), max(py,qy), max(pz,qz))
+    N_C = (gx·gy·gz) / (Cx·Cy·Cz)
+    E_C = ceil(max(px,qx)/min(px,qx)) · ceil(max(py,qy)/min(py,qy))
+                                      · ceil(max(pz,qz)/min(pz,qz))
+
+    n_e = N_C · E_C,   T = gx·gy·gz,   c_R = px·py·pz,   c_S = qx·qy·qz"
+
+:class:`GridSpec` implements those formulas (for any dimensionality, with
+the paper's aligned power-of-two-style partitions enforced by requiring
+per-dimension divisibility), and the generation helpers turn a spec into
+either real table partitions (functional runs) or bare chunk descriptors
+(model-only runs).
+
+Grid records sit at integer coordinates ``0 .. g_d - 1`` stored as float32
+(exactly representable far beyond any grid size used here), so equi-joins
+on coordinates behave exactly like the paper's: join selectivity 1 at the
+record level when joining on all grid dimensions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.datamodel.bounding_box import BoundingBox
+from repro.datamodel.chunk import ChunkDescriptor, ChunkRef
+from repro.datamodel.schema import Schema
+from repro.datamodel.subtable import SubTableId
+from repro.storage.placement import BlockCyclicPlacement, PlacementPolicy
+from repro.storage.writer import TablePartition
+
+__all__ = [
+    "GridSpec",
+    "GridDataset",
+    "make_grid_partitions",
+    "make_grid_chunk_descriptors",
+]
+
+#: Synthetic value column generator: (coordinate columns) -> value column.
+ValueFn = Callable[[Dict[str, np.ndarray]], np.ndarray]
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A grid plus the two tables' partition sizes.
+
+    ``g``, ``p`` and ``q`` are per-dimension tuples; ``p`` partitions the
+    left (R) table, ``q`` the right (S) table.  Every ``p_d`` and ``q_d``
+    must divide ``g_d``, and per dimension the smaller of ``p_d, q_d`` must
+    divide the larger (the paper's powers-of-two setup guarantees this) —
+    that alignment is what makes the closed-form statistics exact.
+    """
+
+    g: Tuple[int, ...]
+    p: Tuple[int, ...]
+    q: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.g or len(self.g) != len(self.p) or len(self.g) != len(self.q):
+            raise ValueError("g, p, q must be equal-length, non-empty tuples")
+        for d, (gd, pd, qd) in enumerate(zip(self.g, self.p, self.q)):
+            if gd <= 0 or pd <= 0 or qd <= 0:
+                raise ValueError(f"dimension {d}: sizes must be positive")
+            if gd % pd or gd % qd:
+                raise ValueError(
+                    f"dimension {d}: partition sizes {pd},{qd} must divide grid {gd}"
+                )
+            lo, hi = min(pd, qd), max(pd, qd)
+            if hi % lo:
+                raise ValueError(
+                    f"dimension {d}: partitions {pd},{qd} are not aligned "
+                    "(smaller must divide larger)"
+                )
+
+    # -- Section 6 formulas ------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.g)
+
+    @property
+    def T(self) -> int:
+        """Total tuples per table."""
+        return math.prod(self.g)
+
+    @property
+    def c_R(self) -> int:
+        """Tuples per left sub-table."""
+        return math.prod(self.p)
+
+    @property
+    def c_S(self) -> int:
+        """Tuples per right sub-table."""
+        return math.prod(self.q)
+
+    @property
+    def component_size(self) -> Tuple[int, ...]:
+        """``C = (max(p_d, q_d))_d``."""
+        return tuple(max(pd, qd) for pd, qd in zip(self.p, self.q))
+
+    @property
+    def N_C(self) -> int:
+        """Number of components."""
+        return self.T // math.prod(self.component_size)
+
+    @property
+    def E_C(self) -> int:
+        """Edges per component."""
+        return math.prod(
+            -(-max(pd, qd) // min(pd, qd)) for pd, qd in zip(self.p, self.q)
+        )
+
+    @property
+    def n_e(self) -> int:
+        """Total edges in the sub-table connectivity graph."""
+        return self.N_C * self.E_C
+
+    @property
+    def a(self) -> int:
+        """Left sub-tables per component."""
+        C = self.component_size
+        return math.prod(cd // pd for cd, pd in zip(C, self.p))
+
+    @property
+    def b(self) -> int:
+        """Right sub-tables per component."""
+        C = self.component_size
+        return math.prod(cd // qd for cd, qd in zip(C, self.q))
+
+    @property
+    def m_R(self) -> int:
+        """Number of left sub-tables (``T / c_R``)."""
+        return self.T // self.c_R
+
+    @property
+    def m_S(self) -> int:
+        """Number of right sub-tables (``T / c_S``)."""
+        return self.T // self.c_S
+
+    @property
+    def edge_ratio(self) -> float:
+        """``n_e · c_R · c_S / T²``."""
+        return self.n_e * self.c_R * self.c_S / (self.T**2)
+
+    @property
+    def ne_cs(self) -> int:
+        """The Figure 4 x-axis: ``n_e · c_S`` (total IJ lookups for one pass
+        of the right table through the index)."""
+        return self.n_e * self.c_S
+
+    def describe(self) -> str:
+        return (
+            f"grid {self.g}, p={self.p} (c_R={self.c_R}), q={self.q} "
+            f"(c_S={self.c_S}): T={self.T}, n_e={self.n_e}, N_C={self.N_C}, "
+            f"E_C={self.E_C}, a={self.a}, b={self.b}, "
+            f"edge_ratio={self.edge_ratio:.2e}, ne_cs={self.ne_cs}"
+        )
+
+
+def _tiles(g: Tuple[int, ...], part: Tuple[int, ...]) -> Iterator[Tuple[Tuple[int, int], ...]]:
+    """Row-major iteration over partition tiles; yields per-dim (lo, hi_exclusive)."""
+    ranges = [range(0, gd, pd) for gd, pd in zip(g, part)]
+    for corner in itertools.product(*ranges):
+        yield tuple((lo, lo + pd) for lo, pd in zip(corner, part))
+
+
+_DIM_NAMES = ("x", "y", "z", "w", "u", "v")
+
+
+def dim_names(ndim: int) -> Tuple[str, ...]:
+    if ndim > len(_DIM_NAMES):
+        raise ValueError(f"at most {len(_DIM_NAMES)} grid dimensions supported")
+    return _DIM_NAMES[:ndim]
+
+
+def make_grid_partitions(
+    g: Tuple[int, ...],
+    part: Tuple[int, ...],
+    schema: Schema,
+    value_fns: Optional[Dict[str, ValueFn]] = None,
+    seed: int = 0,
+) -> List[TablePartition]:
+    """Materialise a table's partitions for a regular grid.
+
+    The schema's coordinate attributes must be the first ``ndim`` grid
+    dimension names (``x``, ``y``, ``z``, ...).  Non-coordinate attributes
+    are filled by ``value_fns[name]`` when given, else with deterministic
+    pseudo-random float32 values.
+    """
+    names = dim_names(len(g))
+    if schema.coordinate_names != names:
+        raise ValueError(
+            f"schema coordinates {schema.coordinate_names} do not match grid "
+            f"dimensions {names}"
+        )
+    value_fns = value_fns or {}
+    rng = np.random.default_rng(seed)
+    out: List[TablePartition] = []
+    for tile in _tiles(g, part):
+        axes = [np.arange(lo, hi, dtype=np.float32) for lo, hi in tile]
+        mesh = np.meshgrid(*axes, indexing="ij")
+        coords = {name: m.reshape(-1) for name, m in zip(names, mesh)}
+        n = coords[names[0]].shape[0]
+        columns: Dict[str, np.ndarray] = dict(coords)
+        for attr in schema:
+            if attr.name in columns:
+                continue
+            fn = value_fns.get(attr.name)
+            if fn is not None:
+                columns[attr.name] = np.asarray(fn(coords), dtype=attr.np_dtype)
+            else:
+                columns[attr.name] = rng.random(n).astype(attr.np_dtype)
+        bbox = BoundingBox(
+            {name: (float(lo), float(hi - 1)) for name, (lo, hi) in zip(names, tile)}
+        )
+        out.append(TablePartition(columns=columns, bbox=bbox))
+    return out
+
+
+def make_grid_chunk_descriptors(
+    table_id: int,
+    g: Tuple[int, ...],
+    part: Tuple[int, ...],
+    record_size: int,
+    num_storage: int,
+    placement: Optional[PlacementPolicy] = None,
+    attributes: Tuple[str, ...] = (),
+    extractor: str = "synthetic",
+) -> List[ChunkDescriptor]:
+    """Metadata-only chunks for model-only experiments.
+
+    Descriptors mirror exactly what :func:`make_grid_partitions` +
+    the dataset writer would register — same ids, bounding boxes, sizes,
+    block-cyclic placement — without touching any bytes, so model-only and
+    functional runs of the same :class:`GridSpec` are directly comparable.
+    """
+    names = dim_names(len(g))
+    placement = placement or BlockCyclicPlacement(num_storage)
+    tiles = list(_tiles(g, part))
+    total = len(tiles)
+    records = math.prod(part)
+    out: List[ChunkDescriptor] = []
+    for ordinal, tile in enumerate(tiles):
+        node = placement.node_for(ordinal, total)
+        bbox = BoundingBox(
+            {name: (float(lo), float(hi - 1)) for name, (lo, hi) in zip(names, tile)}
+        )
+        out.append(
+            ChunkDescriptor(
+                id=SubTableId(table_id, ordinal),
+                ref=ChunkRef(
+                    storage_node=node,
+                    path=f"synthetic://t{table_id}",
+                    offset=ordinal * records * record_size,
+                    size=records * record_size,
+                ),
+                attributes=attributes or tuple(names),
+                extractors=(extractor,),
+                bbox=bbox,
+                num_records=records,
+            )
+        )
+    return out
+
+
+@dataclass
+class GridDataset:
+    """A fully assembled two-table grid dataset (see ``oilres`` builders)."""
+
+    spec: GridSpec
+    left_table: int
+    right_table: int
+    join_attrs: Tuple[str, ...]

@@ -1,0 +1,251 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster import SimEngine
+from repro.cluster.events import SimulationError
+
+
+class TestTimeout:
+    def test_single_timeout(self):
+        eng = SimEngine()
+
+        def proc():
+            yield eng.timeout(2.5)
+            return eng.now
+
+        assert eng.run_process(proc()) == 2.5
+
+    def test_sequential_timeouts_accumulate(self):
+        eng = SimEngine()
+
+        def proc():
+            yield eng.timeout(1.0)
+            yield eng.timeout(2.0)
+            return eng.now
+
+        assert eng.run_process(proc()) == 3.0
+
+    def test_zero_delay(self):
+        eng = SimEngine()
+
+        def proc():
+            yield eng.timeout(0.0)
+            return eng.now
+
+        assert eng.run_process(proc()) == 0.0
+
+    def test_negative_delay_rejected(self):
+        eng = SimEngine()
+        with pytest.raises(ValueError):
+            eng.timeout(-1.0)
+
+
+class TestProcess:
+    def test_process_return_value(self):
+        eng = SimEngine()
+
+        def proc():
+            yield eng.timeout(1)
+            return "done"
+
+        assert eng.run_process(proc()) == "done"
+
+    def test_process_waits_on_process(self):
+        eng = SimEngine()
+        log = []
+
+        def child():
+            yield eng.timeout(5)
+            log.append(("child", eng.now))
+            return 42
+
+        def parent():
+            c = eng.process(child())
+            yield eng.timeout(1)
+            log.append(("parent-awake", eng.now))
+            value = yield c
+            log.append(("joined", eng.now))
+            return value
+
+        assert eng.run_process(parent()) == 42
+        assert log == [("parent-awake", 1.0), ("child", 5.0), ("joined", 5.0)]
+
+    def test_waiting_on_already_triggered_event(self):
+        eng = SimEngine()
+
+        def child():
+            yield eng.timeout(1)
+            return "early"
+
+        def parent():
+            c = eng.process(child())
+            yield eng.timeout(10)
+            value = yield c  # triggered long ago
+            return (value, eng.now)
+
+        assert eng.run_process(parent()) == ("early", 10.0)
+
+    def test_yielding_non_event_raises(self):
+        eng = SimEngine()
+
+        def bad():
+            yield 5
+
+        eng.process(bad())
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_exception_in_process_propagates(self):
+        eng = SimEngine()
+
+        def boom():
+            yield eng.timeout(1)
+            raise RuntimeError("model bug")
+
+        eng.process(boom())
+        with pytest.raises(RuntimeError, match="model bug"):
+            eng.run()
+
+    def test_deadlock_detected(self):
+        eng = SimEngine()
+
+        def waiter():
+            yield eng.event()  # nobody triggers this
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            eng.run_process(waiter())
+
+    def test_long_chain_of_immediate_events_no_recursion_error(self):
+        eng = SimEngine()
+
+        def proc():
+            for _ in range(5000):
+                yield eng.timeout(0.0)
+            return eng.now
+
+        assert eng.run_process(proc()) == 0.0
+
+
+class TestAllOf:
+    def test_barrier_waits_for_slowest(self):
+        eng = SimEngine()
+
+        def worker(d):
+            yield eng.timeout(d)
+            return d
+
+        def parent():
+            procs = [eng.process(worker(d)) for d in (3.0, 1.0, 2.0)]
+            values = yield eng.all_of(procs)
+            return (values, eng.now)
+
+        values, t = eng.run_process(parent())
+        assert values == [3.0, 1.0, 2.0]  # order preserved
+        assert t == 3.0
+
+    def test_empty_barrier_fires_immediately(self):
+        eng = SimEngine()
+
+        def parent():
+            values = yield eng.all_of([])
+            return (values, eng.now)
+
+        assert eng.run_process(parent()) == ([], 0.0)
+
+    def test_barrier_over_triggered_events(self):
+        eng = SimEngine()
+
+        def parent():
+            a = eng.process(iter_return(eng, 1))
+            yield eng.timeout(5)
+            values = yield eng.all_of([a])
+            return values
+
+        def iter_return(eng, v):
+            yield eng.timeout(0)
+            return v
+
+        assert eng.run_process(parent()) == [1]
+
+
+class TestEngine:
+    def test_manual_event_signalling(self):
+        eng = SimEngine()
+        sig = eng.event()
+        log = []
+
+        def producer():
+            yield eng.timeout(4)
+            sig.succeed("payload")
+
+        def consumer():
+            value = yield sig
+            log.append((value, eng.now))
+
+        eng.process(producer())
+        eng.process(consumer())
+        eng.run()
+        assert log == [("payload", 4.0)]
+
+    def test_double_trigger_rejected(self):
+        eng = SimEngine()
+        sig = eng.event()
+        sig.succeed()
+        with pytest.raises(SimulationError):
+            sig.succeed()
+
+    def test_value_before_trigger_rejected(self):
+        eng = SimEngine()
+        with pytest.raises(SimulationError):
+            _ = eng.event().value
+
+    def test_run_until(self):
+        eng = SimEngine()
+
+        def proc():
+            yield eng.timeout(10)
+
+        eng.process(proc())
+        assert eng.run(until=3.0) == 3.0
+        assert eng.run() == 10.0
+
+    def test_determinism_same_time_events_fire_in_schedule_order(self):
+        eng = SimEngine()
+        log = []
+
+        def worker(tag):
+            yield eng.timeout(1.0)
+            log.append(tag)
+
+        for tag in ("a", "b", "c"):
+            eng.process(worker(tag))
+        eng.run()
+        assert log == ["a", "b", "c"]
+
+
+@given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), min_size=1, max_size=20))
+def test_parallel_processes_finish_at_max_delay(delays):
+    eng = SimEngine()
+
+    def worker(d):
+        yield eng.timeout(d)
+
+    def parent():
+        yield eng.all_of([eng.process(worker(d)) for d in delays])
+        return eng.now
+
+    assert eng.run_process(parent()) == pytest.approx(max(delays))
+
+
+@given(st.lists(st.floats(min_value=0, max_value=10, allow_nan=False), max_size=20))
+def test_sequential_timeouts_sum(delays):
+    eng = SimEngine()
+
+    def proc():
+        for d in delays:
+            yield eng.timeout(d)
+        return eng.now
+
+    assert eng.run_process(proc()) == pytest.approx(sum(delays))

@@ -1,0 +1,197 @@
+"""Tests for the Query Planning Service and the Derived Data Source engine."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import MachineSpec
+from repro.core import (
+    Aggregate,
+    AggregationView,
+    DerivedDataSource,
+    JoinView,
+    QueryPlanningService,
+)
+from repro.datamodel import BoundingBox
+from repro.joins import reference_join
+from repro.workloads import GridSpec, build_oil_reservoir_dataset
+
+MACHINE = MachineSpec()
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    spec = GridSpec(g=(16, 16), p=(4, 4), q=(4, 4))
+    return build_oil_reservoir_dataset(spec, num_storage=2)
+
+
+@pytest.fixture(scope="module")
+def high_degree_dataset():
+    # degree 16 left-per-right: IJ lookups dominate
+    spec = GridSpec(g=(16, 16), p=(1, 1), q=(4, 4))
+    return build_oil_reservoir_dataset(spec, num_storage=2, functional=False)
+
+
+class TestViews:
+    def test_join_view_describe(self):
+        v = JoinView("V1", "T1", "T2", on=("x", "y"),
+                     where=BoundingBox({"x": (0, 256)}))
+        assert "T1 ⊕_xy T2" in v.describe()
+        assert "x ∈ [0, 256]" in v.describe()
+
+    def test_join_view_validation(self):
+        with pytest.raises(ValueError):
+            JoinView("bad name", "T1", "T2", on=("x",))
+        with pytest.raises(ValueError):
+            JoinView("V1", "T1", "T2", on=())
+
+    def test_aggregate_defaults(self):
+        a = Aggregate("AVG", "wp")
+        assert a.func == "avg" and a.alias == "avg_wp"
+        assert Aggregate("count", "*").alias == "count_all"
+        with pytest.raises(ValueError):
+            Aggregate("sum", "*")
+        with pytest.raises(ValueError):
+            Aggregate("median", "wp")
+
+    def test_aggregation_view_describe(self):
+        v = AggregationView(
+            "A1",
+            JoinView("V1", "T1", "T2", on=("x",)),
+            aggregates=(Aggregate("avg", "wp"),),
+            group_by=("x",),
+        )
+        assert "AVG(wp)" in v.describe()
+        assert "GROUP BY x" in v.describe()
+
+    def test_aggregation_view_validation(self):
+        src = JoinView("V1", "T1", "T2", on=("x",))
+        with pytest.raises(ValueError):
+            AggregationView("A1", src, aggregates=())
+
+
+class TestPlanner:
+    def test_derives_table1_parameters(self, dataset):
+        qps = QueryPlanningService(dataset.metadata, 2, 2, machine=MACHINE)
+        view = JoinView("V1", "T1", "T2", on=dataset.join_attrs)
+        params, index = qps.derive_parameters(view)
+        spec = dataset.spec
+        assert params.T == spec.T
+        assert params.c_R == spec.c_R
+        assert params.c_S == spec.c_S
+        assert params.n_e == spec.n_e
+        # 2-D grid: (x, y, oilp) and (x, y, wp) — 3 float32 attributes
+        assert params.RS_R == 12 and params.RS_S == 12
+        assert index.num_edges == spec.n_e
+
+    def test_plan_picks_ij_at_low_degree(self, dataset):
+        qps = QueryPlanningService(dataset.metadata, 2, 2, machine=MACHINE)
+        plan = qps.plan(JoinView("V1", "T1", "T2", on=dataset.join_attrs))
+        assert plan.algorithm == "indexed-join"
+        assert plan.ij_cost.total < plan.gh_cost.total
+        assert plan.predicted_time == plan.ij_cost.total
+        assert "chosen QES: indexed-join" in plan.describe()
+
+    def test_plan_picks_gh_at_high_degree(self, high_degree_dataset):
+        ds = high_degree_dataset
+        qps = QueryPlanningService(ds.metadata, 2, 2, machine=MACHINE)
+        plan = qps.plan(JoinView("V1", "T1", "T2", on=ds.join_attrs))
+        assert ds.spec.n_e / ds.spec.m_S == 16
+        assert plan.algorithm == "grace-hash"
+
+    def test_precomputed_index_is_reused(self, dataset):
+        qps = QueryPlanningService(dataset.metadata, 2, 2, machine=MACHINE)
+        view = JoinView("V1", "T1", "T2", on=dataset.join_attrs)
+        idx = qps.precompute_index(view)
+        key = f"join_index/T1/T2/{','.join(dataset.join_attrs)}"
+        assert dataset.metadata.get(key) is not None
+        plan = qps.plan(view)
+        assert plan.index.pairs == idx.pairs
+
+    def test_range_constraint_shrinks_parameters(self, dataset):
+        qps = QueryPlanningService(dataset.metadata, 2, 2, machine=MACHINE)
+        full = qps.plan(JoinView("V1", "T1", "T2", on=dataset.join_attrs))
+        constrained = qps.plan(
+            JoinView(
+                "V2", "T1", "T2", on=dataset.join_attrs,
+                where=BoundingBox({"x": (0, 7)}),
+            )
+        )
+        assert constrained.params.T == full.params.T // 2
+        assert constrained.params.n_e == full.params.n_e // 2
+
+    def test_validation(self, dataset):
+        with pytest.raises(ValueError):
+            QueryPlanningService(dataset.metadata, 0, 1)
+
+
+class TestDerivedDataSource:
+    def test_execute_auto_matches_oracle(self, dataset):
+        view = JoinView("V1", "T1", "T2", on=dataset.join_attrs)
+        dds = DerivedDataSource(
+            view, dataset.metadata, dataset.provider,
+            num_storage=2, num_compute=2, machine=MACHINE,
+        )
+        result = dds.execute()
+        oracle = reference_join(
+            dataset.metadata, dataset.provider, "T1", "T2", dataset.join_attrs
+        )
+        assert result.table.equals_unordered(oracle)
+        assert result.report.algorithm == result.plan.algorithm
+        assert result.num_records == dataset.spec.T
+
+    def test_forced_algorithms_agree(self, dataset):
+        view = JoinView("V1", "T1", "T2", on=dataset.join_attrs)
+        dds = DerivedDataSource(
+            view, dataset.metadata, dataset.provider,
+            num_storage=2, num_compute=2, machine=MACHINE,
+        )
+        ij = dds.execute(algorithm="indexed-join")
+        gh = dds.execute(algorithm="grace-hash")
+        assert ij.table.equals_unordered(gh.table)
+        with pytest.raises(ValueError):
+            dds.execute(algorithm="nested-loop")
+
+    def test_range_view_record_level_selection(self, dataset):
+        """WHERE x ∈ [2, 9]: chunk pruning alone would keep whole 4-wide
+        tiles; the engine must trim to exact records."""
+        view = JoinView(
+            "V1", "T1", "T2", on=dataset.join_attrs,
+            where=BoundingBox({"x": (2, 9)}),
+        )
+        dds = DerivedDataSource(
+            view, dataset.metadata, dataset.provider,
+            num_storage=2, num_compute=2, machine=MACHINE,
+        )
+        for algorithm in ("indexed-join", "grace-hash"):
+            result = dds.execute(algorithm=algorithm)
+            xs = result.table.column("x")
+            assert xs.min() == 2.0 and xs.max() == 9.0
+            assert result.num_records == 8 * 16  # 8 x-planes of 16 rows
+
+    def test_aggregation_view(self, dataset):
+        join = JoinView("V1", "T1", "T2", on=dataset.join_attrs)
+        agg_view = AggregationView(
+            "A1", join,
+            aggregates=(Aggregate("avg", "wp"), Aggregate("count", "*")),
+            group_by=("x",),
+        )
+        dds = DerivedDataSource(
+            agg_view, dataset.metadata, dataset.provider,
+            num_storage=2, num_compute=2, machine=MACHINE,
+        )
+        result = dds.execute()
+        assert result.table.schema.names == ("x", "avg_wp", "count_all")
+        assert result.num_records == 16  # one group per x plane
+        np.testing.assert_array_equal(result.table.column("count_all"), [16.0] * 16)
+
+    def test_model_only_execution(self):
+        spec = GridSpec(g=(16, 16), p=(4, 4), q=(4, 4))
+        ds = build_oil_reservoir_dataset(spec, num_storage=2, functional=False)
+        view = JoinView("V1", "T1", "T2", on=ds.join_attrs)
+        dds = DerivedDataSource(
+            view, ds.metadata, ds.provider, num_storage=2, num_compute=2,
+            machine=MACHINE,
+        )
+        result = dds.execute()
+        assert result.table is None
+        assert result.report.total_time > 0

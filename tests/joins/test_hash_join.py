@@ -1,0 +1,172 @@
+"""Tests for the in-memory hash join kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datamodel import Schema, SubTable, SubTableId
+from repro.joins import dict_hash_join, hash_join, vectorized_hash_join
+from repro.joins.baselines import sort_merge_join
+
+
+def make_table(table_id, xs, ys, vals, value_name="v"):
+    schema = Schema.of("x", "y", value_name, coordinates=("x", "y"))
+    return SubTable(
+        SubTableId(table_id, 0),
+        schema,
+        {
+            "x": np.asarray(xs, dtype=np.float32),
+            "y": np.asarray(ys, dtype=np.float32),
+            value_name: np.asarray(vals, dtype=np.float32),
+        },
+    )
+
+
+KERNELS = [dict_hash_join, vectorized_hash_join]
+
+
+@pytest.mark.parametrize("kernel", KERNELS, ids=["dict", "vectorized"])
+class TestKernels:
+    def test_selectivity_one_join(self, kernel):
+        """The paper's assumption: each left record has exactly one partner."""
+        left = make_table(1, [0, 1, 2], [0, 0, 0], [10, 11, 12], "oilp")
+        right = make_table(2, [2, 0, 1], [0, 0, 0], [22, 20, 21], "wp")
+        out, stats = kernel(left, right, on=("x", "y"))
+        assert stats.builds == 3 and stats.probes == 3 and stats.matches == 3
+        assert out.schema.names == ("x", "y", "oilp", "wp")
+        srt = out.sort_by(["x"])
+        np.testing.assert_array_equal(srt.column("oilp"), [10, 11, 12])
+        np.testing.assert_array_equal(srt.column("wp"), [20, 21, 22])
+
+    def test_no_matches(self, kernel):
+        left = make_table(1, [0], [0], [1], "a")
+        right = make_table(2, [5], [5], [2], "b")
+        out, stats = kernel(left, right, on=("x", "y"))
+        assert out.num_records == 0
+        assert stats.matches == 0
+
+    def test_multiplicity(self, kernel):
+        """Duplicate keys on both sides produce the cross product per key."""
+        left = make_table(1, [1, 1, 2], [0, 0, 0], [10, 11, 12], "a")
+        right = make_table(2, [1, 1], [0, 0], [20, 21], "b")
+        out, stats = kernel(left, right, on=("x", "y"))
+        assert out.num_records == 4  # 2 left x 2 right for key (1, 0)
+        assert stats.matches == 4
+
+    def test_empty_left(self, kernel):
+        left = make_table(1, [], [], [], "a")
+        right = make_table(2, [1], [0], [2], "b")
+        out, stats = kernel(left, right, on=("x",))
+        assert out.num_records == 0
+        assert stats.builds == 0 and stats.probes == 1
+
+    def test_empty_right(self, kernel):
+        left = make_table(1, [1], [0], [2], "a")
+        right = make_table(2, [], [], [], "b")
+        out, stats = kernel(left, right, on=("x",))
+        assert out.num_records == 0
+
+    def test_single_attribute_join(self, kernel):
+        left = make_table(1, [0, 1], [9, 9], [1, 2], "a")
+        right = make_table(2, [1, 0], [7, 7], [3, 4], "b")
+        out, _ = kernel(left, right, on=("x",))
+        # join only on x: y from both sides kept (right's suffixed)
+        assert out.schema.names == ("x", "y", "a", "y_r", "b")
+        assert out.num_records == 2
+
+    def test_name_clash_suffix(self, kernel):
+        left = make_table(1, [1], [0], [5], "v")
+        right = make_table(2, [1], [0], [6], "v")
+        out, _ = kernel(left, right, on=("x", "y"))
+        assert out.schema.names == ("x", "y", "v", "v_r")
+        assert out.column("v")[0] == 5
+        assert out.column("v_r")[0] == 6
+
+    def test_errors(self, kernel):
+        left = make_table(1, [1], [0], [5], "a")
+        right = make_table(2, [1], [0], [6], "b")
+        with pytest.raises(ValueError):
+            kernel(left, right, on=())
+        with pytest.raises(ValueError):
+            kernel(left, right, on=("nope",))
+
+    def test_dtype_mismatch_rejected(self, kernel):
+        left = make_table(1, [1], [0], [5], "a")
+        schema = Schema(
+            [
+                __import__("repro.datamodel", fromlist=["Attribute"]).Attribute("x", "float64"),
+                __import__("repro.datamodel", fromlist=["Attribute"]).Attribute("b", "float32"),
+            ]
+        )
+        right = SubTable(
+            SubTableId(2, 0),
+            schema,
+            {"x": np.ones(1, np.float64), "b": np.ones(1, np.float32)},
+        )
+        with pytest.raises(ValueError):
+            kernel(left, right, on=("x",))
+
+    def test_result_id(self, kernel):
+        left = make_table(1, [1], [0], [5], "a")
+        right = make_table(2, [1], [0], [6], "b")
+        out, _ = kernel(left, right, on=("x", "y"), result_id=SubTableId(99, 7))
+        assert out.id == SubTableId(99, 7)
+
+
+def test_hash_join_kernel_dispatch():
+    left = make_table(1, [1], [0], [5], "a")
+    right = make_table(2, [1], [0], [6], "b")
+    for k in ("dict", "vectorized"):
+        out, _ = hash_join(left, right, on=("x",), kernel=k)
+        assert out.num_records == 1
+    with pytest.raises(ValueError):
+        hash_join(left, right, on=("x",), kernel="bogus")
+
+
+# -- differential tests: dict vs vectorized vs sort-merge ------------------------------
+
+coords = st.integers(min_value=0, max_value=6)
+
+
+@st.composite
+def random_table(draw, table_id, value_name):
+    n = draw(st.integers(min_value=0, max_value=40))
+    xs = [draw(coords) for _ in range(n)]
+    ys = [draw(coords) for _ in range(n)]
+    vals = list(range(n))
+    return make_table(table_id, xs, ys, vals, value_name)
+
+
+@settings(max_examples=120, deadline=None)
+@given(left=random_table(1, "a"), right=random_table(2, "b"))
+def test_kernels_agree_exactly(left, right):
+    """dict and vectorized kernels return identical rows in identical order."""
+    out_d, st_d = dict_hash_join(left, right, on=("x", "y"))
+    out_v, st_v = vectorized_hash_join(left, right, on=("x", "y"))
+    assert st_d.matches == st_v.matches
+    assert st_d.builds == st_v.builds and st_d.probes == st_v.probes
+    assert out_d.num_records == out_v.num_records
+    for name in out_d.schema.names:
+        np.testing.assert_array_equal(out_d.column(name), out_v.column(name))
+
+
+@settings(max_examples=120, deadline=None)
+@given(left=random_table(1, "a"), right=random_table(2, "b"))
+def test_hash_join_agrees_with_sort_merge(left, right):
+    """Hash kernels agree (as multisets) with the independent sort-merge."""
+    out_h, _ = vectorized_hash_join(left, right, on=("x", "y"))
+    out_m = sort_merge_join(left, right, on=("x", "y"))
+    assert out_h.equals_unordered(out_m)
+
+
+@settings(max_examples=60, deadline=None)
+@given(left=random_table(1, "a"), right=random_table(2, "b"))
+def test_match_count_equals_key_multiplicity_product(left, right):
+    """|result| == sum over keys of count_left(k) * count_right(k)."""
+    from collections import Counter
+
+    lc = Counter(zip(left.column("x").tolist(), left.column("y").tolist()))
+    rc = Counter(zip(right.column("x").tolist(), right.column("y").tolist()))
+    expected = sum(c * rc.get(k, 0) for k, c in lc.items())
+    out, stats = vectorized_hash_join(left, right, on=("x", "y"))
+    assert out.num_records == expected == stats.matches

@@ -1,0 +1,151 @@
+"""Tests for the page-level join index / sub-table connectivity graph.
+
+The key property: the graph built from actual chunk bounding boxes must
+reproduce the paper's closed-form statistics (n_e = N_C · E_C etc.) for
+every aligned grid partitioning.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datamodel import BoundingBox
+from repro.joins import PageJoinIndex, build_join_index
+from repro.workloads import GridSpec, make_grid_chunk_descriptors
+from repro.workloads.generator import dim_names
+
+
+def chunks_for(spec: GridSpec, record_size=16, num_storage=2):
+    left = make_grid_chunk_descriptors(1, spec.g, spec.p, record_size, num_storage)
+    right = make_grid_chunk_descriptors(2, spec.g, spec.q, record_size, num_storage)
+    return left, right
+
+
+def index_for(spec: GridSpec) -> PageJoinIndex:
+    left, right = chunks_for(spec)
+    return build_join_index(left, right, on=dim_names(spec.ndim))
+
+
+class TestAgainstPaperFormulas:
+    @pytest.mark.parametrize(
+        "g,p,q",
+        [
+            ((8,), (4,), (2,)),
+            ((8,), (2,), (8,)),
+            ((8, 8), (4, 4), (4, 4)),
+            ((8, 8), (2, 8), (8, 2)),
+            ((16, 16), (4, 8), (8, 4)),
+            ((8, 8, 8), (4, 4, 4), (2, 2, 2)),
+            ((8, 8, 8), (2, 4, 8), (8, 4, 2)),
+            ((16, 8, 4), (4, 8, 4), (16, 2, 1)),
+        ],
+    )
+    def test_edge_count_matches_formula(self, g, p, q):
+        spec = GridSpec(g=g, p=p, q=q)
+        idx = index_for(spec)
+        assert idx.num_edges == spec.n_e
+
+    @pytest.mark.parametrize(
+        "g,p,q",
+        [
+            ((8, 8), (4, 4), (4, 4)),
+            ((8, 8), (2, 8), (8, 2)),
+            ((8, 8, 8), (2, 4, 8), (8, 4, 2)),
+        ],
+    )
+    def test_component_structure_matches_formula(self, g, p, q):
+        spec = GridSpec(g=g, p=p, q=q)
+        comps = index_for(spec).components()
+        assert len(comps) == spec.N_C
+        for comp in comps:
+            assert comp.a == spec.a
+            assert comp.b == spec.b
+            assert comp.num_edges == spec.E_C
+
+    def test_figure3_shape_a2_b4(self):
+        """Figure 3's example: components with a=2 left, b=4 right sub-tables."""
+        spec = GridSpec(g=(4, 8), p=(1, 4), q=(2, 1))
+        assert spec.a == 2 and spec.b == 4
+        comps = index_for(spec).components()
+        assert all(c.a == 2 and c.b == 4 for c in comps)
+
+    def test_nested_partitions_have_degree_one(self):
+        """Right strictly finer than left: every right sub-table has one edge."""
+        spec = GridSpec(g=(8, 8), p=(4, 4), q=(2, 2))
+        idx = index_for(spec)
+        stats = idx.stats()
+        assert stats.avg_right_degree == 1.0
+        assert idx.num_edges == spec.m_S
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_random_aligned_partitions_match_formulas(self, data):
+        dims = data.draw(st.integers(min_value=1, max_value=3))
+        g, p, q = [], [], []
+        for _ in range(dims):
+            ge = data.draw(st.sampled_from([2, 4, 8, 16]))
+            pe = data.draw(st.sampled_from([s for s in (1, 2, 4, 8, 16) if s <= ge]))
+            qe = data.draw(st.sampled_from([s for s in (1, 2, 4, 8, 16) if s <= ge]))
+            g.append(ge), p.append(pe), q.append(qe)
+        spec = GridSpec(g=tuple(g), p=tuple(p), q=tuple(q))
+        idx = index_for(spec)
+        assert idx.num_edges == spec.n_e
+        assert len(idx.components()) == spec.N_C
+        stats = idx.stats()
+        assert stats.num_left == spec.m_R
+        assert stats.num_right == spec.m_S
+        assert stats.avg_right_degree == pytest.approx(spec.n_e / spec.m_S)
+        assert stats.edge_ratio(spec.c_R, spec.c_S, spec.T) == pytest.approx(spec.edge_ratio)
+
+
+class TestIndexMechanics:
+    def test_pairs_sorted_lexicographically(self):
+        spec = GridSpec(g=(8, 8), p=(4, 4), q=(2, 2))
+        idx = index_for(spec)
+        assert idx.pairs == sorted(idx.pairs)
+
+    def test_range_constraint_prunes(self):
+        spec = GridSpec(g=(8, 8), p=(4, 4), q=(4, 4))
+        left, right = chunks_for(spec)
+        # constrain to the lower-left quadrant only
+        idx = build_join_index(
+            left, right, on=("x", "y"),
+            range_constraint=BoundingBox({"x": (0, 3), "y": (0, 3)}),
+        )
+        assert idx.num_edges == 1
+
+    def test_restrict_after_build(self):
+        spec = GridSpec(g=(8, 8), p=(4, 4), q=(4, 4))
+        left, right = chunks_for(spec)
+        idx = build_join_index(left, right, on=("x", "y"))
+        boxes = {c.id: c.bbox for c in left + right}
+        sub = idx.restrict(BoundingBox({"x": (0, 3)}), boxes)
+        assert sub.num_edges == 2  # x-constrained to left column of 2x2 tiles
+
+    def test_empty_inputs(self):
+        idx = build_join_index([], [], on=("x",))
+        assert idx.num_edges == 0
+        assert idx.components() == []
+        assert idx.stats().num_components == 0
+
+    def test_no_join_attrs_rejected(self):
+        with pytest.raises(ValueError):
+            build_join_index([], [], on=())
+
+    def test_roundtrip_dict(self):
+        spec = GridSpec(g=(8, 8), p=(4, 4), q=(2, 2))
+        idx = index_for(spec)
+        back = PageJoinIndex.from_dict(idx.to_dict())
+        assert back.pairs == idx.pairs
+        assert back.on == idx.on
+        assert back.left_table == idx.left_table
+
+    def test_join_on_subset_of_coordinates(self):
+        """Joining on (x, y) only: chunks differing only in z connect."""
+        spec = GridSpec(g=(4, 4, 4), p=(4, 4, 2), q=(4, 4, 2))
+        left, right = chunks_for(spec)
+        idx_xy = build_join_index(left, right, on=("x", "y"))
+        idx_xyz = build_join_index(left, right, on=("x", "y", "z"))
+        # on (x,y) every left chunk pairs with every right chunk (all share
+        # the full xy extent): 2 x 2 = 4 edges; on xyz only aligned z-slabs
+        assert idx_xy.num_edges == 4
+        assert idx_xyz.num_edges == 2

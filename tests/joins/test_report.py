@@ -1,0 +1,76 @@
+"""Unit tests for execution reports and phase breakdowns."""
+
+import numpy as np
+import pytest
+
+from repro.datamodel import Schema, SubTable, SubTableId
+from repro.joins import ExecutionReport, PhaseBreakdown
+from repro.joins.hash_join import JoinKernelStats
+
+
+class TestPhaseBreakdown:
+    def test_totals(self):
+        pb = PhaseBreakdown(transfer=1.0, scratch_write=2.0, scratch_read=3.0,
+                            cpu_build=4.0, cpu_lookup=5.0)
+        assert pb.cpu == 9.0
+        assert pb.total == 15.0
+
+    def test_iadd_accumulates(self):
+        a = PhaseBreakdown(transfer=1.0, cpu_build=2.0)
+        b = PhaseBreakdown(transfer=0.5, scratch_read=1.5, cpu_lookup=3.0)
+        a += b
+        assert a.transfer == 1.5
+        assert a.scratch_read == 1.5
+        assert a.cpu == 5.0
+
+    def test_zero_default(self):
+        assert PhaseBreakdown().total == 0.0
+
+
+class TestKernelStats:
+    def test_iadd(self):
+        a = JoinKernelStats(builds=1, probes=2, matches=3)
+        a += JoinKernelStats(builds=10, probes=20, matches=30)
+        assert (a.builds, a.probes, a.matches) == (11, 22, 33)
+
+
+class TestExecutionReport:
+    def make_result(self, n):
+        schema = Schema.of("x", "v")
+        return SubTable(
+            SubTableId(-1, 0), schema,
+            {"x": np.arange(n, dtype=np.float32), "v": np.zeros(n, dtype=np.float32)},
+        )
+
+    def test_aggregate_phases(self):
+        r = ExecutionReport(
+            algorithm="x", functional=False,
+            per_joiner=[PhaseBreakdown(transfer=1.0), PhaseBreakdown(transfer=2.0)],
+        )
+        assert r.aggregate_phases().transfer == 3.0
+
+    def test_result_tuples_functional(self):
+        r = ExecutionReport(algorithm="x", functional=True)
+        r.results = [[self.make_result(5)], [self.make_result(7), self.make_result(1)]]
+        assert r.result_tuples == 13
+
+    def test_result_tuples_model_only_uses_kernel_matches(self):
+        r = ExecutionReport(algorithm="x", functional=False)
+        r.kernel.matches = 42
+        assert r.results is None
+        assert r.result_tuples == 42
+
+    def test_summary_contains_key_numbers(self):
+        r = ExecutionReport(algorithm="grace-hash", functional=False,
+                            total_time=1.25, bytes_from_storage=1000,
+                            bytes_scratch_written=500, bytes_scratch_read=500,
+                            pairs_joined=8)
+        text = r.summary()
+        assert "grace-hash" in text
+        assert "1.250s" in text
+        assert "1,000" in text
+        assert "scratch" in text
+
+    def test_summary_without_scratch_omits_line(self):
+        r = ExecutionReport(algorithm="indexed-join", functional=False)
+        assert "scratch" not in r.summary()

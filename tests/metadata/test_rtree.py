@@ -1,0 +1,137 @@
+"""Unit and property tests for the R-tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metadata import RTree
+
+
+def brute_force(boxes, query):
+    qlo, qhi = np.asarray(query[0], float), np.asarray(query[1], float)
+    hits = []
+    for (lo, hi), payload in boxes:
+        lo, hi = np.asarray(lo, float), np.asarray(hi, float)
+        if np.all(lo <= qhi) and np.all(qlo <= hi):
+            hits.append(payload)
+    return hits
+
+
+class TestRTreeBasics:
+    def test_empty_search(self):
+        t = RTree(ndim=2)
+        assert t.search(((0, 0), (1, 1))) == []
+        assert len(t) == 0
+
+    def test_single_insert_and_hit(self):
+        t = RTree(ndim=2)
+        t.insert(((0, 0), (10, 10)), "a")
+        assert t.search(((5, 5), (6, 6))) == ["a"]
+        assert t.search(((11, 11), (12, 12))) == []
+        assert len(t) == 1
+
+    def test_touching_boxes_intersect(self):
+        t = RTree(ndim=1)
+        t.insert(((0,), (1,)), "a")
+        assert t.search(((1,), (2,))) == ["a"]
+
+    def test_point_boxes(self):
+        t = RTree(ndim=2)
+        t.insert(((3, 3), (3, 3)), "pt")
+        assert t.search(((0, 0), (5, 5))) == ["pt"]
+        assert t.search(((4, 4), (5, 5))) == []
+
+    def test_split_grows_tree(self):
+        t = RTree(ndim=2, max_entries=4)
+        for i in range(50):
+            t.insert(((i, i), (i + 0.5, i + 0.5)), i)
+        assert len(t) == 50
+        assert t.height > 1
+        t.check_invariants()
+        assert sorted(t) == list(range(50))
+
+    def test_duplicate_boxes_allowed(self):
+        t = RTree(ndim=1, max_entries=3)
+        for i in range(10):
+            t.insert(((0,), (1,)), i)
+        assert sorted(t.search(((0,), (1,)))) == list(range(10))
+        t.check_invariants()
+
+    def test_bad_boxes_rejected(self):
+        t = RTree(ndim=2)
+        with pytest.raises(ValueError):
+            t.insert(((0,), (1,)), "wrong dim")
+        with pytest.raises(ValueError):
+            t.insert(((2, 2), (1, 1)), "inverted")
+        with pytest.raises(ValueError):
+            t.insert(((float("nan"), 0), (1, 1)), "nan")
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            RTree(ndim=0)
+        with pytest.raises(ValueError):
+            RTree(ndim=2, max_entries=1)
+        with pytest.raises(ValueError):
+            RTree(ndim=2, max_entries=4, min_entries=3)
+
+    def test_grid_range_query(self):
+        # 10x10 unit cells; query a 3x4 window
+        t = RTree(ndim=2, max_entries=5)
+        for i in range(10):
+            for j in range(10):
+                t.insert(((i, j), (i + 1, j + 1)), (i, j))
+        hits = t.search(((2.1, 3.1), (4.9, 6.9)))
+        expected = {(i, j) for i in range(2, 5) for j in range(3, 7)}
+        assert set(hits) == expected
+        t.check_invariants()
+
+
+@st.composite
+def box_lists(draw, ndim, max_boxes=60):
+    n = draw(st.integers(min_value=0, max_value=max_boxes))
+    coord = st.floats(min_value=-100, max_value=100, allow_nan=False)
+    boxes = []
+    for k in range(n):
+        lo = [draw(coord) for _ in range(ndim)]
+        hi = [draw(st.floats(min_value=l, max_value=101, allow_nan=False)) for l in lo]
+        boxes.append(((lo, hi), k))
+    return boxes
+
+
+@settings(max_examples=60, deadline=None)
+@given(boxes=box_lists(ndim=2), data=st.data())
+def test_rtree_matches_linear_scan_2d(boxes, data):
+    tree = RTree(ndim=2, max_entries=4)
+    for box, payload in boxes:
+        tree.insert(box, payload)
+    tree.check_invariants()
+    coord = st.floats(min_value=-120, max_value=120, allow_nan=False)
+    qlo = [data.draw(coord) for _ in range(2)]
+    qhi = [data.draw(st.floats(min_value=l, max_value=121, allow_nan=False)) for l in qlo]
+    assert sorted(tree.search((qlo, qhi))) == sorted(brute_force(boxes, (qlo, qhi)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(boxes=box_lists(ndim=3, max_boxes=40), data=st.data())
+def test_rtree_matches_linear_scan_3d(boxes, data):
+    tree = RTree(ndim=3, max_entries=6)
+    for box, payload in boxes:
+        tree.insert(box, payload)
+    tree.check_invariants()
+    coord = st.floats(min_value=-120, max_value=120, allow_nan=False)
+    qlo = [data.draw(coord) for _ in range(3)]
+    qhi = [data.draw(st.floats(min_value=l, max_value=121, allow_nan=False)) for l in qlo]
+    assert sorted(tree.search((qlo, qhi))) == sorted(brute_force(boxes, (qlo, qhi)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(boxes=box_lists(ndim=2, max_boxes=100))
+def test_rtree_invariants_and_completeness(boxes):
+    tree = RTree(ndim=2, max_entries=4)
+    for box, payload in boxes:
+        tree.insert(box, payload)
+    tree.check_invariants()
+    assert len(tree) == len(boxes)
+    # a search with an all-covering window returns everything
+    hits = tree.search(((-200, -200), (200, 200)))
+    assert sorted(hits) == sorted(p for _, p in boxes)

@@ -1,0 +1,185 @@
+"""Tests for grouped aggregation and the query executor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import MachineSpec
+from repro.core import Aggregate, AggregationView, DerivedDataSource, JoinView
+from repro.datamodel import Schema, SubTable, SubTableId
+from repro.query import QueryExecutor, aggregate, parse_query
+from repro.workloads import GridSpec, build_oil_reservoir_dataset
+
+
+def table_of(values_by_col, dtypes=None):
+    names = list(values_by_col)
+    schema = Schema.of(*names)
+    return SubTable(
+        SubTableId(0, 0),
+        schema,
+        {k: np.asarray(v, dtype=np.float32) for k, v in values_by_col.items()},
+    )
+
+
+class TestAggregate:
+    def test_ungrouped_all_functions(self):
+        t = table_of({"v": [1, 2, 3, 4]})
+        out = aggregate(
+            t,
+            [
+                Aggregate("sum", "v"),
+                Aggregate("avg", "v"),
+                Aggregate("min", "v"),
+                Aggregate("max", "v"),
+                Aggregate("count", "*"),
+            ],
+        )
+        assert out.num_records == 1
+        assert out.column("sum_v")[0] == 10
+        assert out.column("avg_v")[0] == 2.5
+        assert out.column("min_v")[0] == 1
+        assert out.column("max_v")[0] == 4
+        assert out.column("count_all")[0] == 4
+
+    def test_grouped(self):
+        t = table_of({"g": [0, 1, 0, 1, 1], "v": [1, 2, 3, 4, 6]})
+        out = aggregate(t, [Aggregate("sum", "v"), Aggregate("count", "*")], group_by=["g"])
+        srt = out.sort_by(["g"])
+        np.testing.assert_array_equal(srt.column("g"), [0, 1])
+        np.testing.assert_array_equal(srt.column("sum_v"), [4, 12])
+        np.testing.assert_array_equal(srt.column("count_all"), [2, 3])
+
+    def test_multi_key_grouping(self):
+        t = table_of({"a": [0, 0, 1, 1], "b": [0, 1, 0, 1], "v": [1, 2, 3, 4]})
+        out = aggregate(t, [Aggregate("max", "v")], group_by=["a", "b"])
+        assert out.num_records == 4
+
+    def test_empty_input_count_sum(self):
+        t = table_of({"v": []})
+        out = aggregate(t, [Aggregate("count", "*"), Aggregate("sum", "v")])
+        assert out.column("count_all")[0] == 0
+        assert out.column("sum_v")[0] == 0
+
+    def test_empty_input_min_rejected(self):
+        t = table_of({"v": []})
+        with pytest.raises(ValueError):
+            aggregate(t, [Aggregate("min", "v")])
+
+    def test_empty_grouped_input(self):
+        t = table_of({"g": [], "v": []})
+        out = aggregate(t, [Aggregate("avg", "v")], group_by=["g"])
+        assert out.num_records == 0
+
+    def test_unknown_columns(self):
+        t = table_of({"v": [1]})
+        with pytest.raises(KeyError):
+            aggregate(t, [Aggregate("sum", "nope")])
+        with pytest.raises(KeyError):
+            aggregate(t, [Aggregate("sum", "v")], group_by=["nope"])
+
+    def test_no_aggregates_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate(table_of({"v": [1]}), [])
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        groups=st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=60),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_grouped_aggregation_matches_python(self, groups, seed):
+        rng = np.random.default_rng(seed)
+        vals = rng.integers(0, 100, size=len(groups)).astype(float)
+        t = table_of({"g": groups, "v": vals})
+        out = aggregate(
+            t, [Aggregate("sum", "v"), Aggregate("avg", "v"), Aggregate("max", "v")],
+            group_by=["g"],
+        ).sort_by(["g"])
+        from collections import defaultdict
+
+        ref = defaultdict(list)
+        for g, v in zip(groups, vals):
+            ref[g].append(float(np.float32(v)))
+        keys = sorted(ref)
+        np.testing.assert_allclose(out.column("g"), keys)
+        np.testing.assert_allclose(out.column("sum_v"), [sum(ref[k]) for k in keys], rtol=1e-6)
+        np.testing.assert_allclose(out.column("avg_v"), [np.mean(ref[k]) for k in keys], rtol=1e-6)
+        np.testing.assert_allclose(out.column("max_v"), [max(ref[k]) for k in keys], rtol=1e-6)
+
+
+@pytest.fixture(scope="module")
+def executor_setup():
+    spec = GridSpec(g=(16, 16), p=(4, 4), q=(4, 4))
+    ds = build_oil_reservoir_dataset(spec, num_storage=2)
+    ex = QueryExecutor(ds.metadata, ds.provider)
+    view = JoinView("V1", "T1", "T2", on=ds.join_attrs)
+    dds = DerivedDataSource(
+        view, ds.metadata, ds.provider, num_storage=2, num_compute=2,
+        machine=MachineSpec(),
+    )
+    ex.register_dds(dds)
+    return ds, ex, dds
+
+
+class TestQueryExecutor:
+    def test_base_table_range_query(self, executor_setup):
+        ds, ex, _ = executor_setup
+        out = ex.execute("SELECT * FROM T1 WHERE x IN [0, 3] AND y IN [0, 3]")
+        assert out.num_records == 16
+        assert out.schema.names == ("x", "y", "oilp")
+
+    def test_base_table_projection(self, executor_setup):
+        _, ex, _ = executor_setup
+        out = ex.execute("SELECT oilp FROM T1 WHERE x = 0 AND y = 0")
+        assert out.schema.names == ("oilp",)
+        assert out.num_records == 1
+
+    def test_base_table_full_scan(self, executor_setup):
+        ds, ex, _ = executor_setup
+        out = ex.execute("SELECT * FROM T1")
+        assert out.num_records == ds.spec.T
+
+    def test_base_table_empty_result(self, executor_setup):
+        _, ex, _ = executor_setup
+        out = ex.execute("SELECT * FROM T1 WHERE x > 1000")
+        assert out.num_records == 0
+
+    def test_view_query(self, executor_setup):
+        ds, ex, _ = executor_setup
+        out = ex.execute("SELECT * FROM V1")
+        assert out.num_records == ds.spec.T
+        assert "oilp" in out.schema and "wp" in out.schema
+
+    def test_view_query_with_predicate(self, executor_setup):
+        _, ex, _ = executor_setup
+        out = ex.execute("SELECT * FROM V1 WHERE x IN [0, 1] AND wp > 0")
+        assert out.num_records <= 2 * 16
+        assert (out.column("x") <= 1).all()
+
+    def test_view_aggregate_query(self, executor_setup):
+        ds, ex, _ = executor_setup
+        out = ex.execute("SELECT COUNT(*) FROM V1")
+        assert out.column("count_all")[0] == ds.spec.T
+
+    def test_view_grouped_aggregate(self, executor_setup):
+        _, ex, _ = executor_setup
+        out = ex.execute("SELECT y, AVG(wp) AS mean_wp FROM V1 GROUP BY y")
+        assert out.num_records == 16
+        assert out.schema.names == ("y", "mean_wp")
+
+    def test_unknown_source(self, executor_setup):
+        _, ex, _ = executor_setup
+        with pytest.raises(KeyError):
+            ex.execute("SELECT * FROM Nope")
+
+    def test_duplicate_dds_rejected(self, executor_setup):
+        _, ex, dds = executor_setup
+        with pytest.raises(ValueError):
+            ex.register_dds(dds)
+
+    def test_base_table_agrees_between_pruned_and_full_scan(self, executor_setup):
+        """Chunk pruning must not change results, only work."""
+        _, ex, _ = executor_setup
+        pruned = ex.execute("SELECT * FROM T2 WHERE x IN [3, 9]")
+        full = ex.execute("SELECT * FROM T2")
+        mask = (full.column("x") >= 3) & (full.column("x") <= 9)
+        assert pruned.equals_unordered(full.select(mask))

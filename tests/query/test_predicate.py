@@ -1,0 +1,121 @@
+"""Tests for record-level predicates and their bounding-box relaxations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datamodel import BoundingBox, Schema, SubTable, SubTableId
+from repro.query import And, Comparison, Or, RangePredicate, TruePredicate
+
+
+@pytest.fixture
+def sub():
+    schema = Schema.of("x", "y", "wp", coordinates=("x", "y"))
+    n = 20
+    return SubTable(
+        SubTableId(1, 0),
+        schema,
+        {
+            "x": np.arange(n, dtype=np.float32),
+            "y": (np.arange(n) % 5).astype(np.float32),
+            "wp": np.linspace(0, 1, n).astype(np.float32),
+        },
+    )
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("<", 5), ("<=", 6), (">", 14), (">=", 15), ("=", 1), ("!=", 19)],
+    )
+    def test_operators(self, sub, op, expected):
+        assert Comparison("x", op, 5.0).mask(sub).sum() == expected
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            Comparison("x", "~", 1.0)
+
+    def test_bbox_relaxations(self):
+        assert Comparison("x", "<", 5.0).bbox().interval("x").hi == 5.0
+        assert Comparison("x", ">", 5.0).bbox().interval("x").lo == 5.0
+        eq = Comparison("x", "=", 5.0).bbox().interval("x")
+        assert eq.lo == eq.hi == 5.0
+        assert Comparison("x", "!=", 5.0).bbox() == BoundingBox.empty()
+
+
+class TestRange:
+    def test_mask_closed_interval(self, sub):
+        assert RangePredicate("x", 3, 7).mask(sub).sum() == 5
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            RangePredicate("x", 7, 3)
+
+    def test_bbox(self):
+        box = RangePredicate("x", 3, 7).bbox()
+        assert box.interval("x").lo == 3 and box.interval("x").hi == 7
+
+
+class TestBoolean:
+    def test_and(self, sub):
+        p = RangePredicate("x", 0, 9) & Comparison("y", "=", 0.0)
+        mask = p.mask(sub)
+        # x in 0..9 and y == 0: x in {0, 5}
+        assert mask.sum() == 2
+
+    def test_or(self, sub):
+        p = Comparison("x", "=", 0.0) | Comparison("x", "=", 19.0)
+        assert p.mask(sub).sum() == 2
+
+    def test_true_predicate(self, sub):
+        assert TruePredicate().mask(sub).all()
+        assert TruePredicate().bbox() == BoundingBox.empty()
+
+    def test_and_bbox_intersects(self):
+        p = RangePredicate("x", 0, 10) & RangePredicate("x", 5, 20)
+        iv = p.bbox().interval("x")
+        assert iv.lo == 5 and iv.hi == 10
+
+    def test_or_bbox_hull(self):
+        p = RangePredicate("x", 0, 2) | RangePredicate("x", 8, 10)
+        iv = p.bbox().interval("x")
+        assert iv.lo == 0 and iv.hi == 10
+
+    def test_or_bbox_drops_mixed_attrs(self):
+        # one branch constrains x, the other y: neither survives the union
+        p = RangePredicate("x", 0, 2) | RangePredicate("y", 0, 2)
+        assert p.bbox() == BoundingBox.empty()
+
+    def test_empty_children_rejected(self):
+        with pytest.raises(ValueError):
+            And(())
+        with pytest.raises(ValueError):
+            Or(())
+
+
+@given(
+    lo=st.floats(min_value=0, max_value=10, allow_nan=False),
+    width=st.floats(min_value=0, max_value=10, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_bbox_relaxation_is_conservative(lo, width, seed):
+    """Every record matching the predicate lies inside bbox() — the property
+    chunk pruning relies on."""
+    schema = Schema.of("x", "wp")
+    rng = np.random.default_rng(seed)
+    sub = SubTable(
+        SubTableId(0, 0),
+        schema,
+        {
+            "x": (rng.random(50) * 20).astype(np.float32),
+            "wp": rng.random(50).astype(np.float32),
+        },
+    )
+    pred = RangePredicate("x", lo, lo + width) | (
+        Comparison("x", ">", lo) & Comparison("wp", "<", 0.5)
+    )
+    mask = pred.mask(sub)
+    box = pred.bbox()
+    matching = sub.select(mask)
+    for rec in zip(matching.column("x"), matching.column("wp")):
+        assert box.contains_point({"x": float(rec[0]), "wp": float(rec[1])})

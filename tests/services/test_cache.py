@@ -1,0 +1,241 @@
+"""Tests for the Caching Service and its eviction policies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.services import (
+    BeladyPolicy,
+    CachingService,
+    FIFOPolicy,
+    LFUPolicy,
+    LRUPolicy,
+    make_policy,
+)
+
+
+class TestBasicOperations:
+    def test_put_get(self):
+        c = CachingService(100)
+        assert c.put("a", "va", 10)
+        assert c.get("a") == "va"
+        assert c.stats.hits == 1 and c.stats.misses == 0
+
+    def test_miss(self):
+        c = CachingService(100)
+        assert c.get("a") is None
+        assert c.stats.misses == 1
+        assert c.stats.hit_rate == 0.0
+
+    def test_peek_does_not_count(self):
+        c = CachingService(100)
+        c.put("a", 1, 10)
+        assert c.peek("a") == 1
+        assert c.peek("b") is None
+        assert c.stats.accesses == 0
+
+    def test_byte_budget_respected(self):
+        c = CachingService(100)
+        c.put("a", 1, 60)
+        c.put("b", 2, 60)  # evicts a
+        assert c.used_bytes <= 100
+        assert "b" in c and "a" not in c
+        assert c.stats.evictions == 1
+        assert c.stats.bytes_evicted == 60
+
+    def test_oversized_entry_rejected(self):
+        c = CachingService(100)
+        assert not c.put("big", 1, 101)
+        assert len(c) == 0
+
+    def test_replace_existing_key(self):
+        c = CachingService(100)
+        c.put("a", 1, 10)
+        c.put("a", 2, 20)
+        assert c.get("a") == 2
+        assert c.used_bytes == 20
+        assert len(c) == 1
+
+    def test_remove_and_clear(self):
+        c = CachingService(100)
+        c.put("a", 1, 10)
+        c.put("b", 2, 10)
+        assert c.remove("a")
+        assert not c.remove("a")
+        assert c.used_bytes == 10
+        c.clear()
+        assert len(c) == 0 and c.used_bytes == 0
+        assert c.stats.evictions == 0  # explicit removals aren't evictions
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CachingService(0)
+
+    def test_negative_size_rejected(self):
+        c = CachingService(10)
+        with pytest.raises(ValueError):
+            c.put("a", 1, -1)
+
+
+class TestPinning:
+    def test_pinned_entry_survives_pressure(self):
+        c = CachingService(100)
+        c.put("keep", 1, 60, pin=True)
+        assert c.put("other", 2, 30)
+        # needs to evict, but only "other" is evictable
+        assert c.put("new", 3, 40)
+        assert "keep" in c and "new" in c and "other" not in c
+
+    def test_all_pinned_insert_fails(self):
+        c = CachingService(100)
+        c.put("a", 1, 60, pin=True)
+        assert not c.put("b", 2, 60)
+        assert "a" in c
+
+    def test_unpin_allows_eviction(self):
+        c = CachingService(100)
+        c.put("a", 1, 60, pin=True)
+        c.unpin("a")
+        assert c.put("b", 2, 60)
+        assert "a" not in c
+
+    def test_pin_counting(self):
+        c = CachingService(100)
+        c.put("a", 1, 60)
+        c.pin("a")
+        c.pin("a")
+        c.unpin("a")
+        assert not c.put("b", 2, 60)  # still pinned once
+        c.unpin("a")
+        assert c.put("b", 2, 60)
+
+    def test_pin_errors(self):
+        c = CachingService(100)
+        with pytest.raises(KeyError):
+            c.pin("nope")
+        with pytest.raises(KeyError):
+            c.unpin("nope")
+        c.put("a", 1, 10)
+        with pytest.raises(ValueError):
+            c.unpin("a")
+
+
+class TestLRU:
+    def test_lru_evicts_least_recent(self):
+        c = CachingService(30, LRUPolicy())
+        c.put("a", 1, 10)
+        c.put("b", 2, 10)
+        c.put("c", 3, 10)
+        c.get("a")  # refresh a; b is now LRU
+        c.put("d", 4, 10)
+        assert "b" not in c
+        assert all(k in c for k in ("a", "c", "d"))
+
+
+class TestFIFO:
+    def test_fifo_ignores_access(self):
+        c = CachingService(30, FIFOPolicy())
+        c.put("a", 1, 10)
+        c.put("b", 2, 10)
+        c.put("c", 3, 10)
+        c.get("a")  # does not refresh under FIFO
+        c.put("d", 4, 10)
+        assert "a" not in c
+
+
+class TestLFU:
+    def test_lfu_evicts_cold_entry(self):
+        c = CachingService(30, LFUPolicy())
+        c.put("a", 1, 10)
+        c.put("b", 2, 10)
+        c.put("c", 3, 10)
+        for _ in range(3):
+            c.get("a")
+        c.get("b")
+        c.put("d", 4, 10)  # c never accessed -> victim
+        assert "c" not in c
+
+    def test_lfu_tie_broken_by_age(self):
+        c = CachingService(20, LFUPolicy())
+        c.put("old", 1, 10)
+        c.put("new", 2, 10)
+        c.put("x", 3, 10)  # both untouched; "old" inserted first
+        assert "old" not in c
+
+
+class TestBelady:
+    def test_belady_beats_lru_on_adversarial_trace(self):
+        """Classic sequence where LRU thrashes but Belady does not."""
+        # capacity 2 entries; trace: a b c a b c ... (cyclic over 3)
+        trace = ["a", "b", "c"] * 5
+
+        def run(policy):
+            c = CachingService(20, policy)
+            for key in trace:
+                if c.get(key) is None:
+                    c.put(key, key, 10)
+            return c.stats
+
+        lru_stats = run(LRUPolicy())
+        belady_stats = run(BeladyPolicy(trace))
+        assert belady_stats.hits > lru_stats.hits
+        # LRU degenerates to zero hits on a cyclic scan of size capacity+1
+        assert lru_stats.hits == 0
+
+    def test_belady_never_evicts_imminently_needed(self):
+        trace = ["a", "b", "a", "c", "a"]
+        c = CachingService(20, BeladyPolicy(trace))
+        for key in trace:
+            if c.get(key) is None:
+                c.put(key, key, 10)
+        # "a" is used at indices 0,2,4 — it should have been kept throughout
+        assert c.stats.hits >= 2
+
+
+class TestFactory:
+    def test_make_policy(self):
+        assert make_policy("lru").name == "lru"
+        assert make_policy("FIFO").name == "fifo"
+        assert make_policy("lfu").name == "lfu"
+        assert make_policy("belady", future_references=["a"]).name == "belady"
+
+    def test_belady_requires_future(self):
+        with pytest.raises(ValueError):
+            make_policy("belady")
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_policy("marvellous")
+
+
+# -- property tests -------------------------------------------------------------
+
+keys = st.sampled_from(list("abcdefgh"))
+
+
+@given(trace=st.lists(keys, max_size=200), policy_name=st.sampled_from(["lru", "fifo", "lfu"]))
+def test_cache_invariants_under_random_trace(trace, policy_name):
+    """Bytes never exceed capacity; hit+miss == accesses; entries coherent."""
+    c = CachingService(35, make_policy(policy_name))
+    for key in trace:
+        if c.get(key) is None:
+            c.put(key, key.upper(), 10)
+        assert c.used_bytes <= 35
+        assert len(c) * 10 == c.used_bytes
+    assert c.stats.accesses == len(trace)
+
+
+@given(trace=st.lists(keys, max_size=120))
+def test_belady_is_optimal_among_policies(trace):
+    """Belady's hit count is >= every online policy's on the same trace
+    (the property that makes it the ablation's upper bound)."""
+
+    def hits(policy):
+        c = CachingService(25, policy)  # capacity: 2 entries of 10 bytes
+        for key in trace:
+            if c.get(key) is None:
+                c.put(key, key, 10)
+        return c.stats.hits
+
+    belady = hits(BeladyPolicy(trace))
+    for name in ("lru", "fifo", "lfu"):
+        assert belady >= hits(make_policy(name))

@@ -1,0 +1,138 @@
+"""Tests for binary chunk layouts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datamodel import Schema
+from repro.storage import (
+    ColumnMajorLayout,
+    InterleavedBlockLayout,
+    RowMajorLayout,
+    layout_by_name,
+)
+
+LAYOUTS = [RowMajorLayout(), ColumnMajorLayout(), InterleavedBlockLayout(4), InterleavedBlockLayout(1000)]
+
+
+@pytest.fixture
+def schema():
+    return Schema.of("x", "y", "wp", coordinates=("x", "y"))
+
+
+def make_columns(schema, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return {a.name: (rng.random(n) * 100).astype(a.np_dtype) for a in schema}
+
+
+@pytest.mark.parametrize("layout", LAYOUTS, ids=lambda l: l.name)
+class TestRoundTrip:
+    def test_roundtrip(self, layout, schema):
+        cols = make_columns(schema, 37)
+        data = layout.serialize(cols, schema)
+        assert len(data) == 37 * schema.record_size
+        back = layout.deserialize(data, schema)
+        for name in schema.names:
+            np.testing.assert_array_equal(back[name], cols[name])
+
+    def test_roundtrip_empty(self, layout, schema):
+        cols = make_columns(schema, 0)
+        data = layout.serialize(cols, schema)
+        assert data == b""
+        back = layout.deserialize(data, schema)
+        for name in schema.names:
+            assert len(back[name]) == 0
+
+    def test_mixed_dtypes(self, layout):
+        schema = Schema(
+            [
+                __import__("repro.datamodel", fromlist=["Attribute"]).Attribute("i", "int32"),
+                __import__("repro.datamodel", fromlist=["Attribute"]).Attribute("f", "float64"),
+            ]
+        )
+        cols = {
+            "i": np.arange(11, dtype=np.int32),
+            "f": np.linspace(0, 1, 11),
+        }
+        data = layout.serialize(cols, schema)
+        back = layout.deserialize(data, schema)
+        np.testing.assert_array_equal(back["i"], cols["i"])
+        np.testing.assert_array_equal(back["f"], cols["f"])
+
+    def test_bad_size_rejected(self, layout, schema):
+        with pytest.raises(ValueError):
+            layout.deserialize(b"\x00" * (schema.record_size + 1), schema)
+
+    def test_missing_column_rejected(self, layout, schema):
+        cols = make_columns(schema, 5)
+        del cols["wp"]
+        with pytest.raises(ValueError):
+            layout.serialize(cols, schema)
+
+    def test_ragged_columns_rejected(self, layout, schema):
+        cols = make_columns(schema, 5)
+        cols["wp"] = cols["wp"][:3]
+        with pytest.raises(ValueError):
+            layout.serialize(cols, schema)
+
+    def test_deserialized_columns_are_writable(self, layout, schema):
+        cols = make_columns(schema, 8)
+        back = layout.deserialize(layout.serialize(cols, schema), schema)
+        back["x"][0] = 42.0  # must not raise (no read-only buffer leaks)
+
+
+class TestLayoutDifferences:
+    def test_row_and_column_major_bytes_differ(self, schema):
+        cols = make_columns(schema, 16, seed=3)
+        row = RowMajorLayout().serialize(cols, schema)
+        col = ColumnMajorLayout().serialize(cols, schema)
+        assert row != col  # genuinely different physical arrangements
+        assert len(row) == len(col)
+
+    def test_blocked_with_large_block_equals_column_major(self, schema):
+        cols = make_columns(schema, 16, seed=3)
+        blocked = InterleavedBlockLayout(1000).serialize(cols, schema)
+        col = ColumnMajorLayout().serialize(cols, schema)
+        assert blocked == col
+
+    def test_blocked_block_one_equals_row_major_for_uniform_dtype(self, schema):
+        cols = make_columns(schema, 16, seed=3)
+        blocked = InterleavedBlockLayout(1).serialize(cols, schema)
+        row = RowMajorLayout().serialize(cols, schema)
+        assert blocked == row
+
+    def test_invalid_block_records(self):
+        with pytest.raises(ValueError):
+            InterleavedBlockLayout(0)
+
+
+class TestRegistry:
+    def test_builtin_names(self):
+        assert layout_by_name("row_major").name == "row_major"
+        assert layout_by_name("column_major").name == "column_major"
+
+    def test_blocked_synthesised(self):
+        l = layout_by_name("blocked(256)")
+        assert isinstance(l, InterleavedBlockLayout)
+        assert l.block_records == 256
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            layout_by_name("nope")
+        with pytest.raises(KeyError):
+            layout_by_name("blocked(abc)")
+
+
+@settings(max_examples=50)
+@given(
+    n=st.integers(min_value=0, max_value=300),
+    block=st.integers(min_value=1, max_value=64),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_roundtrip_all_layouts(n, block, seed):
+    schema = Schema.of("x", "y", "z", "oilp", coordinates=("x", "y", "z"))
+    cols = make_columns(schema, n, seed)
+    for layout in (RowMajorLayout(), ColumnMajorLayout(), InterleavedBlockLayout(block)):
+        back = layout.deserialize(layout.serialize(cols, schema), schema)
+        for name in schema.names:
+            np.testing.assert_array_equal(back[name], cols[name])

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParsing:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["info", "--grid", "a,b"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["info", "--grid", "0,4"])
+
+    def test_sweep_axis_restricted(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "bogus"])
+
+
+class TestInfo:
+    def test_info_prints_closed_forms(self, capsys):
+        assert main(["info", "--grid", "64,64,64", "--p", "16,16,16",
+                     "--q", "32,32,32"]) == 0
+        out = capsys.readouterr().out
+        assert "T=262144" in out
+        assert "n_e=" in out
+        assert "degree" in out
+
+    def test_info_invalid_partition_errors(self, capsys):
+        assert main(["info", "--grid", "64,64,64", "--p", "48,16,16"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestPlan:
+    def test_plan_picks_ij_low_degree(self, capsys):
+        assert main(["plan", "--grid", "64,64,64", "--p", "16,16,16",
+                     "--q", "16,16,16"]) == 0
+        out = capsys.readouterr().out
+        assert "planner choice: indexed-join" in out
+        assert "crossover" in out
+
+    def test_plan_picks_gh_high_degree(self, capsys):
+        assert main(["plan", "--grid", "64,64,64", "--p", "4,4,4",
+                     "--q", "32,32,32"]) == 0
+        assert "planner choice: grace-hash" in capsys.readouterr().out
+
+    def test_plan_nfs_mode(self, capsys):
+        assert main(["plan", "--grid", "32,32,32", "--p", "8,8,8",
+                     "--q", "8,8,8", "--nfs"]) == 0
+        assert "planner choice: indexed-join" in capsys.readouterr().out
+
+    def test_cpu_factor_changes_plan(self, capsys):
+        args = ["plan", "--grid", "64,64,64", "--p", "16,16,16",
+                "--q", "32,32,32"]
+        main(args + ["--cpu-factor", "0.1"])
+        slow = capsys.readouterr().out
+        main(args + ["--cpu-factor", "10"])
+        fast = capsys.readouterr().out
+        assert "grace-hash" in slow.split("planner choice:")[1]
+        assert "indexed-join" in fast.split("planner choice:")[1]
+
+
+class TestRun:
+    def test_run_reports_both_algorithms(self, capsys):
+        assert main(["run", "--grid", "32,32,32", "--p", "8,8,8",
+                     "--q", "8,8,8", "--storage", "2", "--compute", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "indexed-join" in out and "grace-hash" in out
+        assert "simulated winner:" in out
+
+
+class TestCalibrate:
+    def test_calibrate_prints_constants(self, capsys):
+        assert main(["calibrate", "--tuples", "5000", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha_build" in out and "alpha_lookup" in out

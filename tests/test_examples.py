@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs clean and prints its story.
+
+Examples are user-facing documentation; a refactor that silently breaks
+one is a release blocker, so they run (at their built-in sizes) under
+pytest.  Each finishes in seconds.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip(), "example printed nothing"
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "oil_reservoir_study",
+        "planner_crossover",
+        "connectivity_graph",
+        "layered_views",
+        "cluster_trace",
+    } <= names
+
+
+def test_quickstart_output_mentions_planner():
+    proc = subprocess.run(
+        [sys.executable, str(Path(__file__).parent.parent / "examples" / "quickstart.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert "chosen QES" in proc.stdout
+    assert "both QES return the same" in proc.stdout

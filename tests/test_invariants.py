@@ -1,0 +1,129 @@
+"""Cross-cutting invariants of the whole stack.
+
+These property tests tie the layers together: for randomly drawn aligned
+grid partitionings and topologies, the distributed executions must satisfy
+the conservation laws and closed forms the design rests on.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    GraceHashQES,
+    IndexedJoinQES,
+    PAPER_MACHINE,
+    paper_cluster,
+    reference_join,
+)
+from repro.datamodel.subtable import concat_subtables
+from repro.workloads import GridSpec, build_oil_reservoir_dataset
+
+
+@st.composite
+def aligned_specs(draw, max_dim=3, max_g=16):
+    dims = draw(st.integers(min_value=1, max_value=max_dim))
+    g, p, q = [], [], []
+    for _ in range(dims):
+        ge = draw(st.sampled_from([4, 8, 16]))
+        pe = draw(st.sampled_from([s for s in (1, 2, 4, 8, 16) if s <= ge]))
+        qe = draw(st.sampled_from([s for s in (1, 2, 4, 8, 16) if s <= ge]))
+        g.append(ge), p.append(pe), q.append(qe)
+    return GridSpec(g=tuple(g), p=tuple(p), q=tuple(q))
+
+
+@st.composite
+def topologies(draw):
+    return draw(st.integers(min_value=1, max_value=3)), draw(st.integers(min_value=1, max_value=4))
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=aligned_specs(), topo=topologies())
+def test_ij_conservation_laws(spec, topo):
+    """IJ moves each table's bytes exactly once, builds each left record
+    exactly once, probes per the connectivity graph, and its simulated
+    clock is positive and finite."""
+    n_s, n_j = topo
+    ds = build_oil_reservoir_dataset(spec, num_storage=n_s, functional=False)
+    report = IndexedJoinQES(
+        paper_cluster(n_s, n_j), ds.metadata, "T1", "T2", ds.join_attrs, ds.provider
+    ).run()
+    dataset_bytes = ds.metadata.table("T1").nbytes + ds.metadata.table("T2").nbytes
+    assert report.bytes_from_storage == dataset_bytes
+    assert report.kernel.builds == spec.T
+    assert report.kernel.probes == spec.n_e * spec.c_S
+    assert report.pairs_joined == spec.n_e
+    assert 0 < report.total_time < float("inf")
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=aligned_specs(), topo=topologies())
+def test_gh_conservation_laws(spec, topo):
+    """GH moves each byte once over the wire, writes and re-reads exactly
+    the dataset, and charges exactly T builds and T probes."""
+    n_s, n_j = topo
+    ds = build_oil_reservoir_dataset(spec, num_storage=n_s, functional=False)
+    report = GraceHashQES(
+        paper_cluster(n_s, n_j), ds.metadata, "T1", "T2", ds.join_attrs, ds.provider
+    ).run()
+    dataset_bytes = ds.metadata.table("T1").nbytes + ds.metadata.table("T2").nbytes
+    assert report.bytes_from_storage == dataset_bytes
+    assert report.bytes_scratch_written == dataset_bytes
+    assert report.bytes_scratch_read == dataset_bytes
+    assert report.kernel.builds == spec.T
+    assert report.kernel.probes == spec.T
+
+
+@settings(max_examples=10, deadline=None)
+@given(spec=aligned_specs(max_dim=2, max_g=8))
+def test_functional_results_match_oracle(spec):
+    """Both QES produce the oracle's exact record multiset on random
+    partitionings (the end-to-end correctness property)."""
+    ds = build_oil_reservoir_dataset(spec, num_storage=2, functional=True)
+    oracle = reference_join(ds.metadata, ds.provider, "T1", "T2", ds.join_attrs)
+    for cls in (IndexedJoinQES, GraceHashQES):
+        report = cls(
+            paper_cluster(2, 2), ds.metadata, "T1", "T2", ds.join_attrs, ds.provider
+        ).run()
+        got = concat_subtables(
+            [sub for per in report.results for sub in per], id=oracle.id
+        )
+        assert got.equals_unordered(oracle)
+
+
+@settings(max_examples=12, deadline=None)
+@given(spec=aligned_specs(max_dim=2), f=st.sampled_from([0.5, 1.0, 2.0, 4.0]))
+def test_faster_cpu_never_slows_execution(spec, f):
+    """Monotonicity: scaling F up cannot increase either algorithm's
+    simulated time (CPU terms shrink, I/O unchanged)."""
+    ds = build_oil_reservoir_dataset(spec, num_storage=2, functional=False)
+    times = {}
+    for factor in (f, 2 * f):
+        machine = PAPER_MACHINE.with_cpu_factor(factor)
+        for name, cls in (("ij", IndexedJoinQES), ("gh", GraceHashQES)):
+            report = cls(
+                paper_cluster(2, 2, spec=machine), ds.metadata,
+                "T1", "T2", ds.join_attrs, ds.provider,
+            ).run()
+            times[(name, factor)] = report.total_time
+    assert times[("ij", 2 * f)] <= times[("ij", f)] + 1e-12
+    assert times[("gh", 2 * f)] <= times[("gh", f)] + 1e-12
+
+
+@settings(max_examples=12, deadline=None)
+@given(spec=aligned_specs(max_dim=2))
+def test_per_joiner_waits_bounded_by_makespan(spec):
+    """Waits measured inside one serial control loop cannot exceed the
+    makespan.  For IJ the whole breakdown lives in the joiner's loop; for
+    GH only the bucket-join phase does (phase-1 waits are measured in the
+    concurrent *sender* loops and may legitimately sum past wall-clock)."""
+    ds = build_oil_reservoir_dataset(spec, num_storage=2, functional=False)
+    ij = IndexedJoinQES(
+        paper_cluster(2, 2), ds.metadata, "T1", "T2", ds.join_attrs, ds.provider
+    ).run()
+    for pb in ij.per_joiner:
+        assert pb.total <= ij.total_time + 1e-9
+    gh = GraceHashQES(
+        paper_cluster(2, 2), ds.metadata, "T1", "T2", ds.join_attrs, ds.provider
+    ).run()
+    for pb in gh.per_joiner:
+        assert pb.scratch_read + pb.cpu <= gh.total_time + 1e-9
