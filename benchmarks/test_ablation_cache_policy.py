@@ -14,8 +14,6 @@ adequate memory, the policy is irrelevant because nothing is ever
 re-fetched — the memory assumption of Section 5.1 doing its job.
 """
 
-import pytest
-
 from benchmarks.harness import fmt, record_table
 from repro import IndexedJoinQES, paper_cluster
 from repro.joins import build_join_index, schedule_interleaved, schedule_two_stage

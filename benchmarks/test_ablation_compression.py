@@ -7,8 +7,6 @@ evaluation regime, so execution time should drop roughly with the byte
 footprint while results stay identical (asserted against each other).
 """
 
-import pytest
-
 from benchmarks.harness import fmt, record_table
 from repro import GraceHashQES, IndexedJoinQES, paper_cluster
 from repro.workloads import GridSpec, build_oil_reservoir_dataset

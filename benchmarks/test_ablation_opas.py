@@ -14,8 +14,6 @@ truly does not fit) but they reduce them, which is why the paper cites the
 OPAS literature as complementary.
 """
 
-import pytest
-
 from benchmarks.harness import fmt, record_table
 from repro import IndexedJoinQES, paper_cluster
 from repro.joins import build_join_index, reorder_schedule, schedule_two_stage

@@ -8,8 +8,6 @@ against random and interleaved pair orders at a realistic (bounded) cache
 size, measuring re-fetch traffic and execution time.
 """
 
-import pytest
-
 from benchmarks.harness import fmt, record_table
 from repro import IndexedJoinQES, paper_cluster
 from repro.joins import (

@@ -13,8 +13,6 @@ rebalance around the straggler, whereas Grace Hash's CPU share is
 degree-independent.
 """
 
-import pytest
-
 from benchmarks.harness import fmt, record_table
 from repro import GraceHashQES, IndexedJoinQES, MachineSpec
 from repro.cluster import ClusterSim, ClusterTopology

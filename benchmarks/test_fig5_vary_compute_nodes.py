@@ -7,8 +7,6 @@ added — "the difference in execution times is inversely proportional to
 the number of compute nodes".
 """
 
-import pytest
-
 from benchmarks.harness import fmt, record_table, run_point
 from repro.workloads import GridSpec
 

@@ -8,8 +8,6 @@ IJ outperforms Grace Hash as expected" — and the advantage keeps growing,
 which is the paper's hardware-trend argument for IJ.
 """
 
-import pytest
-
 from benchmarks.harness import fmt, record_table, run_point
 from repro import PAPER_MACHINE
 from repro.workloads import GridSpec

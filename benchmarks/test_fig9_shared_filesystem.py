@@ -18,8 +18,6 @@ model (latency-free) still captures the IJ-vs-GH ordering; the seek storm
 is what turns GH's flat line into a rising one.
 """
 
-import pytest
-
 from benchmarks.harness import fmt, record_table, run_point
 from repro import MachineSpec
 from repro.workloads import GridSpec

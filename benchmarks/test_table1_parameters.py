@@ -8,8 +8,6 @@ Query Planning Service does), the system half from the paper-testbed
 machine spec.
 """
 
-import pytest
-
 from benchmarks.harness import record_table
 from repro import JoinView, PAPER_MACHINE, QueryPlanningService
 from repro.workloads import GridSpec, build_oil_reservoir_dataset

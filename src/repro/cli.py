@@ -81,6 +81,10 @@ def _add_deploy_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--calibrated", action="store_true",
                    help="use this host's measured hash constants instead of "
                         "the paper testbed's")
+    p.add_argument("--pipeline", action=argparse.BooleanOptionalAction, default=False,
+                   help="overlap Indexed Join transfers with build/probe work "
+                        "(prefetch pipeline; default off — the paper's QES is "
+                        "synchronous)")
 
 
 def _machine(args: argparse.Namespace) -> MachineSpec:
@@ -128,13 +132,14 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         n_s=1 if args.nfs else args.storage, n_j=args.compute,
         shared_nfs=args.nfs,
     )
-    ij = indexed_join_cost(params)
+    ij = indexed_join_cost(params, pipelined=args.pipeline)
     gh = grace_hash_cost(params)
+    ij_name = "indexed-join (pipe)" if args.pipeline else "indexed-join"
     print(spec.describe())
     print(_table(
         ["QES", "transfer", "write", "read", "cpu", "total (s)"],
         [
-            ["indexed-join", f"{ij.transfer:.3f}", "-", "-", f"{ij.cpu:.3f}", f"{ij.total:.3f}"],
+            [ij_name, f"{ij.transfer:.3f}", "-", "-", f"{ij.cpu:.3f}", f"{ij.total:.3f}"],
             ["grace-hash", f"{gh.transfer:.3f}", f"{gh.write:.3f}", f"{gh.read:.3f}",
              f"{gh.cpu:.3f}", f"{gh.total:.3f}"],
         ],
@@ -155,50 +160,59 @@ def _cmd_run(args: argparse.Namespace) -> int:
         n_j=args.compute,
         machine=machine,
         shared_nfs=args.nfs,
+        pipeline=args.pipeline,
     )
+    ij_name = "indexed-join (pipe)" if args.pipeline else "indexed-join"
     print(spec.describe())
     print(_table(
         ["QES", "simulated (s)", "model (s)", "error"],
         [
-            ["indexed-join", f"{result.ij_sim:.3f}", f"{result.ij_pred:.3f}",
+            [ij_name, f"{result.ij_sim:.3f}", f"{result.ij_pred:.3f}",
              f"{result.ij_error:.1%}"],
             ["grace-hash", f"{result.gh_sim:.3f}", f"{result.gh_pred:.3f}",
              f"{result.gh_error:.1%}"],
         ],
     ))
     print(f"simulated winner: {result.sim_winner}   model pick: {result.model_winner}")
+    if args.pipeline:
+        print(f"IJ transfer overlap: {result.ij_report.overlap_ratio:.0%} "
+              f"(stall {result.ij_report.stall_time:.3f}s)")
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     machine = _machine(args)
+    pipe = args.pipeline
     rows: List[Sequence[object]] = []
     if args.axis == "ne-cs":
-        results = run_figure4(n_s=args.storage, n_j=args.compute, machine=machine)
+        results = run_figure4(n_s=args.storage, n_j=args.compute, machine=machine,
+                              pipeline=pipe)
         header = ["n_e*c_S", "IJ (s)", "GH (s)", "winner"]
         rows = [[f"{r.spec.ne_cs:,}", f"{r.ij_sim:.2f}", f"{r.gh_sim:.2f}", r.sim_winner]
                 for r in results]
     elif args.axis == "compute-nodes":
-        results = run_figure5(n_s=args.storage, machine=machine)
+        results = run_figure5(n_s=args.storage, machine=machine, pipeline=pipe)
         header = ["n_j", "IJ (s)", "GH (s)", "gap"]
         rows = [[n, f"{r.ij_sim:.2f}", f"{r.gh_sim:.2f}", f"{r.gh_sim - r.ij_sim:.2f}"]
                 for n, r in results]
     elif args.axis == "tuples":
         results = run_figure6(factors=(1, 4, 16, 64), n_s=args.storage,
-                              n_j=args.compute, machine=machine)
+                              n_j=args.compute, machine=machine, pipeline=pipe)
         header = ["T", "IJ (s)", "GH (s)"]
         rows = [[f"{r.spec.T:,}", f"{r.ij_sim:.2f}", f"{r.gh_sim:.2f}"] for r in results]
     elif args.axis == "attributes":
-        results = run_figure7(n_s=args.storage, n_j=args.compute, machine=machine)
+        results = run_figure7(n_s=args.storage, n_j=args.compute, machine=machine,
+                              pipeline=pipe)
         header = ["attrs", "IJ (s)", "GH (s)"]
         rows = [[n, f"{r.ij_sim:.2f}", f"{r.gh_sim:.2f}"] for n, r in results]
     elif args.axis == "cpu":
-        results = run_figure8(n_s=args.storage, n_j=args.compute, machine=machine)
+        results = run_figure8(n_s=args.storage, n_j=args.compute, machine=machine,
+                              pipeline=pipe)
         header = ["F", "IJ (s)", "GH (s)", "winner"]
         rows = [[f, f"{r.ij_sim:.2f}", f"{r.gh_sim:.2f}", r.sim_winner]
                 for f, r in results]
     elif args.axis == "nfs":
-        results = run_figure9()
+        results = run_figure9(pipeline=pipe)
         header = ["n_j", "IJ (s)", "GH (s)", "GH/IJ"]
         rows = [[n, f"{r.ij_sim:.2f}", f"{r.gh_sim:.2f}", f"{r.gh_sim / r.ij_sim:.1f}x"]
                 for n, r in results]

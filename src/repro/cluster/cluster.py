@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.cluster.events import Event, SimEngine, Timeout
+from repro.cluster.events import Event, Process, SimEngine, Timeout
 from repro.cluster.network import NetworkFabric, NFSFabric, SwitchedFabric
 from repro.cluster.nodes import ComputeNode, MachineSpec, StorageNode, PAPER_MACHINE
 from repro.cluster.resources import BandwidthResource
@@ -132,6 +132,18 @@ class ClusterSim:
 
     def joiner(self, j: int) -> ComputeNode:
         return self.compute_nodes[j]
+
+    def spawn(self, gen, name: str = "") -> Process:
+        """Launch a concurrent simulation process on this cluster.
+
+        QES implementations use this for every logical activity they run —
+        the per-joiner control loops, and (in the pipelined Indexed Join)
+        the per-joiner background transfer processes that overlap
+        communication with computation.  The returned :class:`Process` is
+        itself an event: yield it to join, or hold it as a handle to an
+        in-flight activity.
+        """
+        return self.engine.process(gen, name=name)
 
     # -- composite operations ------------------------------------------------------
 

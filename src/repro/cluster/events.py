@@ -110,6 +110,12 @@ class Process(Event):
         except StopIteration as stop:
             self.succeed(stop.value)
             return
+        except Exception as exc:
+            # With concurrent background processes (e.g. the pipelined
+            # Indexed Join's prefetchers) a raw traceback no longer
+            # identifies the failing logical activity — annotate it.
+            exc.add_note(f"(raised in simulated process {self.name!r})")
+            raise
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {type(target).__name__}, not an Event"

@@ -8,6 +8,17 @@ Indexed Join::
     BuildHT_IJ  = α_build · T / n_j
     Lookup_IJ   = α_lookup · n_e · c_S / n_j
 
+Pipelined Indexed Join (the prefetching execution mode): transfers overlap
+with build/probe work, so per the classic pipelining argument the makespan
+approaches the slower of the two streams instead of their sum::
+
+    Total_IJ_pipe = max(Transfer_IJ, Cpu_IJ)
+
+(model via ``indexed_join_cost(p, pipelined=True)``; the residual
+non-overlapped head/tail — the first pair's transfer and the last pair's
+compute — is one pair's worth of work and vanishes for any realistic pair
+count, so the model drops it).
+
 Grace Hash::
 
     Total_GH    = Transfer_GH + Write_GH + Read_GH + Cpu_GH
@@ -136,13 +147,22 @@ class CostParameters:
 
 @dataclass(frozen=True)
 class CostBreakdown:
-    """Predicted per-term times (seconds), mirroring the model equations."""
+    """Predicted per-term times (seconds), mirroring the model equations.
+
+    ``pipelined`` marks a prediction for the overlapped execution mode:
+    the terms themselves are unchanged (each stream still moves/computes
+    the same work), but :attr:`total` combines transfer and CPU with
+    ``max`` instead of ``+``.  Scratch I/O (Grace Hash) is never
+    overlapped — the QES thread is busy writing — so write/read stay
+    additive either way.
+    """
 
     transfer: float = 0.0
     write: float = 0.0
     read: float = 0.0
     cpu_build: float = 0.0
     cpu_lookup: float = 0.0
+    pipelined: bool = False
 
     @property
     def cpu(self) -> float:
@@ -150,16 +170,19 @@ class CostBreakdown:
 
     @property
     def total(self) -> float:
+        if self.pipelined:
+            return max(self.transfer, self.cpu) + self.write + self.read
         return self.transfer + self.write + self.read + self.cpu
 
 
-def indexed_join_cost(p: CostParameters) -> CostBreakdown:
-    """``Total_IJ`` and its terms."""
+def indexed_join_cost(p: CostParameters, pipelined: bool = False) -> CostBreakdown:
+    """``Total_IJ`` and its terms (``Total_IJ_pipe`` when ``pipelined``)."""
     transfer = p.bytes_total / min(p.net_bw, p.read_io_bw * p.n_s)
     return CostBreakdown(
         transfer=transfer,
         cpu_build=p.alpha_build * p.T / p.n_j,
         cpu_lookup=p.alpha_lookup * p.n_e * p.c_S / p.n_j,
+        pipelined=pipelined,
     )
 
 
@@ -187,9 +210,16 @@ def grace_hash_cost(p: CostParameters) -> CostBreakdown:
     )
 
 
-def preferred_algorithm(p: CostParameters) -> Tuple[str, CostBreakdown, CostBreakdown]:
-    """Compare totals; returns (winner, ij_cost, gh_cost)."""
-    ij = indexed_join_cost(p)
+def preferred_algorithm(
+    p: CostParameters, pipelined: bool = False
+) -> Tuple[str, CostBreakdown, CostBreakdown]:
+    """Compare totals; returns (winner, ij_cost, gh_cost).
+
+    ``pipelined`` compares the overlapped Indexed Join against the (always
+    synchronous) Grace Hash, shifting the crossover in IJ's favour on
+    transfer-bound configurations.
+    """
+    ij = indexed_join_cost(p, pipelined=pipelined)
     gh = grace_hash_cost(p)
     return ("indexed-join" if ij.total <= gh.total else "grace-hash", ij, gh)
 

@@ -72,6 +72,7 @@ class DerivedDataSource:
         kernel: str = "vectorized",
         aggregate_mode: str = "central",
         reuse_caches: bool = False,
+        pipeline: bool = False,
     ):
         if aggregate_mode not in ("central", "distributed"):
             raise ValueError(f"unknown aggregate_mode {aggregate_mode!r}")
@@ -79,6 +80,9 @@ class DerivedDataSource:
             raise ValueError("cache reuse across queries is incompatible with "
                              "the offline belady policy")
         self.aggregate_mode = aggregate_mode
+        #: run the Indexed Join in its pipelined (prefetching) mode, and
+        #: cost it accordingly during planning
+        self.pipeline = pipeline
         #: keep each joiner's Caching Service alive between executions, so a
         #: repeated (or overlapping) query hits warm caches — the
         #: cross-query role the paper assigns the Caching Service
@@ -104,7 +108,7 @@ class DerivedDataSource:
 
     def plan(self) -> Plan:
         """Cost-model comparison for this view under this deployment."""
-        return self.planner.plan(self.join_view)
+        return self.planner.plan(self.join_view, pipeline=self.pipeline)
 
     def execute(self, algorithm: str = "auto") -> QueryResult:
         """Materialise the view.
@@ -129,6 +133,7 @@ class DerivedDataSource:
                 cache_policy=self.cache_policy,
                 kernel=self.kernel,
                 caches=self._warm_caches if self.reuse_caches else None,
+                pipeline=self.pipeline,
             )
         elif chosen == "grace-hash":
             qes = GraceHashQES(

@@ -38,15 +38,18 @@ class Plan:
     ij_cost: CostBreakdown
     gh_cost: CostBreakdown
     index: PageJoinIndex
+    #: Whether the Indexed Join was costed in its pipelined execution mode.
+    pipeline: bool = False
 
     @property
     def predicted_time(self) -> float:
         return min(self.ij_cost.total, self.gh_cost.total)
 
     def describe(self) -> str:
+        ij_mode = " (pipelined)" if self.pipeline else ""
         return (
             f"plan for {self.view.describe()}:\n"
-            f"  predicted IJ total: {self.ij_cost.total:.3f}s "
+            f"  predicted IJ total: {self.ij_cost.total:.3f}s{ij_mode} "
             f"(transfer {self.ij_cost.transfer:.3f}, cpu {self.ij_cost.cpu:.3f})\n"
             f"  predicted GH total: {self.gh_cost.total:.3f}s "
             f"(transfer {self.gh_cost.transfer:.3f}, write {self.gh_cost.write:.3f}, "
@@ -139,10 +142,15 @@ class QueryPlanningService:
         )
         return params, index
 
-    def plan(self, view: JoinView) -> Plan:
-        """Evaluate both cost models and choose the QES."""
+    def plan(self, view: JoinView, pipeline: bool = False) -> Plan:
+        """Evaluate both cost models and choose the QES.
+
+        ``pipeline`` plans the Indexed Join in its overlapped execution
+        mode (``Total_IJ_pipe = max(Transfer, Cpu)``), which can flip the
+        choice towards IJ on transfer-bound deployments.
+        """
         params, index = self.derive_parameters(view)
-        ij = indexed_join_cost(params)
+        ij = indexed_join_cost(params, pipelined=pipeline)
         gh = grace_hash_cost(params)
         algorithm = "indexed-join" if ij.total <= gh.total else "grace-hash"
         return Plan(
@@ -152,4 +160,5 @@ class QueryPlanningService:
             ij_cost=ij,
             gh_cost=gh,
             index=index,
+            pipeline=pipeline,
         )

@@ -3,6 +3,11 @@
 Each function returns the measured series for its figure at configurable
 scale; the benchmark suite runs them at the defaults recorded in
 EXPERIMENTS.md, the CLI exposes them with user-chosen sizes.
+
+All sweeps accept ``pipeline=True`` to run (and predict) the Indexed Join
+in its overlapped prefetching mode — an ablation the paper's synchronous
+QES does not have, useful for seeing how much of each figure's IJ curve is
+exposed transfer time.
 """
 
 from __future__ import annotations
@@ -31,10 +36,14 @@ def run_figure4(
     n_s: int = 5,
     n_j: int = 5,
     machine: MachineSpec = PAPER_MACHINE,
+    pipeline: bool = False,
 ) -> List[PointResult]:
     """Execution time vs ``n_e·c_S`` at constant grid and edge ratio."""
     points = constant_edge_ratio_sweep(grid, component, steps=steps)
-    return [run_point(pt.spec, n_s, n_j, machine=machine) for pt in points]
+    return [
+        run_point(pt.spec, n_s, n_j, machine=machine, pipeline=pipeline)
+        for pt in points
+    ]
 
 
 def run_figure5(
@@ -42,9 +51,13 @@ def run_figure5(
     n_s: int = 5,
     n_j_sweep: Sequence[int] = (1, 2, 3, 4, 5),
     machine: MachineSpec = PAPER_MACHINE,
+    pipeline: bool = False,
 ) -> List[Tuple[int, PointResult]]:
     """Execution time vs number of compute nodes (low ``n_e·c_S``)."""
-    return [(n_j, run_point(spec, n_s, n_j, machine=machine)) for n_j in n_j_sweep]
+    return [
+        (n_j, run_point(spec, n_s, n_j, machine=machine, pipeline=pipeline))
+        for n_j in n_j_sweep
+    ]
 
 
 def run_figure6(
@@ -53,10 +66,14 @@ def run_figure6(
     n_s: int = 5,
     n_j: int = 5,
     machine: MachineSpec = PAPER_MACHINE,
+    pipeline: bool = False,
 ) -> List[PointResult]:
     """Execution time vs T, partitions held fixed (to ~2 B tuples)."""
     points = tuple_count_sweep(base, factors, scale_dim=0)
-    return [run_point(pt.spec, n_s, n_j, machine=machine) for pt in points]
+    return [
+        run_point(pt.spec, n_s, n_j, machine=machine, pipeline=pipeline)
+        for pt in points
+    ]
 
 
 def run_figure7(
@@ -65,10 +82,17 @@ def run_figure7(
     n_s: int = 5,
     n_j: int = 5,
     machine: MachineSpec = PAPER_MACHINE,
+    pipeline: bool = False,
 ) -> List[Tuple[int, PointResult]]:
     """Execution time vs attribute count (4-byte attributes)."""
     return [
-        (4 + extra, run_point(spec, n_s, n_j, machine=machine, extra_attributes=extra))
+        (
+            4 + extra,
+            run_point(
+                spec, n_s, n_j, machine=machine, extra_attributes=extra,
+                pipeline=pipeline,
+            ),
+        )
         for extra in extra_attributes
     ]
 
@@ -79,10 +103,17 @@ def run_figure8(
     n_s: int = 5,
     n_j: int = 5,
     machine: MachineSpec = PAPER_MACHINE,
+    pipeline: bool = False,
 ) -> List[Tuple[float, PointResult]]:
     """Execution time vs computing-power factor F."""
     return [
-        (f, run_point(spec, n_s, n_j, machine=machine.with_cpu_factor(f)))
+        (
+            f,
+            run_point(
+                spec, n_s, n_j, machine=machine.with_cpu_factor(f),
+                pipeline=pipeline,
+            ),
+        )
         for f in f_sweep
     ]
 
@@ -91,9 +122,16 @@ def run_figure9(
     spec: GridSpec = GridSpec((64, 64, 64), (16, 16, 16), (16, 16, 16)),
     n_j_sweep: Sequence[int] = (1, 2, 4, 8),
     machine: MachineSpec = MachineSpec(disk_latency=5e-3),
+    pipeline: bool = False,
 ) -> List[Tuple[int, PointResult]]:
     """Shared-NFS deployment: execution time vs compute nodes."""
     return [
-        (n_j, run_point(spec, n_s=1, n_j=n_j, shared_nfs=True, machine=machine))
+        (
+            n_j,
+            run_point(
+                spec, n_s=1, n_j=n_j, shared_nfs=True, machine=machine,
+                pipeline=pipeline,
+            ),
+        )
         for n_j in n_j_sweep
     ]

@@ -37,10 +37,12 @@ class PointResult:
     gh_sim: float
     ij_report: ExecutionReport
     gh_report: ExecutionReport
+    #: Whether the Indexed Join ran (and is predicted) in pipelined mode.
+    pipelined: bool = False
 
     @property
     def ij_pred(self) -> float:
-        return indexed_join_cost(self.params).total
+        return indexed_join_cost(self.params, pipelined=self.pipelined).total
 
     @property
     def gh_pred(self) -> float:
@@ -73,8 +75,13 @@ def run_point(
     shared_nfs: bool = False,
     functional: bool = False,
     extra_attributes: int = 0,
+    pipeline: bool = False,
 ) -> PointResult:
-    """Execute IJ and GH for one configuration and collect predictions."""
+    """Execute IJ and GH for one configuration and collect predictions.
+
+    ``pipeline`` runs (and predicts) the Indexed Join in its overlapped
+    prefetching mode; Grace Hash is always synchronous.
+    """
     ds = build_oil_reservoir_dataset(
         spec, num_storage=n_s, functional=functional,
         extra_attributes=extra_attributes,
@@ -93,7 +100,8 @@ def run_point(
         return paper_cluster(n_s, n_j, spec=machine)
 
     ij_report = IndexedJoinQES(
-        cluster(), ds.metadata, "T1", "T2", ds.join_attrs, ds.provider
+        cluster(), ds.metadata, "T1", "T2", ds.join_attrs, ds.provider,
+        pipeline=pipeline,
     ).run()
     gh_report = GraceHashQES(
         cluster(), ds.metadata, "T1", "T2", ds.join_attrs, ds.provider
@@ -105,4 +113,5 @@ def run_point(
         gh_sim=gh_report.total_time,
         ij_report=ij_report,
         gh_report=gh_report,
+        pipelined=pipeline,
     )

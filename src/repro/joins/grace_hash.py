@@ -271,7 +271,9 @@ class GraceHashQES:
         pb = report.per_joiner[j]
         t0 = cluster.engine.now
         yield cluster.stream_batch(s, j, nbytes)
-        pb.transfer += cluster.engine.now - t0
+        dt = cluster.engine.now - t0
+        pb.transfer += dt
+        pb.stall += dt  # GH never overlaps: the QES thread waits per batch
         pending_writes.append(cluster.ingest_write(j, nbytes))
         report.bytes_from_storage += nbytes
         report.bytes_scratch_written += nbytes

@@ -16,6 +16,26 @@ rebuilt only after an eviction, so the one-build-per-sub-table property of
 the cost model holds whenever the memory assumption does), fetch-or-hit
 the right sub-table, then probe (``α_lookup`` per right record).
 
+Pipelined execution (``pipeline=True``) overlaps communication with
+computation: while a joiner builds/probes pair ``k``, a concurrent
+per-joiner prefetch process issues the transfers for pair ``k+1``'s
+sub-tables (double-buffered lookahead from
+:meth:`~repro.joins.scheduler.PairSchedule.iter_lookahead`).  Prefetched
+sub-tables are parked in the Caching Service's bounded staging area —
+outside the main cache, so they can neither evict the active pair nor be
+evicted — and are inserted through the ordinary ``get``/``put`` protocol
+only when their pair becomes active.  The cache therefore observes the
+*exact same* operation sequence as a synchronous run: hits, misses,
+evictions, ``bytes_from_storage`` and the functional join output are all
+byte-identical; only the simulated clock differs, approaching
+``max(T_transfer, T_compute)`` per pair instead of their sum (see
+:func:`repro.core.cost_models.indexed_join_cost`).  When the staging
+budget is exhausted (or a prefetch decision is invalidated by a later
+eviction) the consumer falls back to the paper's synchronous fetch for
+that sub-table, so the pipeline degrades gracefully rather than changing
+behaviour.  The synchronous mode stays the default because it is what the
+paper describes and measures.
+
 Functional runs materialise the actual join output through the in-memory
 hash join kernel; model-only runs move stubs and charge identical resource
 costs.
@@ -23,9 +43,10 @@ costs.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.cluster import ClusterSim
+from repro.cluster.events import Event
 from repro.datamodel.subtable import SubTable, SubTableId
 from repro.joins.hash_join import hash_join
 from repro.joins.join_index import PageJoinIndex, build_join_index
@@ -73,6 +94,13 @@ class IndexedJoinQES:
         "the Caching Service can be used by the QES to store and access
         frequently accessed objects" across queries, not just within one.
         Mutually exclusive with ``cache_capacity``/``cache_policy``.
+    pipeline:
+        Overlap sub-table transfers with build/probe work (see module
+        docstring).  Off by default — the synchronous mode is what the
+        paper describes.
+    prefetch_budget:
+        Staging budget in bytes for the pipelined mode's prefetched
+        sub-tables; defaults to a quarter of the cache capacity.
     """
 
     algorithm = "indexed-join"
@@ -91,6 +119,8 @@ class IndexedJoinQES:
         cache_policy: str = "lru",
         kernel: str = "vectorized",
         caches: Optional[List[CachingService]] = None,
+        pipeline: bool = False,
+        prefetch_budget: Optional[int] = None,
     ):
         self.cluster = cluster
         self.metadata = metadata
@@ -120,6 +150,8 @@ class IndexedJoinQES:
         self.cache_capacity = cache_capacity
         self.cache_policy = cache_policy
         self.kernel = kernel
+        self.pipeline = pipeline
+        self.prefetch_budget = prefetch_budget
 
     # -- execution ---------------------------------------------------------------
 
@@ -147,14 +179,21 @@ class IndexedJoinQES:
                     policy = make_policy("belady", self.schedule.reference_string(j))
                 else:
                     policy = make_policy(self.cache_policy)
-                caches.append(CachingService(capacity, policy))
+                caches.append(
+                    CachingService(
+                        capacity, policy, prefetch_budget_bytes=self.prefetch_budget
+                    )
+                )
             # expose the caches so callers can warm a later execution
             self.caches = caches
-        report.cache_stats = [c.stats for c in caches]
+        # snapshot so the report carries this run's deltas, not the caches'
+        # lifetime counters (a warmed cache has history from earlier runs)
+        stats_before = [c.stats.snapshot() for c in caches]
 
+        joiner_body = self._joiner_pipelined if self.pipeline else self._joiner
         procs = [
-            cluster.engine.process(
-                self._joiner(j, caches[j], report, results), name=f"ij-joiner{j}"
+            cluster.spawn(
+                joiner_body(j, caches[j], report, results), name=f"ij-joiner{j}"
             )
             for j in range(cluster.num_compute)
         ]
@@ -165,9 +204,15 @@ class IndexedJoinQES:
         report.total_time = cluster.engine.now
         report.pairs_joined = self.schedule.total_pairs
         report.results = results
+        report.cache_stats = [
+            c.stats.since(before) for c, before in zip(caches, stats_before)
+        ]
         report.extras["num_edges"] = float(self.index.num_edges)
         report.extras["num_components"] = float(len(self.index.components()))
+        report.extras["pipeline"] = 1.0 if self.pipeline else 0.0
         return report
+
+    # -- synchronous mode (paper-faithful) ----------------------------------------
 
     def _fetch(self, joiner: int, sid: SubTableId, cache: CachingService,
                pb: PhaseBreakdown, report: ExecutionReport, is_left: bool):
@@ -183,7 +228,9 @@ class IndexedJoinQES:
         desc = self.metadata.chunk(sid)
         t0 = cluster.engine.now
         yield cluster.read_and_send(desc.ref.storage_node, joiner, desc.size)
-        pb.transfer += cluster.engine.now - t0
+        dt = cluster.engine.now - t0
+        pb.transfer += dt
+        pb.stall += dt  # synchronous: the control loop waits out every byte
         report.bytes_from_storage += desc.size
         entry = self.provider.fetch(desc)
         if is_left:
@@ -200,8 +247,6 @@ class IndexedJoinQES:
 
     def _joiner(self, j: int, cache: CachingService, report: ExecutionReport,
                 results: Optional[List[List[SubTable]]]):
-        cluster = self.cluster
-        node = cluster.joiner(j)
         pb = report.per_joiner[j]
         pairs = self.schedule.per_joiner[j]
         for seq, (lid, rid) in enumerate(pairs):
@@ -211,24 +256,159 @@ class IndexedJoinQES:
             right_entry, right_cached = yield from self._fetch(
                 j, rid, cache, pb, report, is_left=False
             )
-            nprobe = right_entry.num_records
-            t0 = cluster.engine.now
-            yield node.compute(node.lookup_time(nprobe))
-            pb.cpu_lookup += cluster.engine.now - t0
-            report.kernel.probes += nprobe
-            if results is not None:
-                assert isinstance(left_entry, SubTable) and isinstance(right_entry, SubTable)
-                out, ks = hash_join(
-                    left_entry,
-                    right_entry,
-                    self.on,
-                    result_id=SubTableId(-1, seq),
-                    kernel=self.kernel,
-                )
-                report.kernel.matches += ks.matches
-                if out.num_records:
-                    results[j].append(out)
+            yield from self._probe_and_emit(
+                j, seq, left_entry, right_entry, pb, report, results
+            )
             if left_cached:
                 cache.unpin(lid)
             if right_cached:
                 cache.unpin(rid)
+
+    # -- pipelined mode ------------------------------------------------------------
+
+    def _joiner_pipelined(self, j: int, cache: CachingService,
+                          report: ExecutionReport,
+                          results: Optional[List[List[SubTable]]]):
+        """Double-buffered control loop: consume pair ``k`` while a
+        background process transfers pair ``k+1``'s sub-tables.
+
+        ``inflight`` maps sub-table ids to the event of their in-flight
+        transfer (prefetched *or* fallback), so a sub-table shared between
+        consecutive pairs is never transferred twice — the byte accounting
+        stays identical to the synchronous mode.
+        """
+        cluster = self.cluster
+        pb = report.per_joiner[j]
+        pairs = self.schedule.per_joiner[j]
+        if not pairs:
+            return
+        inflight: Dict[SubTableId, Event] = {}
+        fetch_next = cluster.spawn(
+            self._prefetch_pair(j, pairs[0], cache, inflight, pb, report),
+            name=f"ij-prefetch{j}.0",
+        )
+        for seq, (lid, rid), upcoming in self.schedule.iter_lookahead(j, depth=1):
+            t0 = cluster.engine.now
+            yield fetch_next
+            pb.stall += cluster.engine.now - t0
+            if upcoming:
+                fetch_next = cluster.spawn(
+                    self._prefetch_pair(j, upcoming[0], cache, inflight, pb, report),
+                    name=f"ij-prefetch{j}.{seq + 1}",
+                )
+            left_entry, left_cached = yield from self._consume(
+                j, lid, cache, inflight, pb, report, is_left=True
+            )
+            right_entry, right_cached = yield from self._consume(
+                j, rid, cache, inflight, pb, report, is_left=False
+            )
+            yield from self._probe_and_emit(
+                j, seq, left_entry, right_entry, pb, report, results
+            )
+            if left_cached:
+                cache.unpin(lid)
+            if right_cached:
+                cache.unpin(rid)
+
+    def _prefetch_pair(self, j: int, pair, cache: CachingService,
+                       inflight: Dict[SubTableId, Event],
+                       pb: PhaseBreakdown, report: ExecutionReport):
+        """Background transfer process for one upcoming pair.
+
+        Transfers are issued sequentially (one outstanding request per
+        joiner, like the single-threaded QES instance of the paper) and
+        the fetched sub-tables parked in the cache's staging area.  A
+        sub-table is skipped when it is already resident, staged, in
+        flight, or would overflow the staging budget — the consumer then
+        hits the cache or falls back to a synchronous fetch, keeping
+        ``bytes_from_storage`` identical either way.
+        """
+        cluster = self.cluster
+        for sid in pair:
+            if sid in cache or sid in inflight:
+                continue
+            desc = self.metadata.chunk(sid)
+            if not cache.prefetch_begin(sid, desc.size):
+                continue
+            transfer = cluster.read_and_send(desc.ref.storage_node, j, desc.size)
+            inflight[sid] = transfer
+            t0 = cluster.engine.now
+            yield transfer
+            pb.transfer += cluster.engine.now - t0
+            report.bytes_from_storage += desc.size
+            cache.prefetch_complete(sid, self.provider.fetch(desc))
+            del inflight[sid]
+
+    def _consume(self, joiner: int, sid: SubTableId, cache: CachingService,
+                 inflight: Dict[SubTableId, Event],
+                 pb: PhaseBreakdown, report: ExecutionReport, is_left: bool):
+        """Pipelined counterpart of :meth:`_fetch`.
+
+        Performs the exact cache protocol of the synchronous path
+        (``get`` → miss → ``put`` with a pin) but sources missed bytes
+        from the staging area when the prefetcher already moved them;
+        only sub-tables the prefetcher skipped pay a synchronous
+        transfer here.
+        """
+        cluster = self.cluster
+        node = cluster.joiner(joiner)
+        entry = cache.get(sid)
+        if entry is not None:
+            cache.pin(sid)
+            return entry, True
+        desc = self.metadata.chunk(sid)
+        entry = cache.take_prefetched(sid)
+        if entry is None and sid in inflight:
+            # the next pair's prefetcher is mid-transfer on a sub-table we
+            # share with it — wait for that transfer instead of re-issuing
+            t0 = cluster.engine.now
+            yield inflight[sid]
+            pb.stall += cluster.engine.now - t0
+            entry = cache.take_prefetched(sid)
+        if entry is None:
+            # prefetch skipped (budget) or invalidated (evicted after the
+            # lookahead decision): pay the transfer synchronously, exactly
+            # like the paper's baseline would at this point
+            t0 = cluster.engine.now
+            transfer = cluster.read_and_send(desc.ref.storage_node, joiner, desc.size)
+            inflight[sid] = transfer
+            yield transfer
+            del inflight[sid]
+            dt = cluster.engine.now - t0
+            pb.transfer += dt
+            pb.stall += dt
+            report.bytes_from_storage += desc.size
+            entry = self.provider.fetch(desc)
+        if is_left:
+            t0 = cluster.engine.now
+            yield node.compute(node.build_time(desc.num_records))
+            pb.cpu_build += cluster.engine.now - t0
+            report.kernel.builds += desc.num_records
+        nbytes = desc.size * 2 if is_left else desc.size
+        cached = cache.put(sid, entry, nbytes, pin=True)
+        return entry, cached
+
+    # -- shared probe/emit ---------------------------------------------------------
+
+    def _probe_and_emit(self, j: int, seq: int, left_entry, right_entry,
+                        pb: PhaseBreakdown, report: ExecutionReport,
+                        results: Optional[List[List[SubTable]]]):
+        cluster = self.cluster
+        node = cluster.joiner(j)
+        nprobe = right_entry.num_records
+        t0 = cluster.engine.now
+        yield node.compute(node.lookup_time(nprobe))
+        pb.cpu_lookup += cluster.engine.now - t0
+        report.kernel.probes += nprobe
+        if results is not None:
+            assert isinstance(left_entry, SubTable) and isinstance(right_entry, SubTable)
+            out, ks = hash_join(
+                left_entry,
+                right_entry,
+                self.on,
+                result_id=SubTableId(-1, seq),
+                kernel=self.kernel,
+            )
+            report.kernel.matches += ks.matches
+            if out.num_records:
+                results[j].append(out)

@@ -26,6 +26,15 @@ class PhaseBreakdown:
     The entries are *waits observed by the joiner's control loop*: because
     joiners run concurrently and resources are shared, sums across joiners
     exceed the makespan — like per-thread profiles on a real cluster.
+
+    ``transfer`` is the time transfers for this joiner spent on the wire
+    whether or not the control loop waited for them; ``stall`` is the
+    subset the control loop actually blocked on data it needed.  In a
+    synchronous execution every transfer is waited on, so
+    ``stall == transfer`` and :attr:`overlap_ratio` is 0; the pipelined
+    Indexed Join hides transfer time behind build/probe work, which shows
+    up as ``stall < transfer``.  ``stall`` is a view onto ``transfer``,
+    not an additional phase, so :attr:`total` does not include it.
     """
 
     transfer: float = 0.0
@@ -33,6 +42,7 @@ class PhaseBreakdown:
     scratch_read: float = 0.0
     cpu_build: float = 0.0
     cpu_lookup: float = 0.0
+    stall: float = 0.0
 
     @property
     def cpu(self) -> float:
@@ -42,12 +52,25 @@ class PhaseBreakdown:
     def total(self) -> float:
         return self.transfer + self.scratch_write + self.scratch_read + self.cpu
 
+    @property
+    def transfer_overlapped(self) -> float:
+        """Transfer time hidden behind computation (never negative)."""
+        return max(0.0, self.transfer - self.stall)
+
+    @property
+    def overlap_ratio(self) -> float:
+        """Fraction of transfer time hidden behind computation, in [0, 1]."""
+        if self.transfer <= 0.0:
+            return 0.0
+        return min(1.0, self.transfer_overlapped / self.transfer)
+
     def __iadd__(self, other: "PhaseBreakdown") -> "PhaseBreakdown":
         self.transfer += other.transfer
         self.scratch_write += other.scratch_write
         self.scratch_read += other.scratch_read
         self.cpu_build += other.cpu_build
         self.cpu_lookup += other.cpu_lookup
+        self.stall += other.stall
         return self
 
 
@@ -83,6 +106,18 @@ class ExecutionReport:
             return self.kernel.matches
         return sum(sub.num_records for per in self.results for sub in per)
 
+    @property
+    def overlap_ratio(self) -> float:
+        """Aggregate fraction of transfer time hidden behind computation
+        (0 for a fully synchronous execution)."""
+        agg = self.aggregate_phases()
+        return agg.overlap_ratio
+
+    @property
+    def stall_time(self) -> float:
+        """Summed per-joiner control-loop waits on in-flight data."""
+        return sum(pb.stall for pb in self.per_joiner)
+
     def aggregate_phases(self) -> PhaseBreakdown:
         """Sum of per-joiner breakdowns (exceeds makespan; see class doc)."""
         out = PhaseBreakdown()
@@ -109,6 +144,11 @@ class ExecutionReport:
             f"write {agg.scratch_write:.3f}s, read {agg.scratch_read:.3f}s, "
             f"cpu {agg.cpu:.3f}s"
         )
+        if agg.transfer_overlapped > 0:
+            lines.append(
+                f"  pipelining: {agg.overlap_ratio:.0%} of transfer time "
+                f"overlapped with compute (stall {agg.stall:.3f}s)"
+            )
         if self.cache_stats:
             hits = sum(s.hits for s in self.cache_stats)
             misses = sum(s.misses for s in self.cache_stats)

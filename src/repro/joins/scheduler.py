@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Iterator, List, Tuple
 
 from repro.datamodel.subtable import SubTableId
 from repro.joins.join_index import PageJoinIndex
@@ -68,6 +68,24 @@ class PairSchedule:
             refs.append(l)
             refs.append(r)
         return refs
+
+    def iter_lookahead(
+        self, joiner: int, depth: int = 1
+    ) -> "Iterator[Tuple[int, Pair, Tuple[Pair, ...]]]":
+        """Iterate one joiner's pairs with a window into the future.
+
+        Yields ``(seq, pair, upcoming)``, where ``upcoming`` holds the next
+        ``depth`` scheduled pairs (fewer near the end of the schedule) — a
+        pair-granular view of the same future knowledge
+        :meth:`reference_string` exposes reference-granularly.  The
+        pipelined Indexed Join drives its prefetcher from this window:
+        ``depth=1`` is classic double-buffering.
+        """
+        if depth < 1:
+            raise ValueError("lookahead depth must be >= 1")
+        pairs = self.per_joiner[joiner]
+        for seq, pair in enumerate(pairs):
+            yield seq, pair, tuple(pairs[seq + 1 : seq + 1 + depth])
 
 
 def schedule_two_stage(index: PageJoinIndex, num_joiners: int) -> PairSchedule:

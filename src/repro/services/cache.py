@@ -13,12 +13,20 @@ FIFO, LFU and Belady's offline-optimal policy for comparison.
 Entries are byte-budgeted (cache capacity is the compute node's memory) and
 pinnable: a pinned entry is never chosen as a victim, which is how a QES
 protects the pair of sub-tables it is actively joining.
+
+The service also owns a *prefetch staging area* for the pipelined Indexed
+Join: sub-tables transferred ahead of need are parked there — outside the
+main entry map, so they can neither evict nor be evicted — under a bounded
+byte budget (``prefetch_budget_bytes``, the double-buffer memory).  The
+consumer later takes a staged entry and inserts it through the ordinary
+:meth:`put` path, which keeps the cache's hit/miss/eviction sequence
+byte-identical to a run without prefetching.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Generic, Hashable, Iterable, List, Optional, Sequence, TypeVar
 
 __all__ = [
@@ -38,13 +46,21 @@ V = TypeVar("V")
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters plus byte traffic."""
+    """Hit/miss/eviction counters plus byte traffic.
+
+    Counters only ever grow, so one execution's activity on a long-lived
+    (warm) cache is the difference between two snapshots — see
+    :meth:`snapshot` and :meth:`since`.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     bytes_inserted: int = 0
     bytes_evicted: int = 0
+    #: Entries staged ahead of need by the pipelined Indexed Join.
+    prefetches: int = 0
+    bytes_prefetched: int = 0
 
     @property
     def accesses(self) -> int:
@@ -53,6 +69,27 @@ class CacheStats:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        """An immutable-by-convention copy of the current counters."""
+        return replace(self)
+
+    def since(self, baseline: "CacheStats") -> "CacheStats":
+        """Counter deltas accumulated after ``baseline`` was snapshotted.
+
+        Execution reports use this so a run on a warmed (reused) cache
+        reports only its own activity rather than the cache's lifetime
+        totals.
+        """
+        return CacheStats(
+            hits=self.hits - baseline.hits,
+            misses=self.misses - baseline.misses,
+            evictions=self.evictions - baseline.evictions,
+            bytes_inserted=self.bytes_inserted - baseline.bytes_inserted,
+            bytes_evicted=self.bytes_evicted - baseline.bytes_evicted,
+            prefetches=self.prefetches - baseline.prefetches,
+            bytes_prefetched=self.bytes_prefetched - baseline.bytes_prefetched,
+        )
 
 
 class EvictionPolicy(Generic[K]):
@@ -228,16 +265,46 @@ class _Entry(Generic[V]):
     pins: int = 0
 
 
-class CachingService(Generic[K, V]):
-    """Byte-budgeted object cache with pluggable eviction and pinning."""
+@dataclass
+class _Staged(Generic[V]):
+    """A prefetch reservation: budget held from begin until take/cancel."""
 
-    def __init__(self, capacity_bytes: int, policy: Optional[EvictionPolicy[K]] = None):
+    nbytes: int
+    value: Optional[V] = None
+    ready: bool = False
+
+
+class CachingService(Generic[K, V]):
+    """Byte-budgeted object cache with pluggable eviction, pinning and a
+    bounded prefetch staging area.
+
+    ``prefetch_budget_bytes`` caps the staging area (defaults to a quarter
+    of the capacity — enough to double-buffer a pair of sub-tables without
+    letting a deep prefetcher crowd out the cache's host memory).  Staged
+    entries live outside the entry map: they are implicitly pinned (never
+    eviction victims) and never evict resident entries.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        policy: Optional[EvictionPolicy[K]] = None,
+        prefetch_budget_bytes: Optional[int] = None,
+    ):
         if capacity_bytes <= 0:
             raise ValueError("capacity_bytes must be positive")
         self.capacity_bytes = int(capacity_bytes)
+        if prefetch_budget_bytes is None:
+            prefetch_budget_bytes = max(1, self.capacity_bytes // 4)
+        if prefetch_budget_bytes < 0:
+            raise ValueError("prefetch_budget_bytes must be >= 0")
+        self.prefetch_budget_bytes = int(prefetch_budget_bytes)
         self.policy: EvictionPolicy[K] = policy if policy is not None else LRUPolicy()
         self._entries: Dict[K, _Entry[V]] = {}
         self._bytes = 0
+        #: staged prefetches: key -> [value-or-None, nbytes, ready?]
+        self._staged: Dict[K, _Staged[V]] = {}
+        self._staged_bytes = 0
         self.stats = CacheStats()
 
     # -- observers ----------------------------------------------------------------
@@ -279,16 +346,25 @@ class CachingService(Generic[K, V]):
 
         Returns ``False`` (and does not insert) when the entry can never
         fit: larger than capacity, or everything else is pinned.  Re-putting
-        an existing key replaces its value and size.
+        an existing key replaces its value and size; a *grown* entry runs
+        the same eviction loop as a fresh insert (the entry itself is never
+        its own victim) so ``used_bytes`` can never exceed the capacity,
+        and the growth delta is accounted in ``stats.bytes_inserted``.
         """
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
         if key in self._entries:
             old = self._entries[key]
-            self._bytes -= old.nbytes
+            if nbytes > self.capacity_bytes:
+                return False
+            while self._bytes - old.nbytes + nbytes > self.capacity_bytes:
+                if not self._evict_one(exclude=key):
+                    return False
+            self._bytes += nbytes - old.nbytes
+            if nbytes > old.nbytes:
+                self.stats.bytes_inserted += nbytes - old.nbytes
             old.value = value
             old.nbytes = nbytes
-            self._bytes += nbytes
             if pin:
                 old.pins += 1
             self.policy.on_access(key)
@@ -319,6 +395,68 @@ class CachingService(Generic[K, V]):
             raise ValueError(f"key {key!r} is not pinned")
         entry.pins -= 1
 
+    # -- prefetch staging --------------------------------------------------------------
+
+    @property
+    def prefetch_bytes(self) -> int:
+        """Bytes currently held (or reserved in flight) by the staging area."""
+        return self._staged_bytes
+
+    def has_prefetched(self, key: K) -> bool:
+        """Whether ``key`` is staged — in flight or ready to be taken."""
+        return key in self._staged
+
+    def prefetch_begin(self, key: K, nbytes: int) -> bool:
+        """Reserve staging budget for an in-flight prefetch of ``key``.
+
+        Returns ``False`` — and the caller must then skip the transfer —
+        when the key is already resident or staged, or when the staging
+        budget cannot hold ``nbytes`` more.  Reserving *before* the
+        simulated transfer starts means the budget also bounds in-flight
+        prefetch traffic, not just parked entries.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if key in self._entries or key in self._staged:
+            return False
+        if self._staged_bytes + nbytes > self.prefetch_budget_bytes:
+            return False
+        self._staged[key] = _Staged(nbytes=nbytes)
+        self._staged_bytes += nbytes
+        return True
+
+    def prefetch_complete(self, key: K, value: V) -> None:
+        """Park the transferred value; it is now ready to be taken."""
+        staged = self._staged.get(key)
+        if staged is None:
+            raise KeyError(f"no prefetch in flight for key {key!r}")
+        if staged.ready:
+            raise ValueError(f"prefetch for key {key!r} completed twice")
+        staged.value = value
+        staged.ready = True
+        self.stats.prefetches += 1
+        self.stats.bytes_prefetched += staged.nbytes
+
+    def prefetch_cancel(self, key: K) -> None:
+        """Abandon a reservation (error paths); releases its budget."""
+        staged = self._staged.pop(key, None)
+        if staged is not None:
+            self._staged_bytes -= staged.nbytes
+
+    def take_prefetched(self, key: K) -> Optional[V]:
+        """Remove and return a *ready* staged value (``None`` otherwise).
+
+        Taking releases the staging budget; the caller is expected to
+        re-insert the value through :meth:`put`, which is what keeps the
+        main cache's behaviour identical to a run without prefetching.
+        """
+        staged = self._staged.get(key)
+        if staged is None or not staged.ready:
+            return None
+        del self._staged[key]
+        self._staged_bytes -= staged.nbytes
+        return staged.value
+
     def remove(self, key: K) -> bool:
         """Explicitly drop ``key`` (not counted as an eviction)."""
         entry = self._entries.pop(key, None)
@@ -334,8 +472,10 @@ class CachingService(Generic[K, V]):
 
     # -- internals -----------------------------------------------------------------------
 
-    def _evict_one(self) -> bool:
-        candidates = {k for k, e in self._entries.items() if e.pins == 0}
+    def _evict_one(self, exclude: Optional[K] = None) -> bool:
+        candidates = {
+            k for k, e in self._entries.items() if e.pins == 0 and k != exclude
+        }
         if not candidates:
             return False
         victim = self.policy.victim(candidates)

@@ -128,6 +128,25 @@ class TestProcess:
         assert eng.run_process(proc()) == 0.0
 
 
+class TestProcessErrors:
+    def test_exception_annotated_with_process_name(self):
+        """With concurrent background processes a traceback must identify
+        the failing logical activity by name."""
+        eng = SimEngine()
+
+        def broken():
+            yield eng.timeout(1)
+            raise RuntimeError("model bug")
+
+        eng.process(broken(), name="prefetcher-3")
+        with pytest.raises(RuntimeError, match="model bug") as excinfo:
+            eng.run()
+        assert any(
+            "prefetcher-3" in note
+            for note in getattr(excinfo.value, "__notes__", [])
+        )
+
+
 class TestAllOf:
     def test_barrier_waits_for_slowest(self):
         eng = SimEngine()

@@ -28,6 +28,24 @@ class TestWarmCaches:
         assert warm.report.bytes_from_storage == 0
         assert warm.report.total_time < cold.report.total_time / 2
 
+    def test_warm_run_reports_per_run_stats_not_cumulative(self):
+        """Regression: the report used to alias the caches' live
+        :class:`CacheStats`, so a warm run showed the cold run's misses
+        too.  Each report must carry only its own execution's deltas."""
+        ds, dds = self.make_dds(reuse=True)
+        cold = dds.execute(algorithm="indexed-join")
+        warm = dds.execute(algorithm="indexed-join")
+        cold_misses = sum(s.misses for s in cold.report.cache_stats)
+        assert cold_misses > 0
+        # every access in the warm run is a hit — and none of the cold
+        # run's misses leak into its stats
+        assert sum(s.misses for s in warm.report.cache_stats) == 0
+        assert sum(s.hits for s in warm.report.cache_stats) == \
+            2 * warm.report.pairs_joined
+        # the cold report is itself immutable history: running again must
+        # not have mutated it retroactively
+        assert sum(s.misses for s in cold.report.cache_stats) == cold_misses
+
     def test_without_reuse_second_run_pays_full_price(self):
         ds, dds = self.make_dds(reuse=False)
         first = dds.execute(algorithm="indexed-join")

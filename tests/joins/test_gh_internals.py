@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import strategies as st
 
 from repro.cluster import MachineSpec, paper_cluster
 from repro.datamodel import Schema, SubTable, SubTableId

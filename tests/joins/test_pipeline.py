@@ -1,0 +1,165 @@
+"""Tests for the pipelined (prefetching) Indexed Join execution mode.
+
+The load-bearing property: pipelining changes *when* bytes move, never
+*which* bytes move or what the join produces.  Every test here compares a
+pipelined run against the synchronous baseline on the same dataset.
+"""
+
+import pytest
+
+from repro.cluster import MachineSpec, paper_cluster
+from repro.datamodel.subtable import concat_subtables
+from repro.joins import IndexedJoinQES, reference_join
+from repro.joins.scheduler import schedule_random
+from repro.workloads import GridSpec, build_oil_reservoir_dataset
+
+#: Transfer-bound machine: slow link relative to CPU, so the synchronous
+#: mode leaves real wire time exposed for the pipeline to hide.
+TRANSFER_BOUND = MachineSpec(
+    disk_read_bw=25e6,
+    disk_write_bw=20e6,
+    link_bw=12.5e6,
+    memory_bytes=512 * 2**20,
+)
+
+SPEC = GridSpec(g=(16, 16), p=(4, 4), q=(4, 4))
+
+
+def run_ij(ds, pipeline, n_s=2, n_j=2, machine=TRANSFER_BOUND, **kw):
+    cluster = paper_cluster(n_s, n_j, spec=machine)
+    return IndexedJoinQES(
+        cluster, ds.metadata, "T1", "T2", ds.join_attrs, ds.provider,
+        pipeline=pipeline, **kw
+    ).run()
+
+
+def assert_same_execution(sync, pipe):
+    """Identical observable behaviour; only the clock may differ."""
+    assert pipe.bytes_from_storage == sync.bytes_from_storage
+    assert pipe.pairs_joined == sync.pairs_joined
+    assert pipe.kernel.builds == sync.kernel.builds
+    assert pipe.kernel.probes == sync.kernel.probes
+    for a, b in zip(sync.cache_stats, pipe.cache_stats):
+        assert (a.hits, a.misses, a.evictions, a.bytes_inserted) == \
+            (b.hits, b.misses, b.evictions, b.bytes_inserted)
+
+
+class TestEquivalence:
+    def test_identical_output_and_bytes(self):
+        ds = build_oil_reservoir_dataset(SPEC, num_storage=2, functional=True)
+        sync = run_ij(ds, pipeline=False)
+        pipe = run_ij(ds, pipeline=True)
+        assert_same_execution(sync, pipe)
+        oracle = reference_join(ds.metadata, ds.provider, "T1", "T2", ds.join_attrs)
+        got = concat_subtables(
+            [sub for per in pipe.results for sub in per], id=oracle.id
+        )
+        assert got.equals_unordered(oracle)
+
+    def test_faster_on_transfer_bound_config(self):
+        ds = build_oil_reservoir_dataset(SPEC, num_storage=2, functional=True)
+        sync = run_ij(ds, pipeline=False)
+        pipe = run_ij(ds, pipeline=True)
+        assert pipe.total_time < sync.total_time
+
+    def test_equivalent_under_random_schedule_with_evictions(self):
+        """A cache small enough to thrash plus a schedule with no locality:
+        the prefetcher's lookahead decisions get invalidated by evictions
+        and the fallback path runs — behaviour must still match exactly."""
+        ds = build_oil_reservoir_dataset(SPEC, num_storage=2, functional=True)
+
+        def run(pipeline):
+            cluster = paper_cluster(2, 2, spec=TRANSFER_BOUND)
+            qes = IndexedJoinQES(
+                cluster, ds.metadata, "T1", "T2", ds.join_attrs, ds.provider,
+                pipeline=pipeline, cache_capacity=4096,
+            )
+            qes.schedule = schedule_random(qes.index, 2, seed=3)
+            return qes.run()
+
+        sync, pipe = run(False), run(True)
+        assert sum(s.evictions for s in sync.cache_stats) > 0
+        assert_same_execution(sync, pipe)
+
+    def test_equivalent_with_belady_policy(self):
+        """Belady's cursor advances per cache reference; the pipelined
+        consume path must generate the same reference sequence."""
+        ds = build_oil_reservoir_dataset(SPEC, num_storage=2, functional=True)
+        sync = run_ij(ds, pipeline=False, cache_policy="belady", cache_capacity=4096)
+        pipe = run_ij(ds, pipeline=True, cache_policy="belady", cache_capacity=4096)
+        assert_same_execution(sync, pipe)
+
+    def test_zero_budget_degrades_to_synchronous_time(self):
+        """With no staging budget every prefetch is skipped and each
+        sub-table pays its transfer synchronously in the consume path —
+        same clock as the baseline, not just same bytes."""
+        ds = build_oil_reservoir_dataset(SPEC, num_storage=2, functional=True)
+        sync = run_ij(ds, pipeline=False)
+        pipe = run_ij(ds, pipeline=True, prefetch_budget=0)
+        assert_same_execution(sync, pipe)
+        assert pipe.total_time == pytest.approx(sync.total_time)
+        assert pipe.overlap_ratio == 0.0
+
+
+class TestOverlapAccounting:
+    def test_sync_run_reports_zero_overlap(self):
+        ds = build_oil_reservoir_dataset(SPEC, num_storage=2, functional=True)
+        sync = run_ij(ds, pipeline=False)
+        assert sync.overlap_ratio == 0.0
+        agg = sync.aggregate_phases()
+        assert agg.stall == pytest.approx(agg.transfer)
+
+    def test_pipelined_run_reports_overlap_and_stalls(self):
+        ds = build_oil_reservoir_dataset(SPEC, num_storage=2, functional=True)
+        pipe = run_ij(ds, pipeline=True)
+        assert 0.0 < pipe.overlap_ratio <= 1.0
+        assert pipe.stall_time < pipe.aggregate_phases().transfer
+        assert pipe.extras["pipeline"] == 1.0
+        assert "pipelining:" in pipe.summary()
+
+    def test_prefetch_stats_counted(self):
+        ds = build_oil_reservoir_dataset(SPEC, num_storage=2, functional=True)
+        pipe = run_ij(ds, pipeline=True)
+        assert sum(s.prefetches for s in pipe.cache_stats) > 0
+        sync = run_ij(ds, pipeline=False)
+        assert sum(s.prefetches for s in sync.cache_stats) == 0
+
+
+class TestWarmPipelined:
+    def test_warm_caches_skip_prefetching(self):
+        """A second run on warm caches hits everywhere: nothing to
+        prefetch, no storage traffic, in either mode."""
+        ds = build_oil_reservoir_dataset(SPEC, num_storage=2, functional=True)
+        cluster = paper_cluster(2, 2, spec=TRANSFER_BOUND)
+        first = IndexedJoinQES(
+            cluster, ds.metadata, "T1", "T2", ds.join_attrs, ds.provider,
+            pipeline=True,
+        )
+        first.run()
+        warm_cluster = paper_cluster(2, 2, spec=TRANSFER_BOUND)
+        warm = IndexedJoinQES(
+            warm_cluster, ds.metadata, "T1", "T2", ds.join_attrs, ds.provider,
+            pipeline=True, caches=first.caches,
+        ).run()
+        assert warm.bytes_from_storage == 0
+        assert sum(s.misses for s in warm.cache_stats) == 0
+        assert sum(s.prefetches for s in warm.cache_stats) == 0
+
+
+class TestLookahead:
+    def test_window_contents(self):
+        from repro.joins.scheduler import PairSchedule
+
+        pairs = [("a", "b"), ("c", "d"), ("e", "f")]
+        sched = PairSchedule(per_joiner=[pairs], strategy="test")
+        seen = list(sched.iter_lookahead(0, depth=2))
+        assert seen[0] == (0, ("a", "b"), (("c", "d"), ("e", "f")))
+        assert seen[1] == (1, ("c", "d"), (("e", "f"),))
+        assert seen[2] == (2, ("e", "f"), ())
+
+    def test_depth_validated(self):
+        from repro.joins.scheduler import PairSchedule
+
+        sched = PairSchedule(per_joiner=[[]], strategy="test")
+        with pytest.raises(ValueError):
+            list(sched.iter_lookahead(0, depth=0))

@@ -5,7 +5,6 @@ single-node sort-merge oracle; simulated timings are checked for basic
 physical sanity (monotonicity in data size, benefit from parallelism).
 """
 
-import numpy as np
 import pytest
 
 from repro.cluster import MachineSpec, paper_cluster, nfs_cluster

@@ -1,7 +1,6 @@
 """Unit tests for execution reports and phase breakdowns."""
 
 import numpy as np
-import pytest
 
 from repro.datamodel import Schema, SubTable, SubTableId
 from repro.joins import ExecutionReport, PhaseBreakdown

@@ -5,9 +5,9 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster import MachineSpec
-from repro.core import Aggregate, AggregationView, DerivedDataSource, JoinView
+from repro.core import Aggregate, DerivedDataSource, JoinView
 from repro.datamodel import Schema, SubTable, SubTableId
-from repro.query import QueryExecutor, aggregate, parse_query
+from repro.query import QueryExecutor, aggregate
 from repro.workloads import GridSpec, build_oil_reservoir_dataset
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.datamodel import ChunkRef, SubTableId
+from repro.datamodel import ChunkRef
 from repro.storage import (
     BlockCyclicPlacement,
     ContiguousPlacement,
@@ -24,7 +24,6 @@ layout t1 {
     field oilp float32;
 }
 """
-
 
 # ---------------------------------------------------------------------------
 # Placement

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.datamodel import Schema, SubTableId
+from repro.datamodel import Schema
 from repro.metadata import MetaDataService
 from repro.query import QueryExecutor
 from repro.services import BasicDataSourceService, FunctionalProvider

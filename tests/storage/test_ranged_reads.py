@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.datamodel import ChunkRef
 from repro.storage import LocalChunkStore
 from repro.storage.chunkstore import InMemoryChunkStore
 

@@ -73,6 +73,44 @@ class TestRun:
         assert "simulated winner:" in out
 
 
+class TestPipelineFlag:
+    def test_run_with_pipeline_reports_overlap(self, capsys):
+        assert main(["run", "--grid", "32,32,32", "--p", "8,8,8",
+                     "--q", "8,8,8", "--storage", "2", "--compute", "2",
+                     "--pipeline"]) == 0
+        out = capsys.readouterr().out
+        assert "indexed-join (pipe)" in out
+        assert "transfer overlap:" in out
+
+    def test_no_pipeline_is_default(self, capsys):
+        args = build_parser().parse_args(
+            ["run", "--grid", "32,32,32", "--p", "8,8,8", "--q", "8,8,8"]
+        )
+        assert args.pipeline is False
+        args = build_parser().parse_args(
+            ["run", "--grid", "32,32,32", "--p", "8,8,8", "--q", "8,8,8",
+             "--no-pipeline"]
+        )
+        assert args.pipeline is False
+
+    def test_plan_with_pipeline_lowers_ij_total(self, capsys):
+        base = ["plan", "--grid", "64,64,64", "--p", "16,16,16",
+                "--q", "16,16,16"]
+        assert main(base) == 0
+        sync_out = capsys.readouterr().out
+        assert main(base + ["--pipeline"]) == 0
+        pipe_out = capsys.readouterr().out
+
+        def ij_total(out):
+            for line in out.splitlines():
+                if line.strip().startswith("indexed-join"):
+                    return float(line.split()[-1])
+            raise AssertionError(out)
+
+        assert ij_total(pipe_out) < ij_total(sync_out)
+        assert "indexed-join (pipe)" in pipe_out
+
+
 class TestCalibrate:
     def test_calibrate_prints_constants(self, capsys):
         assert main(["calibrate", "--tuples", "5000", "--repeats", "1"]) == 0

@@ -5,8 +5,6 @@ reservation times) — the property that makes recorded experiment tables
 reproducible and regressions diffable.
 """
 
-import pytest
-
 from repro.cluster import ClusterSim, ClusterTopology
 from repro.experiments import run_point
 from repro.joins import GraceHashQES, IndexedJoinQES

@@ -5,7 +5,6 @@ grid partitionings and topologies, the distributed executions must satisfy
 the conservation laws and closed forms the design rests on.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import (

@@ -11,7 +11,6 @@ from repro.workloads import (
     make_grid_partitions,
     power_of_two_partitions,
 )
-from repro.workloads.generator import dim_names
 from repro.workloads.oilres import (
     build_oil_reservoir_dataset,
     oil_reservoir_schema_full,
