@@ -44,6 +44,7 @@ from repro.core import (
     preferred_algorithm,
 )
 from repro.datamodel import Attribute, BoundingBox, Schema, SubTable, SubTableId
+from repro.faults import FaultPlan, UnrecoverableFault
 from repro.joins import (
     ExecutionReport,
     GraceHashQES,
@@ -77,6 +78,7 @@ __all__ = [
     "CostParameters",
     "DerivedDataSource",
     "ExecutionReport",
+    "FaultPlan",
     "FunctionalProvider",
     "GraceHashQES",
     "GridSpec",
@@ -95,6 +97,7 @@ __all__ = [
     "StubProvider",
     "SubTable",
     "SubTableId",
+    "UnrecoverableFault",
     "build_join_index",
     "build_oil_reservoir_dataset",
     "constant_edge_ratio_sweep",

@@ -47,6 +47,7 @@ from repro.experiments.figures import (
     run_figure9,
 )
 from repro.experiments.runner import run_point
+from repro.faults import UnrecoverableFault
 from repro.workloads.generator import GridSpec
 
 __all__ = ["main"]
@@ -85,6 +86,13 @@ def _add_deploy_args(p: argparse.ArgumentParser) -> None:
                    help="overlap Indexed Join transfers with build/probe work "
                         "(prefetch pipeline; default off — the paper's QES is "
                         "synchronous)")
+    p.add_argument("--faults", type=str, default=None, metavar="SPEC",
+                   help="inject a deterministic fault plan, e.g. "
+                        "'seed=7,storage_crash=0.5,transient=0.01' "
+                        "(see FaultPlan.parse for the full grammar)")
+    p.add_argument("--replication", type=int, default=1, metavar="K",
+                   help="write each chunk to K storage nodes so reads can "
+                        "fail over (default 1 — no replication)")
 
 
 def _machine(args: argparse.Namespace) -> MachineSpec:
@@ -161,6 +169,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         machine=machine,
         shared_nfs=args.nfs,
         pipeline=args.pipeline,
+        faults=args.faults,
+        replication=args.replication,
     )
     ij_name = "indexed-join (pipe)" if args.pipeline else "indexed-join"
     print(spec.describe())
@@ -177,6 +187,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.pipeline:
         print(f"IJ transfer overlap: {result.ij_report.overlap_ratio:.0%} "
               f"(stall {result.ij_report.stall_time:.3f}s)")
+    if args.faults:
+        for name, rep in (("IJ", result.ij_report), ("GH", result.gh_report)):
+            rec = rep.recovery
+            print(f"{name} recovery: {rec.retries} retries, {rec.failovers} "
+                  f"failovers, {rec.reassigned_pairs} pairs reassigned, "
+                  f"{rec.restarted_chunks} chunks restarted, wasted "
+                  f"{rec.wasted_seconds:.3f}s / {rec.wasted_bytes:,} B")
     return 0
 
 
@@ -274,6 +291,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except UnrecoverableFault as exc:
+        print(f"unrecoverable fault: {exc}", file=sys.stderr)
+        return 3
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

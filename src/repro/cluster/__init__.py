@@ -31,7 +31,16 @@ validation.
 """
 
 from repro.cluster.cluster import ClusterSim, ClusterTopology, nfs_cluster, paper_cluster
-from repro.cluster.events import AllOf, Event, Process, SimEngine, Timeout
+from repro.cluster.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimEngine,
+    SimulationError,
+    Timeout,
+)
 from repro.cluster.network import NetworkFabric, NFSFabric, SwitchedFabric
 from repro.cluster.nodes import ComputeNode, MachineSpec, StorageNode, PAPER_MACHINE
 from repro.cluster.resources import BandwidthResource, ResourceStats
@@ -39,11 +48,13 @@ from repro.cluster.trace import Interval, Tracer
 
 __all__ = [
     "AllOf",
+    "AnyOf",
     "BandwidthResource",
     "ClusterSim",
     "ClusterTopology",
     "ComputeNode",
     "Event",
+    "Interrupt",
     "Interval",
     "MachineSpec",
     "NFSFabric",
@@ -52,6 +63,7 @@ __all__ = [
     "Process",
     "ResourceStats",
     "SimEngine",
+    "SimulationError",
     "StorageNode",
     "SwitchedFabric",
     "Timeout",

@@ -65,6 +65,7 @@ class ClusterSim:
         storage_specs: Optional[Dict[int, MachineSpec]] = None,
         compute_specs: Optional[Dict[int, MachineSpec]] = None,
         trace: bool = False,
+        faults=None,
     ):
         """Assemble a cluster.
 
@@ -74,6 +75,12 @@ class ClusterSim:
         deployments and the subject of the straggler ablation.  The network
         fabric stays uniform at ``spec.link_bw`` (a switch port is a switch
         port); per-node overrides affect disks and CPU constants.
+
+        ``faults`` takes a :class:`repro.faults.FaultPlan`; the cluster
+        instantiates a :class:`repro.faults.FaultInjector` for it (exposed
+        as ``self.faults``) and every storage transfer is routed through
+        its guards.  A trivial (empty) plan leaves the run byte-identical
+        to ``faults=None``.
         """
         self.topology = topology
         self.spec = spec
@@ -116,6 +123,13 @@ class ClusterSim:
             )
             for j in range(topology.num_compute)
         ]
+        self.faults = None
+        if faults is not None:
+            from repro.faults import FaultInjector, FaultPlan
+
+            if isinstance(faults, str):
+                faults = FaultPlan.parse(faults)
+            self.faults = FaultInjector(self, faults)
 
     # -- shorthand accessors ----------------------------------------------------
 
@@ -147,7 +161,7 @@ class ClusterSim:
 
     # -- composite operations ------------------------------------------------------
 
-    def read_and_send(self, storage: int, compute: int, nbytes: int) -> Timeout:
+    def read_and_send(self, storage: int, compute: int, nbytes: int) -> Event:
         """BDS sub-table service: stream a chunk from disk over the wire.
 
         The BDS streams through a read-ahead buffer: the request completes
@@ -156,24 +170,42 @@ class ClusterSim:
         frees up for the next request while the NICs drain.  This yields
         exactly the ``min(Net_bw, readIO_bw · n_s)`` aggregate of the cost
         models without convoying at saturation.
+
+        With a fault plan installed the request may *fail* instead:
+        fail-fast (no resources burned) when the node is already dead,
+        mid-flight on a node crash, or at completion on a transient fault.
         """
+        if self.faults is not None:
+            dead = self.faults.check_storage(storage)
+            if dead is not None:
+                return dead
         s = self.storage_nodes[storage]
         c = self.compute_nodes[compute]
         resources = [s.disk] + self.fabric.transfer_resources(s.fabric_id, c.fabric_id)
-        return BandwidthResource.reserve_pipeline(resources, nbytes)
+        transfer = BandwidthResource.reserve_pipeline(resources, nbytes)
+        if self.faults is not None:
+            return self.faults.guard_transfer(transfer, storage)
+        return transfer
 
     def send(self, src_compute_or_storage_fabric: int, dst_fabric: int, nbytes: int) -> Timeout:
         """Raw fabric transfer between two fabric ids."""
         return self.fabric.transfer(src_compute_or_storage_fabric, dst_fabric, nbytes)
 
-    def stream_batch(self, storage: int, compute: int, nbytes: int) -> Timeout:
+    def stream_batch(self, storage: int, compute: int, nbytes: int) -> Event:
         """Stream ``nbytes`` of freshly-read records from a storage node to
-        a compute node (same pipelined read-ahead semantics as
-        :meth:`read_and_send`)."""
+        a compute node (same pipelined read-ahead semantics and failure
+        modes as :meth:`read_and_send`)."""
+        if self.faults is not None:
+            dead = self.faults.check_storage(storage)
+            if dead is not None:
+                return dead
         s = self.storage_nodes[storage]
         c = self.compute_nodes[compute]
         resources = [s.disk] + self.fabric.transfer_resources(s.fabric_id, c.fabric_id)
-        return BandwidthResource.reserve_pipeline(resources, nbytes)
+        transfer = BandwidthResource.reserve_pipeline(resources, nbytes)
+        if self.faults is not None:
+            return self.faults.guard_transfer(transfer, storage)
+        return transfer
 
     def ingest_write(self, compute: int, nbytes: int) -> Event:
         """Bucket write of a just-received batch by the joiner's QES thread.
@@ -262,14 +294,18 @@ def paper_cluster(
     num_storage: int = 5,
     num_compute: int = 5,
     spec: MachineSpec = PAPER_MACHINE,
+    faults=None,
 ) -> ClusterSim:
     """The Section 6 testbed shape: switched fabric, local scratch disks."""
-    return ClusterSim(ClusterTopology(num_storage, num_compute), spec=spec)
+    return ClusterSim(ClusterTopology(num_storage, num_compute), spec=spec, faults=faults)
 
 
-def nfs_cluster(num_compute: int, spec: MachineSpec = PAPER_MACHINE) -> ClusterSim:
+def nfs_cluster(
+    num_compute: int, spec: MachineSpec = PAPER_MACHINE, faults=None
+) -> ClusterSim:
     """The Figure 9 scenario: one shared NFS server, diskless compute nodes."""
     return ClusterSim(
         ClusterTopology(num_storage=1, num_compute=num_compute, shared_nfs=True),
         spec=spec,
+        faults=faults,
     )

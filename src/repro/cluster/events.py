@@ -2,7 +2,7 @@
 
 The engine follows the simpy model at a fraction of its surface: simulation
 logic is written as generator functions that ``yield`` events; the engine
-resumes a process when the event it waits on fires.  Three event kinds
+resumes a process when the event it waits on fires.  Four event kinds
 cover everything the join algorithms need:
 
 * :class:`Timeout` — fires after a fixed delay (all resource waits reduce
@@ -11,7 +11,21 @@ cover everything the join algorithms need:
 * :class:`Process` — a running generator; itself an event that fires when
   the generator returns, so processes can wait on (join) other processes;
 * :class:`AllOf` — barrier over a set of events (used for fork/join
-  phases, e.g. "all storage nodes finished streaming").
+  phases, e.g. "all storage nodes finished streaming");
+* :class:`AnyOf` — race over a set of events (used to bound a transfer by
+  a deadline or by a node-crash signal: whichever fires first settles the
+  race).
+
+Failure semantics (the substrate of the fault-injection subsystem in
+:mod:`repro.faults`): an event may *fail* instead of succeeding
+(:meth:`Event.fail`), in which case the stored exception is **thrown into**
+every process waiting on it — a process models a recovery protocol simply
+by catching the exception at its ``yield``.  A running process can also be
+killed from outside via :meth:`Process.interrupt`, which throws
+:class:`Interrupt` at its current wait point; an *uncaught* interrupt marks
+the process event failed (the process was deliberately killed — anyone
+joining it sees the interrupt), while every other uncaught exception still
+propagates out of :meth:`SimEngine.run` so model bugs fail tests loudly.
 
 Determinism: events scheduled for the same instant fire in scheduling
 order (a monotonically increasing sequence number breaks ties), so a given
@@ -21,34 +35,69 @@ workload always produces the same trace.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
 
-__all__ = ["Event", "Timeout", "Process", "AllOf", "SimEngine", "SimulationError"]
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimEngine",
+    "SimulationError",
+]
 
 
 class SimulationError(RuntimeError):
     """Raised for structural misuse of the engine (not model errors)."""
 
 
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries why the process was killed (e.g. a
+    :class:`repro.faults.ComputeNodeDown` instance for a simulated node
+    crash).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __str__(self) -> str:  # pragma: no cover - diagnostic only
+        return f"Interrupt({self.cause!r})"
+
+
 class Event:
     """Something that will happen at a simulated instant.
 
     An event starts *pending*; :meth:`succeed` marks it triggered and
-    schedules its callbacks at the current simulation time.  Events carry an
-    optional value delivered to resumed processes.
+    schedules its callbacks at the current simulation time, while
+    :meth:`fail` marks it triggered with an exception that is thrown into
+    waiting processes.  Events carry an optional value delivered to resumed
+    processes (for a failed event the value *is* the exception).
     """
 
-    __slots__ = ("engine", "callbacks", "_triggered", "_value")
+    __slots__ = ("engine", "callbacks", "_triggered", "_ok", "_value")
 
     def __init__(self, engine: "SimEngine"):
         self.engine = engine
         self.callbacks: List[Callable[["Event"], None]] = []
         self._triggered = False
+        self._ok = True
         self._value: Any = None
 
     @property
     def triggered(self) -> bool:
         return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded (only meaningful once triggered)."""
+        if not self._triggered:
+            raise SimulationError("event outcome read before trigger")
+        return self._ok
 
     @property
     def value(self) -> Any:
@@ -64,51 +113,129 @@ class Event:
         self.engine._schedule(self.engine.now, self._run_callbacks)
         return self
 
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is thrown into every process waiting on this event at
+        the current instant.  A failed event nobody waits on is silently
+        discarded (an abandoned race loser, a killed background activity).
+        """
+        if not isinstance(exc, BaseException):
+            raise ValueError(f"fail() needs an exception, got {type(exc).__name__}")
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._ok = False
+        self._value = exc
+        self.engine._schedule(self.engine.now, self._run_callbacks)
+        return self
+
     def _run_callbacks(self) -> None:
         callbacks, self.callbacks = self.callbacks, []
         for cb in callbacks:
             cb(self)
 
+    def __repr__(self) -> str:
+        state = "pending"
+        if self._triggered:
+            state = "ok" if self._ok else f"failed({self._value!r})"
+        return f"<{type(self).__name__} {state}>"
+
 
 class Timeout(Event):
     """Event that fires ``delay`` seconds after creation."""
 
-    __slots__ = ()
+    __slots__ = ("at",)
 
     def __init__(self, engine: "SimEngine", delay: float):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         super().__init__(engine)
-        engine._schedule(engine.now + delay, self._fire)
+        #: absolute simulation time at which this timeout fires
+        self.at = engine.now + delay
+        engine._schedule(self.at, self._fire)
 
     def _fire(self) -> None:
         self._triggered = True
         self._run_callbacks()
+
+    def __repr__(self) -> str:
+        state = "fired" if self._triggered else "pending"
+        return f"<Timeout at={self.at:g} {state}>"
 
 
 class Process(Event):
     """A generator being driven by the engine.
 
     The generator may ``yield`` any :class:`Event`; it is resumed with the
-    event's value.  When the generator returns, the process event fires
-    with the return value.  Exceptions raised inside a process propagate
-    out of :meth:`SimEngine.run` — model bugs fail tests loudly instead of
-    silently deadlocking.
+    event's value — or, if the event *failed*, the event's exception is
+    thrown into it at the yield point, so recovery logic is an ordinary
+    ``try/except`` around a ``yield``.  When the generator returns, the
+    process event fires with the return value.
+
+    Uncaught exceptions raised inside a process propagate out of
+    :meth:`SimEngine.run` — model bugs fail tests loudly instead of
+    silently deadlocking — with one exception: an uncaught
+    :class:`Interrupt` (the process was deliberately killed) *fails* the
+    process event instead, so joiners observe the death while the
+    simulation carries on.
     """
 
-    __slots__ = ("_gen", "name")
+    __slots__ = ("_gen", "name", "_target")
 
     def __init__(self, engine: "SimEngine", gen: Generator[Event, Any, Any], name: str = ""):
         super().__init__(engine)
         self._gen = gen
         self.name = name or getattr(gen, "__name__", "process")
+        #: the event this process is currently waiting on (wait token: a
+        #: resumption is only valid while its event is still the target)
+        self._target: Optional[Event] = None
+        engine._live[self] = None
         engine._schedule(engine.now, lambda: self._step(None))
 
-    def _step(self, send_value: Any) -> None:
+    def interrupt(self, cause: Any = None) -> bool:
+        """Kill or poke this process: throw :class:`Interrupt` at its
+        current wait point at the current simulation time.
+
+        Returns ``False`` (and does nothing) when the process has already
+        completed — interrupting the dead is a no-op, which lets fault
+        injectors kill every process registered for a node without
+        tracking which ones already finished.
+        """
+        if self._triggered:
+            return False
+        self.engine._schedule(self.engine.now, lambda: self._deliver_interrupt(cause))
+        return True
+
+    def _deliver_interrupt(self, cause: Any) -> None:
+        if self._triggered:
+            return  # died (or finished) between scheduling and delivery
+        self._target = None  # detach from whatever it was waiting on
+        self._step(Interrupt(cause), throw=True)
+
+    def _finish(self, ok: bool, value: Any) -> None:
+        self.engine._live.pop(self, None)
+        if ok:
+            self.succeed(value)
+        else:
+            self.fail(value)
+
+    def _step(self, send_value: Any, throw: bool = False) -> None:
+        if self._triggered:
+            return  # killed while a resumption was already scheduled
+        self._target = None
         try:
-            target = self._gen.send(send_value)
+            if throw:
+                target = self._gen.throw(send_value)
+            else:
+                target = self._gen.send(send_value)
         except StopIteration as stop:
-            self.succeed(stop.value)
+            self._finish(True, stop.value)
+            return
+        except Interrupt as intr:
+            # deliberately killed and chose not to recover: fail the
+            # process event so joiners see the death; the simulation lives
+            self._finish(False, intr)
             return
         except Exception as exc:
             # With concurrent background processes (e.g. the pipelined
@@ -120,19 +247,30 @@ class Process(Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {type(target).__name__}, not an Event"
             )
+        self._target = target
         if target.triggered:
             # already done: resume at the current instant (not recursively,
             # to keep stack depth bounded on long chains)
-            self.engine._schedule(self.engine.now, lambda: self._step(target._value))
+            self.engine._schedule(self.engine.now, lambda: self._resume(target))
         else:
-            target.callbacks.append(lambda ev: self._step(ev._value))
+            target.callbacks.append(self._resume)
+
+    def _resume(self, ev: Event) -> None:
+        if self._target is not ev:
+            return  # stale wake-up: the process was interrupted meanwhile
+        self._step(ev._value, throw=not ev._ok)
+
+    def __repr__(self) -> str:
+        state = "done" if self._triggered else "running"
+        return f"<Process {self.name!r} {state}>"
 
 
 class AllOf(Event):
     """Barrier: fires when every child event has fired.
 
     Value is the list of child values in the order given.  An empty child
-    list fires immediately (a barrier over nothing).
+    list fires immediately (a barrier over nothing).  If any child *fails*,
+    the barrier fails with that child's exception (first failure wins).
     """
 
     __slots__ = ("_children", "_remaining")
@@ -145,13 +283,75 @@ class AllOf(Event):
             if not ev.triggered:
                 self._remaining += 1
                 ev.callbacks.append(self._child_done)
-        if self._remaining == 0:
+        failed = next(
+            (ev for ev in self._children if ev.triggered and not ev._ok), None
+        )
+        if failed is not None:
+            self.fail(failed._value)
+        elif self._remaining == 0:
             self.succeed([ev._value for ev in self._children])
 
     def _child_done(self, ev: Event) -> None:
+        if self._triggered:
+            return  # already failed on an earlier child
+        if not ev._ok:
+            self.fail(ev._value)
+            return
         self._remaining -= 1
         if self._remaining == 0:
             self.succeed([c._value for c in self._children])
+
+
+class AnyOf(Event):
+    """Race: fires as soon as the *first* child event fires.
+
+    The race's value (or failure) is the winning child's; losers are
+    abandoned — their later outcomes, including failures, are discarded.
+    :attr:`first_index` records which child won, so a caller racing a
+    transfer against a deadline can tell data from timeout:
+
+    .. code-block:: python
+
+        race = engine.any_of([transfer, engine.timeout(deadline)])
+        yield race
+        if race.first_index == 1:
+            ...  # deadline hit first
+
+    Children already triggered at construction win immediately, earliest
+    listed first.
+    """
+
+    __slots__ = ("_children", "first_index")
+
+    def __init__(self, engine: "SimEngine", events: Iterable[Event]):
+        super().__init__(engine)
+        self._children = list(events)
+        if not self._children:
+            raise ValueError("AnyOf needs at least one event")
+        #: index of the winning child (None until the race settles)
+        self.first_index: Optional[int] = None
+        for i, ev in enumerate(self._children):
+            if ev.triggered:
+                self._settle(i, ev)
+                return
+        for i, ev in enumerate(self._children):
+            ev.callbacks.append(lambda e, i=i: self._settle(i, e))
+
+    @property
+    def first(self) -> Event:
+        """The winning child event (only meaningful once triggered)."""
+        if self.first_index is None:
+            raise SimulationError("race not settled yet")
+        return self._children[self.first_index]
+
+    def _settle(self, i: int, ev: Event) -> None:
+        if self._triggered:
+            return  # race already won by an earlier child
+        self.first_index = i
+        if ev._ok:
+            self.succeed(ev._value)
+        else:
+            self.fail(ev._value)
 
 
 class SimEngine:
@@ -161,6 +361,9 @@ class SimEngine:
         self.now: float = 0.0
         self._queue: List = []
         self._seq = 0
+        #: live (not yet completed) processes, in spawn order — the
+        #: substrate of the deadlock diagnostic
+        self._live: Dict[Process, None] = {}
         #: optional :class:`repro.cluster.trace.Tracer` recording resource
         #: busy intervals; assigned by the cluster when tracing is enabled
         self.tracer = None
@@ -184,14 +387,38 @@ class SimEngine:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
     def event(self) -> Event:
         """A bare event triggered manually (for signalling)."""
         return Event(self)
 
+    def fail_after(self, delay: float, exc: BaseException) -> Event:
+        """An event that *fails* with ``exc`` after ``delay`` seconds.
+
+        The fault injector uses this to model operations that burn their
+        full service time and then report an error (a transfer that dies
+        on the last packet), and ``delay=0`` for fail-fast refusals
+        (requesting a chunk from a node already known dead).
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        ev = self.event()
+        self._schedule(self.now + delay, lambda: ev.fail(exc))
+        return ev
+
+    def pending_processes(self) -> List[Process]:
+        """Processes spawned but not yet completed, in spawn order."""
+        return [p for p in self._live if not p.triggered]
+
     def run(self, until: Optional[float] = None) -> float:
         """Drain the queue (optionally stopping at time ``until``).
 
-        Returns the final simulation time.
+        Returns the final simulation time: ``until`` when given (even if
+        the queue drains earlier — the clock still advances to ``until``,
+        matching what a wall clock would read), otherwise the time of the
+        last event.
         """
         while self._queue:
             at, _, fn = self._queue[0]
@@ -201,15 +428,37 @@ class SimEngine:
             heapq.heappop(self._queue)
             self.now = at
             fn()
+        if until is not None and until > self.now:
+            self.now = until
         return self.now
 
     def run_process(self, gen: Generator[Event, Any, Any], name: str = "") -> Any:
-        """Convenience: start a process, run to completion, return its value."""
+        """Convenience: start a process, run to completion, return its value.
+
+        A deadlock (the queue drained but the process never completed)
+        raises :class:`SimulationError` enumerating every still-pending
+        named process and the event each is blocked on — with fault
+        injection able to strand processes, "who is waiting on what" is
+        the first question a deadlock report must answer.
+        """
         proc = self.process(gen, name=name)
         self.run()
         if not proc.triggered:
-            raise SimulationError(
+            lines = [
                 f"deadlock: process {proc.name!r} never completed "
                 "(waiting on an event nobody triggers)"
-            )
+            ]
+            pending = self.pending_processes()
+            if pending:
+                lines.append("pending processes:")
+                for p in pending:
+                    blocked_on = (
+                        repr(p._target) if p._target is not None else "nothing (runnable)"
+                    )
+                    lines.append(f"  - {p.name!r} blocked on {blocked_on}")
+            raise SimulationError("\n".join(lines))
+        if not proc.ok:
+            raise SimulationError(
+                f"process {proc.name!r} was killed: {proc.value!r}"
+            ) from (proc.value if isinstance(proc.value, BaseException) else None)
         return proc.value

@@ -41,7 +41,12 @@ class ChunkRef:
 
 @dataclass(frozen=True)
 class ChunkDescriptor:
-    """Full MetaData Service record for one chunk."""
+    """Full MetaData Service record for one chunk.
+
+    ``ref`` is the primary copy; ``replicas`` lists additional full copies
+    on other storage nodes (empty without replication).  Readers normally
+    serve from the primary and fail over to replicas when its node dies.
+    """
 
     id: SubTableId
     ref: ChunkRef
@@ -49,12 +54,28 @@ class ChunkDescriptor:
     extractors: Tuple[str, ...]
     bbox: BoundingBox
     num_records: int
+    replicas: Tuple[ChunkRef, ...] = ()
 
     def __post_init__(self) -> None:
         if self.num_records < 0:
             raise ValueError("num_records must be >= 0")
         if not self.extractors:
             raise ValueError(f"chunk {self.id} lists no usable extractor")
+        nodes = [self.ref.storage_node] + [r.storage_node for r in self.replicas]
+        if len(set(nodes)) != len(nodes):
+            raise ValueError(f"chunk {self.id}: replica nodes must be distinct")
+
+    @property
+    def all_refs(self) -> Tuple[ChunkRef, ...]:
+        """Primary first, then replicas — the failover order."""
+        return (self.ref,) + self.replicas
+
+    def ref_on(self, node: int) -> ChunkRef:
+        """The copy of this chunk hosted on storage node ``node``."""
+        for r in self.all_refs:
+            if r.storage_node == node:
+                return r
+        raise KeyError(f"chunk {self.id} has no copy on storage node {node}")
 
     @property
     def table_id(self) -> int:
@@ -83,6 +104,15 @@ class ChunkDescriptor:
             "extractors": list(self.extractors),
             "bbox": self.bbox.to_dict(),
             "num_records": self.num_records,
+            "replicas": [
+                {
+                    "storage_node": r.storage_node,
+                    "path": r.path,
+                    "offset": r.offset,
+                    "size": r.size,
+                }
+                for r in self.replicas
+            ],
         }
 
     @classmethod
@@ -99,4 +129,13 @@ class ChunkDescriptor:
             extractors=tuple(str(e) for e in d["extractors"]),
             bbox=BoundingBox.from_dict({str(k): (float(v[0]), float(v[1])) for k, v in dict(d["bbox"]).items()}),
             num_records=int(d["num_records"]),
+            replicas=tuple(
+                ChunkRef(
+                    storage_node=int(r["storage_node"]),
+                    path=str(r["path"]),
+                    offset=int(r["offset"]),
+                    size=int(r["size"]),
+                )
+                for r in d.get("replicas", ())
+            ),
         )

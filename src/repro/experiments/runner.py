@@ -10,9 +10,11 @@ and pair the simulated times with the analytic predictions in a
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Union
 
 from repro.cluster.cluster import nfs_cluster, paper_cluster
 from repro.cluster.nodes import MachineSpec, PAPER_MACHINE
+from repro.faults.plan import FaultPlan
 from repro.core.cost_models import (
     CostParameters,
     grace_hash_cost,
@@ -76,16 +78,27 @@ def run_point(
     functional: bool = False,
     extra_attributes: int = 0,
     pipeline: bool = False,
+    faults: Optional[Union[FaultPlan, str]] = None,
+    replication: int = 1,
 ) -> PointResult:
     """Execute IJ and GH for one configuration and collect predictions.
 
     ``pipeline`` runs (and predicts) the Indexed Join in its overlapped
     prefetching mode; Grace Hash is always synchronous.
+
+    ``faults`` injects a deterministic :class:`~repro.faults.FaultPlan`
+    (or its ``FaultPlan.parse`` spec string) into both clusters;
+    ``replication`` writes each chunk to that many storage nodes so reads
+    can fail over.  The analytic predictions stay fault-free — the gap
+    between prediction and simulation under faults *is* the recovery
+    overhead the ablation plots.
     """
     ds = build_oil_reservoir_dataset(
         spec, num_storage=n_s, functional=functional,
-        extra_attributes=extra_attributes,
+        extra_attributes=extra_attributes, replication=replication,
     )
+    if isinstance(faults, str):
+        faults = FaultPlan.parse(faults)
     params = CostParameters.from_machine(
         machine,
         T=spec.T, c_R=spec.c_R, c_S=spec.c_S, n_e=spec.n_e,
@@ -96,8 +109,8 @@ def run_point(
 
     def cluster():
         if shared_nfs:
-            return nfs_cluster(n_j, spec=machine)
-        return paper_cluster(n_s, n_j, spec=machine)
+            return nfs_cluster(n_j, spec=machine, faults=faults)
+        return paper_cluster(n_s, n_j, spec=machine, faults=faults)
 
     ij_report = IndexedJoinQES(
         cluster(), ds.metadata, "T1", "T2", ds.join_attrs, ds.provider,

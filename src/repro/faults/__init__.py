@@ -1,0 +1,30 @@
+"""Deterministic fault injection for the simulated cluster.
+
+Split into three layers: :mod:`~repro.faults.plan` (what goes wrong —
+pure, seed-driven data), :mod:`~repro.faults.injector` (mechanism — timers,
+transfer guards, process kills against a live cluster) and
+:mod:`~repro.faults.errors` (the structured signals recovery code catches).
+"""
+
+from repro.faults.errors import (
+    ComputeNodeDown,
+    FaultError,
+    StorageNodeDown,
+    TransientTransferFault,
+    UnrecoverableFault,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import Degradation, FaultPlan, NodeCrash, splitmix64
+
+__all__ = [
+    "ComputeNodeDown",
+    "Degradation",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "NodeCrash",
+    "StorageNodeDown",
+    "TransientTransferFault",
+    "UnrecoverableFault",
+    "splitmix64",
+]

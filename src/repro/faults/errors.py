@@ -1,0 +1,78 @@
+"""Structured fault and recovery errors.
+
+Three transient/terminal fault signals model *what broke*
+(:class:`TransientTransferFault`, :class:`StorageNodeDown`,
+:class:`ComputeNodeDown`), and one terminal error models *recovery giving
+up* (:class:`UnrecoverableFault`).  The recovery contract is that a QES
+either masks an injected fault completely (identical output to the
+fault-free run) or raises :class:`UnrecoverableFault` naming the chunk and
+node that could not be served — never a deadlock, never silent partial
+output.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "FaultError",
+    "TransientTransferFault",
+    "StorageNodeDown",
+    "ComputeNodeDown",
+    "UnrecoverableFault",
+]
+
+
+class FaultError(Exception):
+    """Base class for injected faults."""
+
+
+class TransientTransferFault(FaultError):
+    """A single transfer attempt failed (lost packets, hiccuping disk).
+
+    The operation burned its full service time before the failure was
+    detected; retrying against the same node is expected to succeed.
+    """
+
+    def __init__(self, node: int):
+        super().__init__(f"transient transfer fault on storage node {node}")
+        self.node = node
+
+
+class StorageNodeDown(FaultError):
+    """A storage node has crashed; every request to it fails until the end
+    of the run.  Recovery must fail over to a surviving replica."""
+
+    def __init__(self, node: int):
+        super().__init__(f"storage node {node} is down")
+        self.node = node
+
+
+class ComputeNodeDown(FaultError):
+    """A compute node has crashed, killing its in-flight processes and
+    losing its scratch/cache contents.  Used as the :class:`Interrupt`
+    cause delivered to the node's processes."""
+
+    def __init__(self, node: int):
+        super().__init__(f"compute node {node} is down")
+        self.node = node
+
+
+class UnrecoverableFault(Exception):
+    """Recovery exhausted every option; the run terminates.
+
+    Always names what could not be recovered — the chunk whose last
+    replica died, the node whose loss cannot be masked — so a failed run
+    is diagnosable without a trace.
+    """
+
+    def __init__(self, reason: str, chunk=None, node: Optional[int] = None):
+        parts = [reason]
+        if chunk is not None:
+            parts.append(f"chunk={chunk}")
+        if node is not None:
+            parts.append(f"node={node}")
+        super().__init__("; ".join(str(p) for p in parts))
+        self.reason = reason
+        self.chunk = chunk
+        self.node = node

@@ -35,9 +35,15 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.cluster.cluster import ClusterSim
+from repro.cluster.events import Interrupt
 from repro.datamodel.bounding_box import BoundingBox
 from repro.datamodel.chunk import ChunkDescriptor
 from repro.datamodel.subtable import SubTable, SubTableId, concat_subtables
+from repro.faults.errors import (
+    StorageNodeDown,
+    TransientTransferFault,
+    UnrecoverableFault,
+)
 from repro.joins.hash_join import hash_join
 from repro.joins.report import ExecutionReport, PhaseBreakdown
 from repro.metadata.service import MetaDataService
@@ -143,7 +149,12 @@ class GraceHashQES:
         )
 
         # ---- phase 1: partition both tables ------------------------------------
+        injector = cluster.faults
         pending_writes: list = []
+        #: chunk ids whose bucket contributions are fully recorded; a chunk
+        #: interrupted mid-stream never commits and is redone from a replica
+        committed: set = set()
+        all_chunks: List[ChunkDescriptor] = []
         storage_procs = []
         for s in range(cluster.num_storage):
             chunks = self.metadata.chunks_on_node(self.left.table_id, s) + \
@@ -152,11 +163,12 @@ class GraceHashQES:
                 chunks = [
                     c for c in chunks if c.bbox.overlaps(self.range_constraint)
                 ]
+            all_chunks.extend(chunks)
             storage_procs.append(
                 cluster.engine.process(
                     self._storage_streamer(
                         s, chunks, bucket_bytes, bucket_records, bucket_data,
-                        report, pending_writes,
+                        report, pending_writes, committed,
                     ),
                     name=f"gh-storage{s}",
                 )
@@ -164,6 +176,46 @@ class GraceHashQES:
 
         def barrier_then_join():
             yield cluster.engine.all_of(storage_procs)
+            # ---- restart rounds: re-partition uncommitted chunks --------
+            # A storage crash aborts that node's streamer mid-chunk; every
+            # chunk it had not committed restarts, whole, from the first
+            # surviving replica.  Loops because a replica node can itself
+            # die during a restart round.
+            round_no = 0
+            while injector is not None:
+                missing = [c for c in all_chunks if c.id not in committed]
+                if not missing:
+                    break
+                round_no += 1
+                groups: dict = {}
+                for desc in missing:
+                    node = next(
+                        (
+                            r.storage_node
+                            for r in desc.all_refs
+                            if not injector.storage_is_dead(r.storage_node)
+                        ),
+                        None,
+                    )
+                    if node is None:
+                        raise UnrecoverableFault(
+                            "no surviving replica to restart chunk from",
+                            chunk=desc.id,
+                            node=desc.ref.storage_node,
+                        )
+                    groups.setdefault(node, []).append(desc)
+                report.recovery.restarted_chunks += len(missing)
+                retry_procs = [
+                    cluster.engine.process(
+                        self._storage_streamer(
+                            node, descs, bucket_bytes, bucket_records,
+                            bucket_data, report, pending_writes, committed,
+                        ),
+                        name=f"gh-storage{node}.r{round_no}",
+                    )
+                    for node, descs in sorted(groups.items())
+                ]
+                yield cluster.engine.all_of(retry_procs)
             yield cluster.engine.all_of(pending_writes)
             report.extras["partition_phase_time"] = cluster.engine.now
             # all scratch activity so far is bucket writes: snapshot it as
@@ -174,6 +226,16 @@ class GraceHashQES:
                     report.per_joiner[j].scratch_write = (
                         joiner.scratch.stats.busy_time
                     )
+            # Grace Hash cannot survive a compute-node loss: the node's
+            # scratch disk held one h1-partition of *both* tables, and
+            # unlike the Indexed Join there is no replica to re-read
+            # buckets from.  Terminate with a structured fault instead.
+            if injector is not None and injector.dead_compute:
+                raise UnrecoverableFault(
+                    "grace hash lost partitioned bucket data with its "
+                    "compute node",
+                    node=min(injector.dead_compute),
+                )
             joiners = [
                 cluster.engine.process(
                     self._bucket_joiner(
@@ -183,13 +245,25 @@ class GraceHashQES:
                 )
                 for j in range(n_j)
             ]
-            yield cluster.engine.all_of(joiners)
+            if injector is not None:
+                for j, proc in enumerate(joiners):
+                    injector.register_compute(j, proc)
+            try:
+                yield cluster.engine.all_of(joiners)
+            except Interrupt as intr:
+                raise UnrecoverableFault(
+                    "grace hash lost partitioned bucket data with its "
+                    "compute node",
+                    node=getattr(intr.cause, "node", None),
+                ) from intr
+            # capture before returning: pending fault timers may advance
+            # the clock after the join is already complete
+            report.total_time = cluster.engine.now
 
         results: Optional[List[List[SubTable]]] = (
             [[] for _ in range(n_j)] if functional else None
         )
         cluster.engine.run_process(barrier_then_join(), name="gh-driver")
-        report.total_time = cluster.engine.now
         report.results = results
         report.pairs_joined = n_j * n_b
         return report
@@ -205,58 +279,111 @@ class GraceHashQES:
         bucket_data,
         report: ExecutionReport,
         pending_writes: list,
+        committed: set,
     ):
+        """Stream every chunk in ``chunks`` from sender node ``s``.
+
+        When ``s`` crashes mid-stream the streamer stops: the chunk in
+        flight never committed (bucket state is only updated after all of
+        a chunk's batches shipped), so the driver's restart rounds redo it
+        — and every later chunk of this streamer — from a surviving
+        replica.  Batches already shipped for the aborted chunk are wasted
+        work, accounted in ``report.recovery``.
+        """
+        cluster = self.cluster
+        for desc in chunks:
+            if desc.id in committed:
+                continue
+            t0 = cluster.engine.now
+            shipped = [0]
+            try:
+                yield from self._stream_chunk(
+                    s, desc, bucket_bytes, bucket_records, bucket_data,
+                    report, pending_writes, shipped,
+                )
+            except StorageNodeDown:
+                rec = report.recovery
+                rec.wasted_seconds += cluster.engine.now - t0
+                rec.wasted_bytes += shipped[0]
+                return
+            committed.add(desc.id)
+
+    def _stream_chunk(
+        self,
+        s: int,
+        desc: ChunkDescriptor,
+        bucket_bytes,
+        bucket_records,
+        bucket_data,
+        report: ExecutionReport,
+        pending_writes: list,
+        shipped: list,
+    ):
+        """Partition one chunk: ship all its batches, then commit.
+
+        The bucket-state updates are deferred until every batch is on its
+        receiver and applied with no intervening simulation events, so a
+        chunk's contribution is all-or-nothing — the invariant chunk
+        restart relies on for exactly-once bucket contents.
+        """
         cluster = self.cluster
         n_j = cluster.num_compute
         n_b = self.num_buckets
-        for desc in chunks:
-            side = 0 if desc.table_id == self.left.table_id else 1
-            # the chunk read itself is charged per shipped batch inside
-            # _ship_batch (the storage QES streams records as it reads)
-            record_size = desc.size // desc.num_records if desc.num_records else 0
-            if bucket_data is not None:
-                sub = self.provider.fetch(desc)
-                assert isinstance(sub, SubTable)
-                h = hash_records(sub, self.on)
-                joiner_of = (h % np.uint64(n_j)).astype(np.intp)
-                bucket_of = ((h >> np.uint64(20)) % np.uint64(n_b)).astype(np.intp)
-                # staggered all-to-all: sender s starts at joiner s so
-                # concurrent senders hit distinct receiver NICs
-                for jj in range(n_j):
-                    j = (jj + s) % n_j
-                    jmask = joiner_of == j
-                    batch_records = int(jmask.sum())
-                    if batch_records == 0:
+        side = 0 if desc.table_id == self.left.table_id else 1
+        # the chunk read itself is charged per shipped batch inside
+        # _ship_batch (the storage QES streams records as it reads)
+        record_size = desc.size // desc.num_records if desc.num_records else 0
+        #: deferred bucket commits: (joiner, bucket, records, bytes, data)
+        commits = []
+        if bucket_data is not None:
+            sub = self.provider.fetch(desc, node=s)
+            assert isinstance(sub, SubTable)
+            h = hash_records(sub, self.on)
+            joiner_of = (h % np.uint64(n_j)).astype(np.intp)
+            bucket_of = ((h >> np.uint64(20)) % np.uint64(n_b)).astype(np.intp)
+            # staggered all-to-all: sender s starts at joiner s so
+            # concurrent senders hit distinct receiver NICs
+            for jj in range(n_j):
+                j = (jj + s) % n_j
+                jmask = joiner_of == j
+                batch_records = int(jmask.sum())
+                if batch_records == 0:
+                    continue
+                yield from self._ship_batch(
+                    s, j, batch_records * record_size, report, pending_writes,
+                    shipped,
+                )
+                for b in range(n_b):
+                    mask = jmask & (bucket_of == b)
+                    cnt = int(mask.sum())
+                    if cnt == 0:
                         continue
-                    nbytes = batch_records * record_size
-                    yield from self._ship_batch(s, j, nbytes, report, pending_writes)
-                    for b in range(n_b):
-                        mask = jmask & (bucket_of == b)
-                        cnt = int(mask.sum())
-                        if cnt == 0:
-                            continue
-                        bucket_records[j][side][b] += cnt
-                        bucket_bytes[j][side][b] += cnt * record_size
-                        bucket_data[j][side][b].append(sub.select(mask))
-            else:
-                # model-only: even h1/h2 split with remainder spread;
-                # same staggered all-to-all order as the functional path
-                base, rem = divmod(desc.num_records, n_j)
-                for jj in range(n_j):
-                    j = (jj + s) % n_j
-                    batch_records = base + (1 if j < rem else 0)
-                    if batch_records == 0:
-                        continue
-                    nbytes = batch_records * record_size
-                    yield from self._ship_batch(s, j, nbytes, report, pending_writes)
-                    bbase, brem = divmod(batch_records, n_b)
-                    for b in range(n_b):
-                        cnt = bbase + (1 if b < brem else 0)
-                        bucket_records[j][side][b] += cnt
-                        bucket_bytes[j][side][b] += cnt * record_size
+                    commits.append((j, b, cnt, cnt * record_size, sub.select(mask)))
+        else:
+            # model-only: even h1/h2 split with remainder spread;
+            # same staggered all-to-all order as the functional path
+            base, rem = divmod(desc.num_records, n_j)
+            for jj in range(n_j):
+                j = (jj + s) % n_j
+                batch_records = base + (1 if j < rem else 0)
+                if batch_records == 0:
+                    continue
+                yield from self._ship_batch(
+                    s, j, batch_records * record_size, report, pending_writes,
+                    shipped,
+                )
+                bbase, brem = divmod(batch_records, n_b)
+                for b in range(n_b):
+                    cnt = bbase + (1 if b < brem else 0)
+                    commits.append((j, b, cnt, cnt * record_size, None))
+        for j, b, cnt, nbytes, data in commits:
+            bucket_records[j][side][b] += cnt
+            bucket_bytes[j][side][b] += nbytes
+            if data is not None:
+                bucket_data[j][side][b].append(data)
 
     def _ship_batch(self, s: int, j: int, nbytes: int, report: ExecutionReport,
-                    pending_writes: list):
+                    pending_writes: list, shipped: list):
         """Send one record batch and post its remote bucket write.
 
         The sender waits for the wire transfer (it owns the sending
@@ -266,17 +393,49 @@ class GraceHashQES:
         NIC while writing), so per-joiner ingest remains additive
         (``Transfer + Write``) exactly as the cost model has it; the
         asynchrony only removes sender-side convoy bubbles.
+
+        Transient transfer faults are retried in place with exponential
+        backoff; a persistent streak beyond ``plan.max_attempts`` raises
+        :class:`UnrecoverableFault` (unlike a node crash there is no
+        replica to fail over to — the sender itself is healthy).  A
+        :class:`StorageNodeDown` propagates to the streamer, which aborts
+        the chunk.
         """
         cluster = self.cluster
+        injector = cluster.faults
         pb = report.per_joiner[j]
-        t0 = cluster.engine.now
-        yield cluster.stream_batch(s, j, nbytes)
-        dt = cluster.engine.now - t0
-        pb.transfer += dt
-        pb.stall += dt  # GH never overlaps: the QES thread waits per batch
-        pending_writes.append(cluster.ingest_write(j, nbytes))
-        report.bytes_from_storage += nbytes
-        report.bytes_scratch_written += nbytes
+        rec = report.recovery
+        attempt = 0
+        while True:
+            attempt += 1
+            t0 = cluster.engine.now
+            try:
+                yield cluster.stream_batch(s, j, nbytes)
+            except TransientTransferFault:
+                dt = cluster.engine.now - t0
+                rec.retries += 1
+                rec.wasted_seconds += dt
+                rec.wasted_bytes += nbytes
+                plan = injector.plan
+                if attempt >= plan.max_attempts:
+                    raise UnrecoverableFault(
+                        f"batch to joiner {j} still failing after "
+                        f"{attempt} transfer attempts",
+                        node=s,
+                    )
+                backoff = plan.retry_base * (2 ** (attempt - 1))
+                if backoff > 0:
+                    yield cluster.engine.timeout(backoff)
+                    rec.wasted_seconds += backoff
+                continue
+            dt = cluster.engine.now - t0
+            pb.transfer += dt
+            pb.stall += dt  # GH never overlaps: the QES thread waits per batch
+            pending_writes.append(cluster.ingest_write(j, nbytes))
+            report.bytes_from_storage += nbytes
+            report.bytes_scratch_written += nbytes
+            shipped[0] += nbytes
+            return
 
     # -- phase 2: local bucket joins ----------------------------------------------------
 

@@ -46,8 +46,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.cluster import ClusterSim
-from repro.cluster.events import Event
+from repro.cluster.events import Event, Interrupt
 from repro.datamodel.subtable import SubTable, SubTableId
+from repro.faults.errors import (
+    FaultError,
+    StorageNodeDown,
+    TransientTransferFault,
+    UnrecoverableFault,
+)
 from repro.joins.hash_join import hash_join
 from repro.joins.join_index import PageJoinIndex, build_join_index
 from repro.joins.report import ExecutionReport, PhaseBreakdown
@@ -190,18 +196,70 @@ class IndexedJoinQES:
         # lifetime counters (a warmed cache has history from earlier runs)
         stats_before = [c.stats.snapshot() for c in caches]
 
-        joiner_body = self._joiner_pipelined if self.pipeline else self._joiner
-        procs = [
-            cluster.spawn(
-                joiner_body(j, caches[j], report, results), name=f"ij-joiner{j}"
-            )
-            for j in range(cluster.num_compute)
-        ]
-        cluster.engine.run()
-        for p in procs:
-            if not p.triggered:
-                raise RuntimeError(f"joiner process {p.name} did not complete")
-        report.total_time = cluster.engine.now
+        injector = cluster.faults
+
+        def launch(j: int, pairs, tag: str = ""):
+            """Start a joiner over an explicit pair batch; returns the
+            bookkeeping the coordinator needs to take over on its death."""
+            progress = [0]  # index of the first pair not yet fully joined
+            if self.pipeline:
+                body = self._joiner_pipelined(
+                    j, pairs, caches[j], report, results, progress, tag
+                )
+            else:
+                body = self._joiner(j, pairs, caches[j], report, results, progress)
+            proc = cluster.spawn(body, name=f"ij-joiner{j}{tag}")
+            if injector is not None:
+                injector.register_compute(j, proc)
+            return (j, pairs, progress, proc)
+
+        def coordinator():
+            """Supervise the joiners: on a compute-node death, move the dead
+            joiner's unfinished pairs onto survivors and keep going.
+
+            A pair is "finished" only once its output is emitted and its
+            pins released (the joiner advances ``progress`` with no
+            intervening simulation events), so reassignment neither loses
+            nor duplicates output.
+            """
+            active = [
+                launch(j, list(self.schedule.per_joiner[j]))
+                for j in range(cluster.num_compute)
+            ]
+            generation = 0
+            i = 0
+            while i < len(active):
+                j, pairs, progress, proc = active[i]
+                i += 1
+                try:
+                    yield proc
+                except Interrupt:
+                    remaining = pairs[progress[0] :]
+                    if not remaining:
+                        continue
+                    survivors = [
+                        s
+                        for s in range(cluster.num_compute)
+                        if not injector.compute_is_dead(s)
+                    ]
+                    if not survivors:
+                        raise UnrecoverableFault(
+                            "no surviving compute node to take over pairs of "
+                            f"dead joiner {j}",
+                            chunk=remaining[0][0],
+                            node=j,
+                        )
+                    generation += 1
+                    report.recovery.reassigned_pairs += len(remaining)
+                    for s, batch in self.schedule.reassign(
+                        remaining, survivors
+                    ).items():
+                        active.append(launch(s, batch, tag=f".r{generation}"))
+            # capture before returning: pending fault timers may advance the
+            # clock after the join is already complete
+            report.total_time = cluster.engine.now
+
+        cluster.engine.run_process(coordinator(), name="ij-driver")
         report.pairs_joined = self.schedule.total_pairs
         report.results = results
         report.cache_stats = [
@@ -211,6 +269,73 @@ class IndexedJoinQES:
         report.extras["num_components"] = float(len(self.index.components()))
         report.extras["pipeline"] = 1.0 if self.pipeline else 0.0
         return report
+
+    # -- fault-tolerant transfer ---------------------------------------------------
+
+    def _transfer_with_recovery(self, joiner: int, desc, cache: Optional[CachingService],
+                                pb: PhaseBreakdown, report: ExecutionReport,
+                                inflight: Optional[Dict[SubTableId, Event]] = None):
+        """Move one sub-table to ``joiner``, surviving transient faults and
+        storage-node crashes.  Generator; returns the storage node that
+        ultimately served the bytes.
+
+        Replicas are tried primary-first.  On each node, transient faults
+        are retried with exponential backoff up to ``plan.max_attempts``;
+        a node crash invalidates cache entries sourced from that node and
+        fails over to the next replica.  Without fault injection the loop
+        collapses to the single primary transfer of the fault-free code
+        path — same events, same accounting.  Raises
+        :class:`UnrecoverableFault` when no replica can serve the chunk.
+        """
+        cluster = self.cluster
+        injector = cluster.faults
+        rec = report.recovery
+        last_node = None
+        for ref in desc.all_refs:
+            node = last_node = ref.storage_node
+            attempt = 0
+            while True:
+                attempt += 1
+                t0 = cluster.engine.now
+                transfer = cluster.read_and_send(node, joiner, desc.size)
+                if inflight is not None:
+                    inflight[desc.id] = transfer
+                try:
+                    yield transfer
+                except TransientTransferFault:
+                    dt = cluster.engine.now - t0
+                    pb.stall += dt
+                    rec.retries += 1
+                    rec.wasted_seconds += dt
+                    rec.wasted_bytes += desc.size
+                    plan = injector.plan
+                    if attempt >= plan.max_attempts:
+                        break  # give up on this replica, try the next
+                    backoff = plan.retry_base * (2 ** (attempt - 1))
+                    if backoff > 0:
+                        yield cluster.engine.timeout(backoff)
+                        pb.stall += backoff
+                        rec.wasted_seconds += backoff
+                    continue
+                except StorageNodeDown:
+                    dt = cluster.engine.now - t0
+                    pb.stall += dt
+                    rec.failovers += 1
+                    rec.wasted_seconds += dt
+                    if cache is not None:
+                        rec.cache_invalidations += cache.invalidate_from(node)
+                    break  # fail over to the next replica
+                finally:
+                    if inflight is not None:
+                        inflight.pop(desc.id, None)
+                dt = cluster.engine.now - t0
+                pb.transfer += dt
+                pb.stall += dt  # the control loop waits out every byte
+                report.bytes_from_storage += desc.size
+                return node
+        raise UnrecoverableFault(
+            "no surviving replica for chunk", chunk=desc.id, node=last_node
+        )
 
     # -- synchronous mode (paper-faithful) ----------------------------------------
 
@@ -226,13 +351,10 @@ class IndexedJoinQES:
             cache.pin(sid)
             return entry, True
         desc = self.metadata.chunk(sid)
-        t0 = cluster.engine.now
-        yield cluster.read_and_send(desc.ref.storage_node, joiner, desc.size)
-        dt = cluster.engine.now - t0
-        pb.transfer += dt
-        pb.stall += dt  # synchronous: the control loop waits out every byte
-        report.bytes_from_storage += desc.size
-        entry = self.provider.fetch(desc)
+        serving = yield from self._transfer_with_recovery(
+            joiner, desc, cache, pb, report
+        )
+        entry = self.provider.fetch(desc, node=serving)
         if is_left:
             # build the hash table for this load (once until evicted)
             t0 = cluster.engine.now
@@ -242,13 +364,13 @@ class IndexedJoinQES:
         # left entries are charged double: sub-table + its hash table
         # (this is exactly the 2·c_R term of the memory assumption)
         nbytes = desc.size * 2 if is_left else desc.size
-        cached = cache.put(sid, entry, nbytes, pin=True)
+        cached = cache.put(sid, entry, nbytes, pin=True, source=serving)
         return entry, cached
 
-    def _joiner(self, j: int, cache: CachingService, report: ExecutionReport,
-                results: Optional[List[List[SubTable]]]):
+    def _joiner(self, j: int, pairs, cache: CachingService,
+                report: ExecutionReport,
+                results: Optional[List[List[SubTable]]], progress):
         pb = report.per_joiner[j]
-        pairs = self.schedule.per_joiner[j]
         for seq, (lid, rid) in enumerate(pairs):
             left_entry, left_cached = yield from self._fetch(
                 j, lid, cache, pb, report, is_left=True
@@ -263,44 +385,58 @@ class IndexedJoinQES:
                 cache.unpin(lid)
             if right_cached:
                 cache.unpin(rid)
+            # no simulation events between emitting the pair's output above
+            # and this update, so a pair is either fully done or not started
+            # from the coordinator's point of view
+            progress[0] = seq + 1
 
     # -- pipelined mode ------------------------------------------------------------
 
-    def _joiner_pipelined(self, j: int, cache: CachingService,
+    def _joiner_pipelined(self, j: int, pairs, cache: CachingService,
                           report: ExecutionReport,
-                          results: Optional[List[List[SubTable]]]):
+                          results: Optional[List[List[SubTable]]],
+                          progress, tag: str = ""):
         """Double-buffered control loop: consume pair ``k`` while a
         background process transfers pair ``k+1``'s sub-tables.
 
         ``inflight`` maps sub-table ids to the event of their in-flight
         transfer (prefetched *or* fallback), so a sub-table shared between
         consecutive pairs is never transferred twice — the byte accounting
-        stays identical to the synchronous mode.
+        stays identical to the synchronous mode.  ``sources`` remembers
+        which storage node served each staged sub-table so the consumer
+        can tag cache entries for failure invalidation.
         """
         cluster = self.cluster
+        injector = cluster.faults
         pb = report.per_joiner[j]
-        pairs = self.schedule.per_joiner[j]
         if not pairs:
             return
         inflight: Dict[SubTableId, Event] = {}
-        fetch_next = cluster.spawn(
-            self._prefetch_pair(j, pairs[0], cache, inflight, pb, report),
-            name=f"ij-prefetch{j}.0",
-        )
-        for seq, (lid, rid), upcoming in self.schedule.iter_lookahead(j, depth=1):
+        sources: Dict[SubTableId, int] = {}
+
+        def spawn_prefetch(pair, label):
+            proc = cluster.spawn(
+                self._prefetch_pair(j, pair, cache, inflight, sources, pb, report),
+                name=f"ij-prefetch{j}{tag}.{label}",
+            )
+            if injector is not None:
+                # prefetchers die with their compute node, like the joiner
+                injector.register_compute(j, proc)
+            return proc
+
+        fetch_next = spawn_prefetch(pairs[0], 0)
+        for seq, (lid, rid) in enumerate(pairs):
+            upcoming = pairs[seq + 1 : seq + 2]
             t0 = cluster.engine.now
             yield fetch_next
             pb.stall += cluster.engine.now - t0
             if upcoming:
-                fetch_next = cluster.spawn(
-                    self._prefetch_pair(j, upcoming[0], cache, inflight, pb, report),
-                    name=f"ij-prefetch{j}.{seq + 1}",
-                )
+                fetch_next = spawn_prefetch(upcoming[0], seq + 1)
             left_entry, left_cached = yield from self._consume(
-                j, lid, cache, inflight, pb, report, is_left=True
+                j, lid, cache, inflight, sources, pb, report, is_left=True
             )
             right_entry, right_cached = yield from self._consume(
-                j, rid, cache, inflight, pb, report, is_left=False
+                j, rid, cache, inflight, sources, pb, report, is_left=False
             )
             yield from self._probe_and_emit(
                 j, seq, left_entry, right_entry, pb, report, results
@@ -309,9 +445,11 @@ class IndexedJoinQES:
                 cache.unpin(lid)
             if right_cached:
                 cache.unpin(rid)
+            progress[0] = seq + 1
 
     def _prefetch_pair(self, j: int, pair, cache: CachingService,
                        inflight: Dict[SubTableId, Event],
+                       sources: Dict[SubTableId, int],
                        pb: PhaseBreakdown, report: ExecutionReport):
         """Background transfer process for one upcoming pair.
 
@@ -322,25 +460,52 @@ class IndexedJoinQES:
         flight, or would overflow the staging budget — the consumer then
         hits the cache or falls back to a synchronous fetch, keeping
         ``bytes_from_storage`` identical either way.
+
+        The prefetcher does not retry: a faulted transfer releases its
+        staging slot and leaves recovery (replica failover, backoff) to
+        the consumer's synchronous path, which owns the accounting.
         """
         cluster = self.cluster
+        injector = cluster.faults
+        rec = report.recovery
         for sid in pair:
             if sid in cache or sid in inflight:
                 continue
             desc = self.metadata.chunk(sid)
+            node = desc.ref.storage_node
+            if injector is not None and injector.storage_is_dead(node):
+                # primary known dead: stage from the first live replica
+                node = next(
+                    (
+                        r.storage_node
+                        for r in desc.all_refs
+                        if not injector.storage_is_dead(r.storage_node)
+                    ),
+                    None,
+                )
+                if node is None:
+                    continue  # consumer will raise UnrecoverableFault
             if not cache.prefetch_begin(sid, desc.size):
                 continue
-            transfer = cluster.read_and_send(desc.ref.storage_node, j, desc.size)
+            transfer = cluster.read_and_send(node, j, desc.size)
             inflight[sid] = transfer
             t0 = cluster.engine.now
-            yield transfer
+            try:
+                yield transfer
+            except FaultError:
+                rec.wasted_seconds += cluster.engine.now - t0
+                cache.prefetch_cancel(sid)
+                inflight.pop(sid, None)
+                continue
             pb.transfer += cluster.engine.now - t0
             report.bytes_from_storage += desc.size
-            cache.prefetch_complete(sid, self.provider.fetch(desc))
+            sources[sid] = node
+            cache.prefetch_complete(sid, self.provider.fetch(desc, node=node))
             del inflight[sid]
 
     def _consume(self, joiner: int, sid: SubTableId, cache: CachingService,
                  inflight: Dict[SubTableId, Event],
+                 sources: Dict[SubTableId, int],
                  pb: PhaseBreakdown, report: ExecutionReport, is_left: bool):
         """Pipelined counterpart of :meth:`_fetch`.
 
@@ -357,35 +522,35 @@ class IndexedJoinQES:
             cache.pin(sid)
             return entry, True
         desc = self.metadata.chunk(sid)
+        serving: Optional[int] = None
         entry = cache.take_prefetched(sid)
         if entry is None and sid in inflight:
             # the next pair's prefetcher is mid-transfer on a sub-table we
             # share with it — wait for that transfer instead of re-issuing
             t0 = cluster.engine.now
-            yield inflight[sid]
+            try:
+                yield inflight[sid]
+            except FaultError:
+                pass  # prefetcher's transfer faulted; recover synchronously
             pb.stall += cluster.engine.now - t0
             entry = cache.take_prefetched(sid)
-        if entry is None:
-            # prefetch skipped (budget) or invalidated (evicted after the
-            # lookahead decision): pay the transfer synchronously, exactly
-            # like the paper's baseline would at this point
-            t0 = cluster.engine.now
-            transfer = cluster.read_and_send(desc.ref.storage_node, joiner, desc.size)
-            inflight[sid] = transfer
-            yield transfer
-            del inflight[sid]
-            dt = cluster.engine.now - t0
-            pb.transfer += dt
-            pb.stall += dt
-            report.bytes_from_storage += desc.size
-            entry = self.provider.fetch(desc)
+        if entry is not None:
+            serving = sources.pop(sid, None)
+        else:
+            # prefetch skipped (budget), invalidated (evicted after the
+            # lookahead decision) or faulted: pay the transfer synchronously
+            # through the recovering path, exactly like the baseline would
+            serving = yield from self._transfer_with_recovery(
+                joiner, desc, cache, pb, report, inflight=inflight
+            )
+            entry = self.provider.fetch(desc, node=serving)
         if is_left:
             t0 = cluster.engine.now
             yield node.compute(node.build_time(desc.num_records))
             pb.cpu_build += cluster.engine.now - t0
             report.kernel.builds += desc.num_records
         nbytes = desc.size * 2 if is_left else desc.size
-        cached = cache.put(sid, entry, nbytes, pin=True)
+        cached = cache.put(sid, entry, nbytes, pin=True, source=serving)
         return entry, cached
 
     # -- shared probe/emit ---------------------------------------------------------

@@ -16,7 +16,42 @@ from repro.datamodel.subtable import SubTable
 from repro.joins.hash_join import JoinKernelStats
 from repro.services.cache import CacheStats
 
-__all__ = ["PhaseBreakdown", "ExecutionReport"]
+__all__ = ["PhaseBreakdown", "RecoveryStats", "ExecutionReport"]
+
+
+@dataclass
+class RecoveryStats:
+    """What fault recovery cost this execution.
+
+    All counters stay zero on a fault-free run; ``wasted_seconds`` is the
+    simulated time spent on transfers that had to be abandoned or redone
+    plus retry backoff — the raw material of the recovery-overhead ablation.
+    """
+
+    #: Transfer attempts retried after a transient fault.
+    retries: int = 0
+    #: Reads redirected from a failed storage node to a surviving replica.
+    failovers: int = 0
+    #: Indexed Join pairs moved off a dead compute node onto survivors.
+    reassigned_pairs: int = 0
+    #: Grace Hash chunks re-partitioned from surviving replicas.
+    restarted_chunks: int = 0
+    #: Cache entries dropped because their source storage node failed.
+    cache_invalidations: int = 0
+    #: Simulated seconds of abandoned transfers and retry backoff.
+    wasted_seconds: float = 0.0
+    #: Bytes transferred (fully or partially) and then thrown away.
+    wasted_bytes: int = 0
+
+    @property
+    def any_recovery(self) -> bool:
+        return bool(
+            self.retries
+            or self.failovers
+            or self.reassigned_pairs
+            or self.restarted_chunks
+            or self.cache_invalidations
+        )
 
 
 @dataclass
@@ -99,6 +134,8 @@ class ExecutionReport:
     results: Optional[List[List[SubTable]]] = None
     #: Free-form extras (algorithm-specific numbers worth surfacing).
     extras: Dict[str, float] = field(default_factory=dict)
+    #: What failure recovery cost this run (all-zero when fault-free).
+    recovery: RecoveryStats = field(default_factory=RecoveryStats)
 
     @property
     def result_tuples(self) -> int:
@@ -153,4 +190,13 @@ class ExecutionReport:
             hits = sum(s.hits for s in self.cache_stats)
             misses = sum(s.misses for s in self.cache_stats)
             lines.append(f"  cache: {hits} hits / {misses} misses")
+        rec = self.recovery
+        if rec.any_recovery:
+            lines.append(
+                f"  recovery: {rec.retries} retries, {rec.failovers} failovers, "
+                f"{rec.reassigned_pairs} pairs reassigned, "
+                f"{rec.restarted_chunks} chunks restarted, "
+                f"{rec.cache_invalidations} cache invalidations "
+                f"(wasted {rec.wasted_seconds:.3f}s / {rec.wasted_bytes:,} B)"
+            )
         return "\n".join(lines)

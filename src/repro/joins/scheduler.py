@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from repro.datamodel.subtable import SubTableId
 from repro.joins.join_index import PageJoinIndex
@@ -68,6 +68,24 @@ class PairSchedule:
             refs.append(l)
             refs.append(r)
         return refs
+
+    def reassign(
+        self, pairs: List[Pair], survivors: List[int]
+    ) -> "Dict[int, List[Pair]]":
+        """Redistribute a dead joiner's unfinished ``pairs`` over
+        ``survivors``, round-robin in schedule order.
+
+        Pure planning — the schedule itself is not mutated (``per_joiner``
+        keeps the original assignment for reference strings and reports);
+        the QES launches the returned per-survivor batches as fresh joiner
+        processes.
+        """
+        if not survivors:
+            raise ValueError("no surviving joiners to reassign pairs to")
+        out: Dict[int, List[Pair]] = {}
+        for i, pair in enumerate(pairs):
+            out.setdefault(survivors[i % len(survivors)], []).append(pair)
+        return out
 
     def iter_lookahead(
         self, joiner: int, depth: int = 1

@@ -179,6 +179,14 @@ class MetaDataService:
         """Range query: chunk descriptors of ``table`` intersecting ``query``."""
         return self.table(table).find_chunks(query)
 
+    def replica_nodes(self, id: SubTableId) -> List[int]:
+        """Storage nodes holding a copy of chunk ``id``, primary first.
+
+        The failover order: a reader tries these in sequence until one
+        serves the chunk.  Length 1 without replication.
+        """
+        return [r.storage_node for r in self.chunk(id).all_refs]
+
     def chunks_on_node(self, table: int | str, storage_node: int) -> List[ChunkDescriptor]:
         """Chunks of ``table`` that live on ``storage_node`` (what a local
         BDS instance may serve)."""

@@ -19,6 +19,7 @@ implementations consume:
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, Iterable, Mapping, Optional
 
 from repro.datamodel.chunk import ChunkDescriptor
@@ -107,8 +108,16 @@ class SubTableProvider:
     functional: bool = False
 
     def fetch(
-        self, desc: ChunkDescriptor, columns: Optional[Iterable[str]] = None
+        self,
+        desc: ChunkDescriptor,
+        columns: Optional[Iterable[str]] = None,
+        node: Optional[int] = None,
     ) -> SubTable | SubTableStub:
+        """Resolve ``desc`` to a sub-table.
+
+        ``node`` selects which replica serves the request (defaults to the
+        primary); it must be one of the descriptor's hosting nodes.
+        """
         raise NotImplementedError
 
 
@@ -131,8 +140,15 @@ class FunctionalProvider(SubTableProvider):
         return sum(b.bytes_read for b in self._bds.values())
 
     def fetch(
-        self, desc: ChunkDescriptor, columns: Optional[Iterable[str]] = None
+        self,
+        desc: ChunkDescriptor,
+        columns: Optional[Iterable[str]] = None,
+        node: Optional[int] = None,
     ) -> SubTable:
+        if node is not None and node != desc.ref.storage_node:
+            # serve from the replica hosted on `node`: same chunk id and
+            # bytes, different file location
+            desc = replace(desc, ref=desc.ref_on(node), replicas=())
         node = desc.ref.storage_node
         try:
             bds = self._bds[node]
@@ -153,7 +169,10 @@ class StubProvider(SubTableProvider):
     functional = False
 
     def fetch(
-        self, desc: ChunkDescriptor, columns: Optional[Iterable[str]] = None
+        self,
+        desc: ChunkDescriptor,
+        columns: Optional[Iterable[str]] = None,
+        node: Optional[int] = None,
     ) -> SubTableStub:
         if desc.num_records > 0:
             record_size = desc.size // desc.num_records

@@ -61,6 +61,8 @@ class CacheStats:
     #: Entries staged ahead of need by the pipelined Indexed Join.
     prefetches: int = 0
     bytes_prefetched: int = 0
+    #: Entries dropped because their source storage node failed.
+    invalidations: int = 0
 
     @property
     def accesses(self) -> int:
@@ -89,6 +91,7 @@ class CacheStats:
             bytes_evicted=self.bytes_evicted - baseline.bytes_evicted,
             prefetches=self.prefetches - baseline.prefetches,
             bytes_prefetched=self.bytes_prefetched - baseline.bytes_prefetched,
+            invalidations=self.invalidations - baseline.invalidations,
         )
 
 
@@ -263,6 +266,8 @@ class _Entry(Generic[V]):
     value: V
     nbytes: int
     pins: int = 0
+    #: storage node the bytes came from (None when untracked)
+    source: Optional[int] = None
 
 
 @dataclass
@@ -341,7 +346,14 @@ class CachingService(Generic[K, V]):
         entry = self._entries.get(key)
         return entry.value if entry else None
 
-    def put(self, key: K, value: V, nbytes: int, pin: bool = False) -> bool:
+    def put(
+        self,
+        key: K,
+        value: V,
+        nbytes: int,
+        pin: bool = False,
+        source: Optional[int] = None,
+    ) -> bool:
         """Insert ``key``; evicts unpinned victims until the entry fits.
 
         Returns ``False`` (and does not insert) when the entry can never
@@ -350,6 +362,9 @@ class CachingService(Generic[K, V]):
         the same eviction loop as a fresh insert (the entry itself is never
         its own victim) so ``used_bytes`` can never exceed the capacity,
         and the growth delta is accounted in ``stats.bytes_inserted``.
+
+        ``source`` records which storage node served the bytes, enabling
+        :meth:`invalidate_from` when that node later fails.
         """
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
@@ -365,6 +380,7 @@ class CachingService(Generic[K, V]):
                 self.stats.bytes_inserted += nbytes - old.nbytes
             old.value = value
             old.nbytes = nbytes
+            old.source = source
             if pin:
                 old.pins += 1
             self.policy.on_access(key)
@@ -374,7 +390,7 @@ class CachingService(Generic[K, V]):
         while self._bytes + nbytes > self.capacity_bytes:
             if not self._evict_one():
                 return False
-        self._entries[key] = _Entry(value, nbytes, pins=1 if pin else 0)
+        self._entries[key] = _Entry(value, nbytes, pins=1 if pin else 0, source=source)
         self._bytes += nbytes
         self.stats.bytes_inserted += nbytes
         self.policy.on_insert(key)
@@ -456,6 +472,26 @@ class CachingService(Generic[K, V]):
         del self._staged[key]
         self._staged_bytes -= staged.nbytes
         return staged.value
+
+    def invalidate_from(self, source: int) -> int:
+        """Drop every unpinned entry whose bytes came from storage node
+        ``source``; returns how many were dropped.
+
+        Called by recovery code when a storage node fails: its cached
+        sub-tables can no longer be re-validated against the node, so they
+        are discarded and future requests served from replicas.  Pinned
+        entries (actively being joined) are spared — their bytes are
+        already resident and in use.
+        """
+        victims = [
+            k
+            for k, e in self._entries.items()
+            if e.source == source and e.pins == 0
+        ]
+        for key in victims:
+            self.remove(key)
+        self.stats.invalidations += len(victims)
+        return len(victims)
 
     def remove(self, key: K) -> bool:
         """Explicitly drop ``key`` (not counted as an eviction)."""

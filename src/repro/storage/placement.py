@@ -36,6 +36,24 @@ class PlacementPolicy:
         """Node ids for all ``total`` chunks, in order."""
         return [self.node_for(i, total) for i in range(total)]
 
+    def replicas_for(self, ordinal: int, total: int, k: int) -> Sequence[int]:
+        """Node ids for the ``k`` copies of a chunk, primary first.
+
+        Default scheme is chained declustering: replica ``r`` lives on
+        ``(primary + r) mod num_nodes``, so a failed node's read load
+        spreads over its neighbours instead of doubling one node's load.
+        ``k`` must not exceed the node count (a node never holds two copies
+        of the same chunk).
+        """
+        if k < 1:
+            raise ValueError(f"replication factor must be >= 1, got {k}")
+        if k > self.num_nodes:
+            raise ValueError(
+                f"replication factor {k} exceeds {self.num_nodes} storage nodes"
+            )
+        primary = self.node_for(ordinal, total)
+        return [(primary + r) % self.num_nodes for r in range(k)]
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(num_nodes={self.num_nodes})"
 

@@ -100,12 +100,18 @@ class DatasetWriter:
         extractor: Extractor,
         partitions: Iterable[TablePartition],
         extra_extractors: Tuple[str, ...] = (),
+        replication: int = 1,
     ) -> WrittenTable:
         """Serialise and place every partition of ``table_id``.
 
         Chunk ids are assigned in emission order (0, 1, ...), matching the
         regular-partitioning assumption of the cost models: chunk id order
         is the row-major order of the partition grid.
+
+        With ``replication=k`` each chunk's encoded bytes are appended to
+        ``k`` distinct stores (placement policy chooses which); the first
+        copy is the primary, the rest go into the descriptor's
+        ``replicas`` so reads can fail over.
         """
         partitions = list(partitions)
         total = len(partitions)
@@ -121,16 +127,17 @@ class DatasetWriter:
                 SubTableId(table_id, ordinal), schema, part.columns, bbox=part.bbox
             )
             data = extractor.encode(sub)
-            node = self.placement.node_for(ordinal, total)
-            ref = self.stores[node].append(table_id, data)
+            nodes = self.placement.replicas_for(ordinal, total, replication)
+            refs = [self.stores[node].append(table_id, data) for node in nodes]
             written.chunks.append(
                 ChunkDescriptor(
                     id=sub.id,
-                    ref=ref,
+                    ref=refs[0],
                     attributes=schema.names,
                     extractors=extractor_names,
                     bbox=sub.bbox,
                     num_records=sub.num_records,
+                    replicas=tuple(refs[1:]),
                 )
             )
         return written

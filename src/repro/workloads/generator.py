@@ -238,6 +238,7 @@ def make_grid_chunk_descriptors(
     placement: Optional[PlacementPolicy] = None,
     attributes: Tuple[str, ...] = (),
     extractor: str = "synthetic",
+    replication: int = 1,
 ) -> List[ChunkDescriptor]:
     """Metadata-only chunks for model-only experiments.
 
@@ -245,6 +246,8 @@ def make_grid_chunk_descriptors(
     the dataset writer would register — same ids, bounding boxes, sizes,
     block-cyclic placement — without touching any bytes, so model-only and
     functional runs of the same :class:`GridSpec` are directly comparable.
+    With ``replication=k``, each descriptor lists ``k-1`` synthetic replica
+    refs on the placement policy's failover nodes.
     """
     names = dim_names(len(g))
     placement = placement or BlockCyclicPlacement(num_storage)
@@ -253,23 +256,28 @@ def make_grid_chunk_descriptors(
     records = math.prod(part)
     out: List[ChunkDescriptor] = []
     for ordinal, tile in enumerate(tiles):
-        node = placement.node_for(ordinal, total)
+        nodes = placement.replicas_for(ordinal, total, replication)
         bbox = BoundingBox(
             {name: (float(lo), float(hi - 1)) for name, (lo, hi) in zip(names, tile)}
         )
+        refs = [
+            ChunkRef(
+                storage_node=node,
+                path=f"synthetic://t{table_id}",
+                offset=ordinal * records * record_size,
+                size=records * record_size,
+            )
+            for node in nodes
+        ]
         out.append(
             ChunkDescriptor(
                 id=SubTableId(table_id, ordinal),
-                ref=ChunkRef(
-                    storage_node=node,
-                    path=f"synthetic://t{table_id}",
-                    offset=ordinal * records * record_size,
-                    size=records * record_size,
-                ),
+                ref=refs[0],
                 attributes=attributes or tuple(names),
                 extractors=(extractor,),
                 bbox=bbox,
                 num_records=records,
+                replicas=tuple(refs[1:]),
             )
         )
     return out

@@ -122,6 +122,7 @@ def build_oil_reservoir_dataset(
     seed: int = 0,
     storage_dir: Optional[Path | str] = None,
     layout: str = "row_major",
+    replication: int = 1,
 ) -> OilReservoirDataset:
     """Assemble the Section 6 dataset for ``spec`` on ``num_storage`` nodes.
 
@@ -131,7 +132,9 @@ def build_oil_reservoir_dataset(
     Model-only mode registers equivalent descriptors and a stub provider.
     ``layout`` selects the chunk encoding (``row_major``, ``column_major``,
     ``blocked(N)``, or ``compressed_column`` — functional mode only, since
-    compressed chunk sizes are data-dependent).
+    compressed chunk sizes are data-dependent).  ``replication=k`` stores
+    ``k`` copies of every chunk on distinct nodes (chained declustering),
+    enabling read failover under storage-node crashes.
     """
     if num_storage <= 0:
         raise ValueError("num_storage must be positive")
@@ -145,12 +148,14 @@ def build_oil_reservoir_dataset(
         for desc in make_grid_chunk_descriptors(
             1, spec.g, spec.p, t1_schema.record_size, num_storage,
             attributes=t1_schema.names, extractor="oilres_t1",
+            replication=replication,
         ):
             cat1.add_chunk(desc)
         cat2 = metadata.register_table(2, "T2", t2_schema)
         for desc in make_grid_chunk_descriptors(
             2, spec.g, spec.q, t2_schema.record_size, num_storage,
             attributes=t2_schema.names, extractor="oilres_t2",
+            replication=replication,
         ):
             cat2.add_chunk(desc)
         return OilReservoirDataset(
@@ -189,8 +194,8 @@ def build_oil_reservoir_dataset(
     t2_parts = make_grid_partitions(
         spec.g, spec.q, t2_schema, value_fns={"wp": wp}, seed=seed + 1
     )
-    written1 = writer.write_table(1, ex1, t1_parts)
-    written2 = writer.write_table(2, ex2, t2_parts)
+    written1 = writer.write_table(1, ex1, t1_parts, replication=replication)
+    written2 = writer.write_table(2, ex2, t2_parts, replication=replication)
     metadata.register_written_table("T1", written1)
     metadata.register_written_table("T2", written2)
     bds = [BasicDataSourceService(i, stores[i], registry) for i in range(num_storage)]

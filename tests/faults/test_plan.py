@@ -1,0 +1,120 @@
+"""Tests for the deterministic fault-plan description layer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.faults import Degradation, FaultPlan, NodeCrash, splitmix64
+from repro.faults.errors import (
+    StorageNodeDown,
+    TransientTransferFault,
+    UnrecoverableFault,
+)
+
+
+class TestSplitmix:
+    def test_deterministic(self):
+        assert splitmix64(7, 0) == splitmix64(7, 0)
+
+    def test_counter_and_seed_vary_output(self):
+        base = splitmix64(7, 0)
+        assert splitmix64(7, 1) != base
+        assert splitmix64(8, 0) != base
+
+    def test_draw_uniform_range(self):
+        plan = FaultPlan(seed=3)
+        draws = [plan.draw(i) for i in range(1000)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        # crude uniformity: mean of U(0,1) samples near 0.5
+        assert 0.45 < sum(draws) / len(draws) < 0.55
+
+    def test_choose_in_range(self):
+        plan = FaultPlan(seed=3)
+        for i in range(100):
+            assert 0 <= plan.choose(i, 5) < 5
+
+
+class TestValidation:
+    def test_bad_crash_kind(self):
+        with pytest.raises(ValueError):
+            NodeCrash("disk", at=1.0)
+
+    def test_negative_crash_time(self):
+        with pytest.raises(ValueError):
+            NodeCrash("storage", at=-1.0)
+
+    def test_bad_degradation_factor(self):
+        with pytest.raises(ValueError):
+            Degradation("disk", at=1.0, factor=1.5)
+        with pytest.raises(ValueError):
+            Degradation("nic", at=1.0, factor=0.0)
+
+    def test_transfer_rate_bounds(self):
+        with pytest.raises(ValueError):
+            FaultPlan(transfer_failure_rate=1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(transfer_failure_rate=-0.1)
+
+    def test_max_attempts_positive(self):
+        with pytest.raises(ValueError):
+            FaultPlan(max_attempts=0)
+
+    def test_trivial_plan(self):
+        assert FaultPlan(seed=42).is_trivial
+        assert not FaultPlan(transfer_failure_rate=0.1).is_trivial
+        assert not FaultPlan(crashes=(NodeCrash("storage", at=1.0),)).is_trivial
+
+
+class TestParse:
+    def test_parse_full_spec(self):
+        plan = FaultPlan.parse(
+            "seed=7,storage_crash=0.5@2,compute_crash=1.0,"
+            "transient=0.1,disk_degrade=0.8:0.25,max_attempts=4"
+        )
+        assert plan.seed == 7
+        assert plan.transfer_failure_rate == 0.1
+        assert plan.max_attempts == 4
+        assert NodeCrash("storage", at=0.5, node=2) in plan.crashes
+        assert NodeCrash("compute", at=1.0) in plan.crashes
+        assert Degradation("disk", at=0.8, factor=0.25) in plan.degradations
+
+    def test_parse_unknown_key(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("seed=7,meteor_strike=1.0")
+
+    def test_parse_degrade_needs_factor(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("disk_degrade=0.8")
+
+    def test_round_trip(self):
+        plan = FaultPlan.parse(
+            "seed=9,transient=0.05,storage_crash=0.5@1,nic_degrade=2.0:0.5@0"
+        )
+        assert FaultPlan.parse(plan.to_spec()) == plan
+
+    # to_spec() renders floats with %g (6 significant digits), so the
+    # property draws from values that format exactly
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32),
+        rate=st.integers(min_value=0, max_value=999).map(lambda i: i / 1000),
+        crash_at=st.integers(min_value=0, max_value=10000).map(lambda i: i / 100),
+    )
+    def test_round_trip_property(self, seed, rate, crash_at):
+        plan = FaultPlan(
+            seed=seed,
+            transfer_failure_rate=rate,
+            crashes=(NodeCrash("storage", at=crash_at, node=0),),
+        )
+        assert FaultPlan.parse(plan.to_spec()) == plan
+
+
+class TestErrors:
+    def test_unrecoverable_fault_carries_context(self):
+        exc = UnrecoverableFault("no surviving replica", chunk=(1, 4), node=2)
+        assert exc.chunk == (1, 4)
+        assert exc.node == 2
+        assert "chunk=(1, 4)" in str(exc)
+        assert "node=2" in str(exc)
+
+    def test_fault_errors_name_their_node(self):
+        assert TransientTransferFault(3).node == 3
+        assert StorageNodeDown(1).node == 1
