@@ -1,0 +1,7 @@
+"""``python -m repro.analysis`` — run the simlint determinism linter."""
+
+import sys
+
+from repro.analysis.linter import main
+
+sys.exit(main())

@@ -1,0 +1,244 @@
+"""Determinism rules D001–D003.
+
+The reproduction's contract is byte-identical replay: a ``(plan,
+workload)`` pair must produce the same trace, the same schedules, the
+same cost-model totals on every run of every host.  These rules flag the
+three ways that contract silently breaks: reading state outside the
+simulation (wall clocks, hidden-state RNGs), iterating unordered
+collections into ordered decisions, and order-dependent float
+accumulation.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules import (
+    FileContext,
+    Rule,
+    dotted_name,
+    is_set_expr,
+    register,
+)
+
+__all__ = ["WallClockRule", "UnorderedIterationRule", "UnorderedFloatSumRule"]
+
+#: wall-clock reads: any of these makes a simulated trace depend on the host
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "date.today",
+    "datetime.date.today",
+}
+
+#: dict-like collections that feed scheduling/placement decisions in this
+#: codebase; iterating their views without sorting couples the decision to
+#: insertion order
+_DECISION_NAME = re.compile(
+    r"(node|chunk|pair|joiner|replica|survivor|victim)s?$", re.IGNORECASE
+)
+
+
+@register
+class WallClockRule(Rule):
+    """D001: wall-clock or unseeded-RNG use in simulation code.
+
+    Simulated time is ``engine.now``; randomness is a counter-based
+    splitmix64 draw (:mod:`repro.core.rng`) or an explicitly seeded
+    ``np.random.default_rng(seed)``.  Anything else — ``time.time()``,
+    the stateful ``random`` module globals, legacy ``np.random.*``
+    globals, an argless ``random.Random()`` or ``default_rng()`` —
+    injects host state into the trace and breaks replay.
+    (``time.perf_counter`` stays legal: it is the sanctioned way to
+    measure the *host* in :mod:`repro.experiments.calibration`, which
+    measures real hardware by design.)
+
+    Bad::
+
+        jitter = random.random() * 0.1          # hidden global state
+        stamp = time.time()                     # host wall clock
+        rng = np.random.default_rng()           # OS-entropy seed
+
+    Good::
+
+        jitter = uniform(plan.seed, counter) * 0.1   # repro.core.rng
+        stamp = engine.now                           # simulated clock
+        rng = np.random.default_rng(seed)            # explicit seed
+    """
+
+    id = "D001"
+    title = "wall-clock or unseeded-RNG use"
+    scope = "all"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            msg = self._violation(name, node)
+            if msg is not None:
+                yield ctx.diag(self, node, msg)
+
+    def _violation(self, name: str, node: ast.Call) -> Optional[str]:
+        if name in _WALL_CLOCK:
+            return (
+                f"wall-clock read `{name}()` in simulation code; "
+                "use the engine's simulated clock (`engine.now`)"
+            )
+        if name.startswith("random.") and name != "random.Random":
+            return (
+                f"stateful global RNG `{name}()`; draw through "
+                "`repro.core.rng` (counter-based) or a seeded `random.Random(seed)`"
+            )
+        head, _, fn = name.rpartition(".")
+        if head in ("np.random", "numpy.random"):
+            if fn != "default_rng":
+                return (
+                    f"legacy global numpy RNG `{name}()`; use "
+                    "`np.random.default_rng(seed)` with an explicit seed"
+                )
+        if name in ("np.random.default_rng", "numpy.random.default_rng", "default_rng"):
+            if not node.args and not any(k.arg == "seed" for k in node.keywords):
+                return (
+                    "`default_rng()` without a seed draws from OS entropy; "
+                    "pass an explicit seed"
+                )
+        if name.endswith("Random") and (name == "Random" or name == "random.Random"):
+            if not node.args and not any(k.arg == "seed" for k in node.keywords):
+                return "argless `Random()` seeds from OS entropy; pass an explicit seed"
+        return None
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """D002: iteration over an unordered collection feeding ordered work.
+
+    Set iteration order depends on ``PYTHONHASHSEED`` (for strings) and
+    on insertion/deletion history; looping over one to build schedules,
+    placements or any ordered structure makes the result irreproducible.
+    The rule flags ``for``-loops and comprehensions whose iterable is
+    syntactically a set (literal, ``set()``/``frozenset()`` call,
+    comprehension, or set algebra over those).  In simulation source it
+    additionally flags ``for``-statements over ``.values()`` /
+    ``.keys()`` / ``.items()`` views of the decision collections of this
+    codebase (names matching ``node/chunk/pair/joiner/replica/
+    survivor/victim``), where insertion order is itself a product of
+    event ordering.  Wrap the iterable in ``sorted(...)`` to fix.
+
+    Bad::
+
+        for node in {ref.storage_node for ref in refs}:
+            assign(node)                       # hash-order placement
+        for desc in self.chunks.values():
+            tree.insert(desc)                  # insertion-order structure
+
+    Good::
+
+        for node in sorted({ref.storage_node for ref in refs}):
+            assign(node)
+        for _, desc in sorted(self.chunks.items()):
+            tree.insert(desc)
+    """
+
+    id = "D002"
+    title = "unordered iteration feeding ordered decisions"
+    scope = "all"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append((node.iter, True))
+            elif isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp, ast.DictComp)):
+                iters.extend((gen.iter, False) for gen in node.generators)
+            for it, is_stmt in iters:
+                if is_set_expr(it):
+                    yield ctx.diag(
+                        self,
+                        it,
+                        "iteration over a set is hash/insertion-order dependent; "
+                        "wrap in sorted(...)",
+                    )
+                elif is_stmt and ctx.is_sim_source:
+                    base = self._decision_view_base(it)
+                    if base is not None:
+                        yield ctx.diag(
+                            self,
+                            it,
+                            f"iterating `{base}` view in insertion order feeds a "
+                            "scheduling/placement decision; iterate "
+                            "sorted(...) instead",
+                        )
+
+    @staticmethod
+    def _decision_view_base(node: ast.AST) -> Optional[str]:
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("values", "keys", "items")
+            and not node.args
+        ):
+            return None
+        base = dotted_name(node.func.value)
+        if base is None:
+            return None
+        last = base.rsplit(".", 1)[-1]
+        if _DECISION_NAME.search(last):
+            return f"{base}.{node.func.attr}()"
+        return None
+
+
+@register
+class UnorderedFloatSumRule(Rule):
+    """D003: float accumulation over an unordered iterable.
+
+    Float addition is not associative: ``sum`` over a set (directly or
+    through a generator drawing from one) yields totals that differ in
+    the last ulps between runs, which is enough to flip a cost-model
+    comparison at a crossover point.  Sum over a ``sorted(...)`` of the
+    same elements — or accumulate into integers — instead.
+
+    Bad::
+
+        total = sum(node.transfer_time for node in busy_nodes_set)
+        total = sum({pb.stall for pb in breakdowns})
+
+    Good::
+
+        total = sum(node.transfer_time for node in sorted(busy_nodes_set))
+        total = sum(pb.stall for pb in breakdowns)   # list: stable order
+    """
+
+    id = "D003"
+    title = "float accumulation over an unordered iterable"
+    scope = "all"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name not in ("sum", "math.fsum", "fsum") or not node.args:
+                continue
+            arg = node.args[0]
+            unordered = is_set_expr(arg)
+            if not unordered and isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+                unordered = any(is_set_expr(gen.iter) for gen in arg.generators)
+            if unordered:
+                yield ctx.diag(
+                    self,
+                    node,
+                    f"`{name}` over an unordered iterable accumulates floats in "
+                    "hash order; iterate sorted(...) elements",
+                )

@@ -1,0 +1,291 @@
+"""Runtime simulation sanitizer: invariant hooks for ``--sanitize`` runs.
+
+The linter rejects the *syntactic shapes* of nondeterminism; this module
+checks the *semantic invariants* a correct execution must satisfy, live,
+while a join runs:
+
+* **clock monotonicity** — the engine's clock never moves backwards
+  across event dispatches (probed via :attr:`SimEngine.monitor`);
+* **cache accounting** — after every mutating cache operation, resident
+  bytes equal the sum of entry sizes and never exceed capacity, staged
+  bytes equal the sum of reservations and never exceed the prefetch
+  budget, and no pin count is negative;
+* **byte conservation** — every byte the report claims was pulled from
+  storage corresponds to a transfer that actually succeeded on the
+  simulated fabric (wrapping ``read_and_send``/``stream_batch``), with
+  loss tolerated only when the fault plan kills compute nodes (a
+  successful transfer whose waiting joiner died is never accounted);
+* **no stranded processes** — at the end of a run every spawned process
+  has completed (succeeded or failed), i.e. nothing is silently blocked
+  on an event nobody will trigger.
+
+On top of the hooks, :func:`semantic_digest` / :func:`full_digest`
+summarise a report for the *same-timestamp nondeterminism detector*: the
+runner shadow-executes the identical workload with the engine's
+same-time tie-break reversed (see ``SimEngine(tie_break="reversed")``)
+and flags any divergence in the observables a simulation is entitled to
+report.  Generators cannot be forked mid-run, so the "fork" is realised
+as a full second execution of the same pure-input workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "SanitizerViolation",
+    "RunSanitizer",
+    "semantic_digest",
+    "full_digest",
+    "compare_digests",
+]
+
+
+class SanitizerViolation(AssertionError):
+    """An execution broke a simulation invariant."""
+
+
+class RunSanitizer:
+    """Installable invariant checks for one QES execution.
+
+    One instance watches one execution (one engine, its caches, its
+    cluster).  Attach points are called by the QES ``run()`` methods when
+    a sanitizer is passed; ``after_run`` performs the end-of-run checks
+    and must be called exactly once, after the engine has drained.
+    """
+
+    def __init__(self, label: str = ""):
+        self.label = label
+        #: invariant evaluations performed, by kind — proof the hooks ran
+        self.checks: Dict[str, int] = {
+            "clock": 0,
+            "cache": 0,
+            "transfer": 0,
+            "after_run": 0,
+        }
+        #: bytes of storage transfers that *succeeded* on the fabric
+        self.transferred_ok = 0
+        self._last_now: Optional[float] = None
+        self._caches: List[Tuple[str, object]] = []
+        self._cluster = None
+
+    def _fail(self, message: str) -> None:
+        prefix = f"[{self.label}] " if self.label else ""
+        raise SanitizerViolation(f"{prefix}{message}")
+
+    # -- attach points ----------------------------------------------------------
+
+    def attach_engine(self, engine) -> None:
+        """Probe every event dispatch for clock monotonicity."""
+        self._last_now = engine.now
+        engine.monitor = self._on_advance
+
+    def _on_advance(self, now: float) -> None:
+        self.checks["clock"] += 1
+        if self._last_now is not None and now < self._last_now:
+            self._fail(
+                f"simulation clock moved backwards: {self._last_now!r} -> {now!r}"
+            )
+        self._last_now = now
+
+    def attach_cache(self, cache, name: str = "") -> None:
+        """Re-check the cache's byte accounting after every mutation."""
+        self._caches.append((name, cache))
+        cache.install_validator(lambda op, c=cache, n=name: self._check_cache(c, n, op))
+
+    def _check_cache(self, cache, name: str, op: str) -> None:
+        self.checks["cache"] += 1
+        where = f"cache {name or '?'} after {op}"
+        resident = sum(e.nbytes for e in cache._entries.values())
+        if resident != cache._bytes:
+            self._fail(
+                f"{where}: resident-byte ledger {cache._bytes} != "
+                f"sum of entry sizes {resident}"
+            )
+        if cache._bytes > cache.capacity_bytes:
+            self._fail(
+                f"{where}: {cache._bytes} resident bytes exceed capacity "
+                f"{cache.capacity_bytes}"
+            )
+        staged = sum(s.nbytes for s in cache._staged.values())
+        if staged != cache._staged_bytes:
+            self._fail(
+                f"{where}: staged-byte ledger {cache._staged_bytes} != "
+                f"sum of reservations {staged}"
+            )
+        if cache._staged_bytes > cache.prefetch_budget_bytes:
+            self._fail(
+                f"{where}: {cache._staged_bytes} staged bytes exceed prefetch "
+                f"budget {cache.prefetch_budget_bytes}"
+            )
+        negative = [k for k, e in cache._entries.items() if e.pins < 0]
+        if negative:
+            self._fail(f"{where}: negative pin count on {negative!r}")
+
+    def attach_cluster(self, cluster) -> None:
+        """Tally the bytes of every storage transfer that succeeds.
+
+        The wrapped methods return the exact event the QES observes (the
+        fault-guarded one), so the tally counts precisely the transfers
+        whose success a control loop could have accounted.
+        """
+        if getattr(cluster, "_sanitizer_wrapped", False):
+            self._fail("cluster already has a sanitizer attached")
+        cluster._sanitizer_wrapped = True
+        self._cluster = cluster
+        for method in ("read_and_send", "stream_batch"):
+            orig = getattr(cluster, method)
+
+            def wrapped(storage, compute, nbytes, _orig=orig):
+                ev = _orig(storage, compute, nbytes)
+                ev.callbacks.append(
+                    lambda e, n=nbytes: self._on_transfer_done(e, n)
+                )
+                return ev
+
+            setattr(cluster, method, wrapped)
+
+    def _on_transfer_done(self, ev, nbytes: int) -> None:
+        self.checks["transfer"] += 1
+        if ev.ok:
+            self.transferred_ok += nbytes
+
+    # -- end-of-run checks -------------------------------------------------------
+
+    def after_run(self, engine, report) -> None:
+        """Final invariants once the engine has drained."""
+        self.checks["after_run"] += 1
+        pending = engine.pending_processes()
+        if pending:
+            names = ", ".join(repr(p.name) for p in pending)
+            self._fail(
+                f"{len(pending)} process(es) still pending at end of run "
+                f"(blocked on events nobody will trigger): {names}"
+            )
+        for name, cache in self._caches:
+            self._check_cache(cache, name, "final")
+        self._check_conservation(report)
+
+    def _check_conservation(self, report) -> None:
+        claimed = report.bytes_from_storage
+        if claimed > self.transferred_ok:
+            self._fail(
+                f"report claims {claimed} bytes from storage but only "
+                f"{self.transferred_ok} bytes of transfers succeeded"
+            )
+        if claimed < self.transferred_ok and not self._compute_crashes_planned():
+            # without compute crashes every successful transfer has a live
+            # waiter, so the ledgers must agree exactly
+            self._fail(
+                f"{self.transferred_ok - claimed} bytes of successful "
+                f"transfers unaccounted in the report ({claimed} claimed, "
+                f"{self.transferred_ok} transferred) with no compute crash "
+                "to excuse the loss"
+            )
+
+    def _compute_crashes_planned(self) -> bool:
+        injector = getattr(self._cluster, "faults", None) if self._cluster else None
+        if injector is None:
+            return False
+        return any(c.kind == "compute" for c in injector.plan.crashes)
+
+    def summary(self) -> Dict[str, int]:
+        """Counts of invariant evaluations (all hooks must have fired)."""
+        out = dict(self.checks)
+        out["transferred_ok_bytes"] = self.transferred_ok
+        return out
+
+
+# -- report digests for the shadow-run comparison ------------------------------------
+
+
+def _cache_digest(stats) -> Tuple:
+    # prefetch counters are deliberately excluded: prefetch *effectiveness*
+    # is timing-dependent by design; the main cache's hit/miss/eviction
+    # sequence is the tie-break-invariant observable
+    return (stats.hits, stats.misses, stats.evictions, stats.bytes_inserted)
+
+
+def _results_digest(results) -> Optional[Tuple]:
+    if results is None:
+        return None
+    return tuple(
+        (len(per), sum(sub.num_records for sub in per)) for per in results
+    )
+
+
+def semantic_digest(report) -> Dict[str, object]:
+    """The observables that must be invariant under same-time tie order.
+
+    Excludes timing (phase breakdowns, total time), recovery counters and
+    ``extras``: those legitimately depend on *which* equal-time event ran
+    first, while the join's logical outcome may not.
+    """
+    return {
+        "algorithm": report.algorithm,
+        "pairs_joined": report.pairs_joined,
+        "bytes_from_storage": report.bytes_from_storage,
+        "kernel": (
+            report.kernel.builds,
+            report.kernel.probes,
+            report.kernel.matches,
+        ),
+        "cache": tuple(_cache_digest(s) for s in report.cache_stats),
+        "results": _results_digest(report.results),
+        "result_tuples": report.result_tuples,
+    }
+
+
+def full_digest(report) -> Dict[str, object]:
+    """Everything a report says, for exact replay comparison.
+
+    Used when a fault plan is active: fault draws are counter-based and
+    trace-order-dependent by design, so the shadow is a *canonical-order
+    replay* (same tie-break) and the whole report must match bit-for-bit.
+    """
+    out = semantic_digest(report)
+    rec = report.recovery
+    out.update(
+        {
+            "total_time": report.total_time,
+            "phases": tuple(
+                (
+                    pb.transfer,
+                    pb.scratch_write,
+                    pb.scratch_read,
+                    pb.cpu_build,
+                    pb.cpu_lookup,
+                    pb.stall,
+                )
+                for pb in report.per_joiner
+            ),
+            "scratch": (report.bytes_scratch_written, report.bytes_scratch_read),
+            "recovery": (
+                rec.retries,
+                rec.failovers,
+                rec.reassigned_pairs,
+                rec.restarted_chunks,
+                rec.cache_invalidations,
+                rec.wasted_seconds,
+                rec.wasted_bytes,
+            ),
+            "extras": tuple(sorted(report.extras.items())),
+        }
+    )
+    return out
+
+
+def compare_digests(
+    primary: Dict[str, object], shadow: Dict[str, object], what: str
+) -> None:
+    """Raise :class:`SanitizerViolation` naming every diverging key."""
+    diffs = [
+        f"  {key}: primary={primary[key]!r} shadow={shadow[key]!r}"
+        for key in primary
+        if primary[key] != shadow.get(key)
+    ]
+    if diffs:
+        raise SanitizerViolation(
+            f"{what}: shadow execution diverged from primary on "
+            f"{len(diffs)} observable(s):\n" + "\n".join(diffs)
+        )

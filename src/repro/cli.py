@@ -16,8 +16,15 @@ Commands
     Regenerate one of the paper's figure sweeps at a chosen scale
     (``ne-cs``, ``compute-nodes``, ``tuples``, ``attributes``, ``cpu``,
     ``nfs``).
+``lint``
+    Run ``simlint``, the determinism/engine-protocol static linter, over
+    source paths (same as ``python -m repro.analysis``).
 ``calibrate``
     Measure this host's per-tuple hash constants (α_build, α_lookup).
+
+``run`` and ``sweep`` accept ``--sanitize`` to execute under the runtime
+simulation sanitizer (invariant hooks plus a nondeterminism-detecting
+shadow run per QES); a violation exits with status 4.
 
 Every command takes ``--grid/--p/--q`` as comma-separated sizes and the
 deployment shape via ``--storage/--compute``; ``--calibrated`` swaps the
@@ -46,6 +53,7 @@ from repro.experiments.figures import (
     run_figure8,
     run_figure9,
 )
+from repro.analysis.sanitizer import SanitizerViolation
 from repro.experiments.runner import run_point
 from repro.faults import UnrecoverableFault
 from repro.workloads.generator import GridSpec
@@ -93,6 +101,11 @@ def _add_deploy_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--replication", type=int, default=1, metavar="K",
                    help="write each chunk to K storage nodes so reads can "
                         "fail over (default 1 — no replication)")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run under the simulation sanitizer: invariant hooks "
+                        "(clock, cache accounting, byte conservation, no "
+                        "stranded processes) plus a shadow execution per QES "
+                        "that detects same-timestamp nondeterminism")
 
 
 def _machine(args: argparse.Namespace) -> MachineSpec:
@@ -171,6 +184,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         pipeline=args.pipeline,
         faults=args.faults,
         replication=args.replication,
+        sanitize=args.sanitize,
     )
     ij_name = "indexed-join (pipe)" if args.pipeline else "indexed-join"
     print(spec.describe())
@@ -194,42 +208,47 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   f"failovers, {rec.reassigned_pairs} pairs reassigned, "
                   f"{rec.restarted_chunks} chunks restarted, wasted "
                   f"{rec.wasted_seconds:.3f}s / {rec.wasted_bytes:,} B")
+    if args.sanitize:
+        print("sanitizer: all invariant hooks and shadow comparisons passed")
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     machine = _machine(args)
     pipe = args.pipeline
+    san = args.sanitize
     rows: List[Sequence[object]] = []
     if args.axis == "ne-cs":
         results = run_figure4(n_s=args.storage, n_j=args.compute, machine=machine,
-                              pipeline=pipe)
+                              pipeline=pipe, sanitize=san)
         header = ["n_e*c_S", "IJ (s)", "GH (s)", "winner"]
         rows = [[f"{r.spec.ne_cs:,}", f"{r.ij_sim:.2f}", f"{r.gh_sim:.2f}", r.sim_winner]
                 for r in results]
     elif args.axis == "compute-nodes":
-        results = run_figure5(n_s=args.storage, machine=machine, pipeline=pipe)
+        results = run_figure5(n_s=args.storage, machine=machine, pipeline=pipe,
+                              sanitize=san)
         header = ["n_j", "IJ (s)", "GH (s)", "gap"]
         rows = [[n, f"{r.ij_sim:.2f}", f"{r.gh_sim:.2f}", f"{r.gh_sim - r.ij_sim:.2f}"]
                 for n, r in results]
     elif args.axis == "tuples":
         results = run_figure6(factors=(1, 4, 16, 64), n_s=args.storage,
-                              n_j=args.compute, machine=machine, pipeline=pipe)
+                              n_j=args.compute, machine=machine, pipeline=pipe,
+                              sanitize=san)
         header = ["T", "IJ (s)", "GH (s)"]
         rows = [[f"{r.spec.T:,}", f"{r.ij_sim:.2f}", f"{r.gh_sim:.2f}"] for r in results]
     elif args.axis == "attributes":
         results = run_figure7(n_s=args.storage, n_j=args.compute, machine=machine,
-                              pipeline=pipe)
+                              pipeline=pipe, sanitize=san)
         header = ["attrs", "IJ (s)", "GH (s)"]
         rows = [[n, f"{r.ij_sim:.2f}", f"{r.gh_sim:.2f}"] for n, r in results]
     elif args.axis == "cpu":
         results = run_figure8(n_s=args.storage, n_j=args.compute, machine=machine,
-                              pipeline=pipe)
+                              pipeline=pipe, sanitize=san)
         header = ["F", "IJ (s)", "GH (s)", "winner"]
         rows = [[f, f"{r.ij_sim:.2f}", f"{r.gh_sim:.2f}", r.sim_winner]
                 for f, r in results]
     elif args.axis == "nfs":
-        results = run_figure9(pipeline=pipe)
+        results = run_figure9(pipeline=pipe, sanitize=san)
         header = ["n_j", "IJ (s)", "GH (s)", "GH/IJ"]
         rows = [[n, f"{r.ij_sim:.2f}", f"{r.gh_sim:.2f}", f"{r.gh_sim / r.ij_sim:.1f}x"]
                 for n, r in results]
@@ -237,6 +256,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         raise AssertionError(args.axis)
     print(_table(header, rows))
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # lazy import: the linter is pure stdlib but pulls in the rule modules
+    from repro.analysis.linter import main as lint_main
+
+    argv: List[str] = list(args.paths)
+    if args.select:
+        argv += ["--select", args.select]
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.explain:
+        argv += ["--explain", args.explain]
+    return lint_main(argv)
 
 
 def _cmd_calibrate(args: argparse.Namespace) -> int:
@@ -279,6 +312,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_deploy_args(p_sweep)
     p_sweep.set_defaults(fn=_cmd_sweep)
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="run simlint, the determinism/engine-protocol linter "
+             "(equivalent to `python -m repro.analysis`)",
+    )
+    p_lint.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    p_lint.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule ids to run")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    p_lint.add_argument("--explain", metavar="RULE",
+                        help="print one rule's documentation and exit")
+    p_lint.set_defaults(fn=_cmd_lint)
+
     p_cal = sub.add_parser("calibrate", help="measure this host's hash constants")
     p_cal.add_argument("--tuples", type=int, default=100_000)
     p_cal.add_argument("--repeats", type=int, default=3)
@@ -294,6 +342,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except UnrecoverableFault as exc:
         print(f"unrecoverable fault: {exc}", file=sys.stderr)
         return 3
+    except SanitizerViolation as exc:
+        print(f"sanitizer violation: {exc}", file=sys.stderr)
+        return 4
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -66,6 +66,7 @@ class ClusterSim:
         compute_specs: Optional[Dict[int, MachineSpec]] = None,
         trace: bool = False,
         faults=None,
+        tie_break: str = "fifo",
     ):
         """Assemble a cluster.
 
@@ -81,6 +82,9 @@ class ClusterSim:
         as ``self.faults``) and every storage transfer is routed through
         its guards.  A trivial (empty) plan leaves the run byte-identical
         to ``faults=None``.
+
+        ``tie_break`` is forwarded to the :class:`SimEngine`; anything but
+        the default ``"fifo"`` is for the sanitizer's shadow runs only.
         """
         self.topology = topology
         self.spec = spec
@@ -93,7 +97,7 @@ class ClusterSim:
             for node_id in d:
                 if not (0 <= node_id < limit):
                     raise ValueError(f"no {kind} node {node_id} in this topology")
-        self.engine = SimEngine()
+        self.engine = SimEngine(tie_break=tie_break)
         if trace:
             self.engine.tracer = Tracer()
         total = topology.num_storage + topology.num_compute
@@ -295,17 +299,27 @@ def paper_cluster(
     num_compute: int = 5,
     spec: MachineSpec = PAPER_MACHINE,
     faults=None,
+    tie_break: str = "fifo",
 ) -> ClusterSim:
     """The Section 6 testbed shape: switched fabric, local scratch disks."""
-    return ClusterSim(ClusterTopology(num_storage, num_compute), spec=spec, faults=faults)
+    return ClusterSim(
+        ClusterTopology(num_storage, num_compute),
+        spec=spec,
+        faults=faults,
+        tie_break=tie_break,
+    )
 
 
 def nfs_cluster(
-    num_compute: int, spec: MachineSpec = PAPER_MACHINE, faults=None
+    num_compute: int,
+    spec: MachineSpec = PAPER_MACHINE,
+    faults=None,
+    tie_break: str = "fifo",
 ) -> ClusterSim:
     """The Figure 9 scenario: one shared NFS server, diskless compute nodes."""
     return ClusterSim(
         ClusterTopology(num_storage=1, num_compute=num_compute, shared_nfs=True),
         spec=spec,
         faults=faults,
+        tie_break=tie_break,
     )

@@ -355,9 +355,21 @@ class AnyOf(Event):
 
 
 class SimEngine:
-    """Time-ordered event queue and the simulation clock."""
+    """Time-ordered event queue and the simulation clock.
 
-    def __init__(self) -> None:
+    ``tie_break`` selects the order of *same-instant* events: ``"fifo"``
+    (the contract — scheduling order, via a monotonic sequence number) or
+    ``"reversed"`` (LIFO among equal-time events).  Reversed ties exist
+    solely for the runtime sanitizer: any observable the simulation is
+    entitled to report must be invariant under the tie-break, so a shadow
+    run with reversed ties that diverges has found code depending on
+    same-timestamp scheduling order.
+    """
+
+    def __init__(self, tie_break: str = "fifo") -> None:
+        if tie_break not in ("fifo", "reversed"):
+            raise ValueError(f"unknown tie_break {tie_break!r}")
+        self.tie_break = tie_break
         self.now: float = 0.0
         self._queue: List = []
         self._seq = 0
@@ -367,13 +379,17 @@ class SimEngine:
         #: optional :class:`repro.cluster.trace.Tracer` recording resource
         #: busy intervals; assigned by the cluster when tracing is enabled
         self.tracer = None
+        #: optional callable invoked with the new clock value on every
+        #: event dispatch in :meth:`run` — the sanitizer's monotonicity probe
+        self.monitor: Optional[Callable[[float], None]] = None
 
     # -- scheduling -------------------------------------------------------------
 
     def _schedule(self, at: float, fn: Callable[[], None]) -> None:
         if at < self.now:
             raise SimulationError(f"scheduling into the past: {at} < {self.now}")
-        heapq.heappush(self._queue, (at, self._seq, fn))
+        key = self._seq if self.tie_break == "fifo" else -self._seq
+        heapq.heappush(self._queue, (at, key, fn))
         self._seq += 1
 
     # -- public API --------------------------------------------------------------
@@ -427,6 +443,8 @@ class SimEngine:
                 return self.now
             heapq.heappop(self._queue)
             self.now = at
+            if self.monitor is not None:
+                self.monitor(at)
             fn()
         if until is not None and until > self.now:
             self.now = until

@@ -205,14 +205,16 @@ class BoundingBox:
         unbounded in the union (the other operand extends to infinity there).
         """
         out: Dict[str, Interval] = {}
-        for name in set(self._intervals) & set(other._intervals):
+        # sorted: the result's attribute order must not depend on string-set
+        # iteration order (which varies with PYTHONHASHSEED)
+        for name in sorted(set(self._intervals) & set(other._intervals)):
             out[name] = self._intervals[name].union(other._intervals[name])
         return BoundingBox(out)
 
     def intersect(self, other: "BoundingBox") -> Optional["BoundingBox"]:
         """Intersection box, or ``None`` when the boxes are disjoint."""
         out: Dict[str, Interval] = {}
-        for name in set(self._intervals) | set(other._intervals):
+        for name in sorted(set(self._intervals) | set(other._intervals)):
             iv = self.interval(name).intersect(other.interval(name))
             if iv is None:
                 return None

@@ -7,7 +7,9 @@ EXPERIMENTS.md, the CLI exposes them with user-chosen sizes.
 All sweeps accept ``pipeline=True`` to run (and predict) the Indexed Join
 in its overlapped prefetching mode — an ablation the paper's synchronous
 QES does not have, useful for seeing how much of each figure's IJ curve is
-exposed transfer time.
+exposed transfer time.  ``sanitize=True`` additionally runs every point
+under the runtime sanitizer (invariant hooks plus a shadow execution per
+QES — see :func:`repro.experiments.runner.run_point`).
 """
 
 from __future__ import annotations
@@ -37,11 +39,15 @@ def run_figure4(
     n_j: int = 5,
     machine: MachineSpec = PAPER_MACHINE,
     pipeline: bool = False,
+    sanitize: bool = False,
 ) -> List[PointResult]:
     """Execution time vs ``n_e·c_S`` at constant grid and edge ratio."""
     points = constant_edge_ratio_sweep(grid, component, steps=steps)
     return [
-        run_point(pt.spec, n_s, n_j, machine=machine, pipeline=pipeline)
+        run_point(
+            pt.spec, n_s, n_j, machine=machine, pipeline=pipeline,
+            sanitize=sanitize,
+        )
         for pt in points
     ]
 
@@ -52,10 +58,17 @@ def run_figure5(
     n_j_sweep: Sequence[int] = (1, 2, 3, 4, 5),
     machine: MachineSpec = PAPER_MACHINE,
     pipeline: bool = False,
+    sanitize: bool = False,
 ) -> List[Tuple[int, PointResult]]:
     """Execution time vs number of compute nodes (low ``n_e·c_S``)."""
     return [
-        (n_j, run_point(spec, n_s, n_j, machine=machine, pipeline=pipeline))
+        (
+            n_j,
+            run_point(
+                spec, n_s, n_j, machine=machine, pipeline=pipeline,
+                sanitize=sanitize,
+            ),
+        )
         for n_j in n_j_sweep
     ]
 
@@ -67,11 +80,15 @@ def run_figure6(
     n_j: int = 5,
     machine: MachineSpec = PAPER_MACHINE,
     pipeline: bool = False,
+    sanitize: bool = False,
 ) -> List[PointResult]:
     """Execution time vs T, partitions held fixed (to ~2 B tuples)."""
     points = tuple_count_sweep(base, factors, scale_dim=0)
     return [
-        run_point(pt.spec, n_s, n_j, machine=machine, pipeline=pipeline)
+        run_point(
+            pt.spec, n_s, n_j, machine=machine, pipeline=pipeline,
+            sanitize=sanitize,
+        )
         for pt in points
     ]
 
@@ -83,6 +100,7 @@ def run_figure7(
     n_j: int = 5,
     machine: MachineSpec = PAPER_MACHINE,
     pipeline: bool = False,
+    sanitize: bool = False,
 ) -> List[Tuple[int, PointResult]]:
     """Execution time vs attribute count (4-byte attributes)."""
     return [
@@ -90,7 +108,7 @@ def run_figure7(
             4 + extra,
             run_point(
                 spec, n_s, n_j, machine=machine, extra_attributes=extra,
-                pipeline=pipeline,
+                pipeline=pipeline, sanitize=sanitize,
             ),
         )
         for extra in extra_attributes
@@ -104,6 +122,7 @@ def run_figure8(
     n_j: int = 5,
     machine: MachineSpec = PAPER_MACHINE,
     pipeline: bool = False,
+    sanitize: bool = False,
 ) -> List[Tuple[float, PointResult]]:
     """Execution time vs computing-power factor F."""
     return [
@@ -111,7 +130,7 @@ def run_figure8(
             f,
             run_point(
                 spec, n_s, n_j, machine=machine.with_cpu_factor(f),
-                pipeline=pipeline,
+                pipeline=pipeline, sanitize=sanitize,
             ),
         )
         for f in f_sweep
@@ -123,6 +142,7 @@ def run_figure9(
     n_j_sweep: Sequence[int] = (1, 2, 4, 8),
     machine: MachineSpec = MachineSpec(disk_latency=5e-3),
     pipeline: bool = False,
+    sanitize: bool = False,
 ) -> List[Tuple[int, PointResult]]:
     """Shared-NFS deployment: execution time vs compute nodes."""
     return [
@@ -130,7 +150,7 @@ def run_figure9(
             n_j,
             run_point(
                 spec, n_s=1, n_j=n_j, shared_nfs=True, machine=machine,
-                pipeline=pipeline,
+                pipeline=pipeline, sanitize=sanitize,
             ),
         )
         for n_j in n_j_sweep

@@ -80,6 +80,7 @@ def run_point(
     pipeline: bool = False,
     faults: Optional[Union[FaultPlan, str]] = None,
     replication: int = 1,
+    sanitize: bool = False,
 ) -> PointResult:
     """Execute IJ and GH for one configuration and collect predictions.
 
@@ -92,6 +93,18 @@ def run_point(
     can fail over.  The analytic predictions stay fault-free — the gap
     between prediction and simulation under faults *is* the recovery
     overhead the ablation plots.
+
+    ``sanitize`` runs each QES under the runtime sanitizer's invariant
+    hooks (see :mod:`repro.analysis.sanitizer`) and then *shadow-executes*
+    the identical workload to detect same-timestamp nondeterminism.
+    Fault-free configurations shadow with the engine's equal-time
+    tie-break reversed and compare the tie-break-invariant observables;
+    fault plans (whose counter-based draws are trace-order-dependent by
+    design) shadow in canonical order and require the full report to
+    replay bit-for-bit.  Any divergence or invariant breach raises
+    :class:`~repro.analysis.sanitizer.SanitizerViolation`.  The reports
+    returned are the primary (hook-instrumented) runs, which produce
+    byte-identical observables to un-sanitized runs.
     """
     ds = build_oil_reservoir_dataset(
         spec, num_storage=n_s, functional=functional,
@@ -107,18 +120,56 @@ def run_point(
         n_s=n_s, n_j=n_j, shared_nfs=shared_nfs,
     )
 
-    def cluster():
+    def cluster(tie_break: str = "fifo"):
         if shared_nfs:
-            return nfs_cluster(n_j, spec=machine, faults=faults)
-        return paper_cluster(n_s, n_j, spec=machine, faults=faults)
+            return nfs_cluster(n_j, spec=machine, faults=faults, tie_break=tie_break)
+        return paper_cluster(
+            n_s, n_j, spec=machine, faults=faults, tie_break=tie_break
+        )
 
-    ij_report = IndexedJoinQES(
-        cluster(), ds.metadata, "T1", "T2", ds.join_attrs, ds.provider,
-        pipeline=pipeline,
-    ).run()
-    gh_report = GraceHashQES(
-        cluster(), ds.metadata, "T1", "T2", ds.join_attrs, ds.provider
-    ).run()
+    def run_ij(tie_break: str = "fifo", sanitizer=None) -> ExecutionReport:
+        return IndexedJoinQES(
+            cluster(tie_break), ds.metadata, "T1", "T2", ds.join_attrs,
+            ds.provider, pipeline=pipeline, sanitizer=sanitizer,
+        ).run()
+
+    def run_gh(tie_break: str = "fifo", sanitizer=None) -> ExecutionReport:
+        return GraceHashQES(
+            cluster(tie_break), ds.metadata, "T1", "T2", ds.join_attrs,
+            ds.provider, sanitizer=sanitizer,
+        ).run()
+
+    if sanitize:
+        from repro.analysis.sanitizer import (
+            RunSanitizer,
+            compare_digests,
+            full_digest,
+            semantic_digest,
+        )
+
+        faulty = faults is not None and not faults.is_trivial
+        reports = []
+        for name, execute in (("indexed-join", run_ij), ("grace-hash", run_gh)):
+            primary = execute(sanitizer=RunSanitizer(label=name))
+            if faulty:
+                shadow = execute()
+                compare_digests(
+                    full_digest(primary),
+                    full_digest(shadow),
+                    f"{name} canonical-order replay",
+                )
+            else:
+                shadow = execute(tie_break="reversed")
+                compare_digests(
+                    semantic_digest(primary),
+                    semantic_digest(shadow),
+                    f"{name} reversed-tie shadow",
+                )
+            reports.append(primary)
+        ij_report, gh_report = reports
+    else:
+        ij_report = run_ij()
+        gh_report = run_gh()
     return PointResult(
         spec=spec,
         params=params,

@@ -26,21 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
+# the mixer lives in repro.core.rng (shared with placement and scheduling);
+# re-exported here because fault-plan consumers historically import it from
+# repro.faults
+from repro.core.rng import splitmix64
+
 __all__ = ["NodeCrash", "Degradation", "FaultPlan", "splitmix64"]
-
-_MASK = 2**64 - 1
-
-
-def splitmix64(seed: int, counter: int) -> int:
-    """The ``counter``-th draw of a splitmix64 stream seeded with ``seed``.
-
-    Counter-based (no hidden state) so concurrent consumers can draw
-    deterministically regardless of process interleaving.
-    """
-    z = (seed * 0xFF51AFD7ED558CCD + (counter + 1) * 0x9E3779B97F4A7C15) & _MASK
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9 & _MASK
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EB & _MASK
-    return z ^ (z >> 31)
 
 
 @dataclass(frozen=True)

@@ -99,6 +99,7 @@ class GraceHashQES:
         num_buckets: Optional[int] = None,
         kernel: str = "vectorized",
         range_constraint: Optional["BoundingBox"] = None,
+        sanitizer=None,
     ):
         self.cluster = cluster
         self.metadata = metadata
@@ -108,6 +109,8 @@ class GraceHashQES:
         self.provider = provider
         self.kernel = kernel
         self.range_constraint = range_constraint
+        #: optional RunSanitizer installing invariant hooks (``--sanitize``)
+        self.sanitizer = sanitizer
         self.num_buckets = (
             num_buckets if num_buckets is not None else self._choose_num_buckets()
         )
@@ -137,6 +140,10 @@ class GraceHashQES:
             per_joiner=[PhaseBreakdown() for _ in range(n_j)],
         )
         report.extras["num_buckets"] = float(n_b)
+
+        if self.sanitizer is not None:
+            self.sanitizer.attach_engine(cluster.engine)
+            self.sanitizer.attach_cluster(cluster)
 
         # bucket state: sizes always; record payloads only when functional
         # indices: [joiner][side][bucket]
@@ -266,6 +273,8 @@ class GraceHashQES:
         cluster.engine.run_process(barrier_then_join(), name="gh-driver")
         report.results = results
         report.pairs_joined = n_j * n_b
+        if self.sanitizer is not None:
+            self.sanitizer.after_run(cluster.engine, report)
         return report
 
     # -- phase 1: storage-side streaming ----------------------------------------------

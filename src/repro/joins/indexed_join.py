@@ -107,6 +107,11 @@ class IndexedJoinQES:
     prefetch_budget:
         Staging budget in bytes for the pipelined mode's prefetched
         sub-tables; defaults to a quarter of the cache capacity.
+    sanitizer:
+        A :class:`repro.analysis.sanitizer.RunSanitizer` to install
+        invariant hooks into this execution's engine, caches and
+        transfers (``--sanitize`` runs).  ``None`` (the default) adds no
+        instrumentation.
     """
 
     algorithm = "indexed-join"
@@ -127,6 +132,7 @@ class IndexedJoinQES:
         caches: Optional[List[CachingService]] = None,
         pipeline: bool = False,
         prefetch_budget: Optional[int] = None,
+        sanitizer=None,
     ):
         self.cluster = cluster
         self.metadata = metadata
@@ -158,6 +164,7 @@ class IndexedJoinQES:
         self.kernel = kernel
         self.pipeline = pipeline
         self.prefetch_budget = prefetch_budget
+        self.sanitizer = sanitizer
 
     # -- execution ---------------------------------------------------------------
 
@@ -195,6 +202,12 @@ class IndexedJoinQES:
         # snapshot so the report carries this run's deltas, not the caches'
         # lifetime counters (a warmed cache has history from earlier runs)
         stats_before = [c.stats.snapshot() for c in caches]
+
+        if self.sanitizer is not None:
+            self.sanitizer.attach_engine(cluster.engine)
+            self.sanitizer.attach_cluster(cluster)
+            for j, c in enumerate(caches):
+                self.sanitizer.attach_cache(c, name=f"joiner{j}")
 
         injector = cluster.faults
 
@@ -268,6 +281,8 @@ class IndexedJoinQES:
         report.extras["num_edges"] = float(self.index.num_edges)
         report.extras["num_components"] = float(len(self.index.components()))
         report.extras["pipeline"] = 1.0 if self.pipeline else 0.0
+        if self.sanitizer is not None:
+            self.sanitizer.after_run(cluster.engine, report)
         return report
 
     # -- fault-tolerant transfer ---------------------------------------------------

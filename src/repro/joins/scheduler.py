@@ -22,10 +22,10 @@ Alternative orders exist for the scheduling ablation:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Tuple
 
+from repro.core.rng import deterministic_shuffle
 from repro.datamodel.subtable import SubTableId
 from repro.joins.join_index import PageJoinIndex
 
@@ -132,12 +132,17 @@ def schedule_two_stage(index: PageJoinIndex, num_joiners: int) -> PairSchedule:
 
 
 def schedule_random(index: PageJoinIndex, num_joiners: int, seed: int = 0) -> PairSchedule:
-    """Ablation: pairs shuffled, then dealt round-robin ignoring components."""
+    """Ablation: pairs shuffled, then dealt round-robin ignoring components.
+
+    The shuffle is a counter-based splitmix64 Fisher–Yates
+    (:func:`repro.core.rng.deterministic_shuffle`) rather than
+    ``random.Random(seed).shuffle``: the draw order — and therefore the
+    schedule — is a pure function of ``(pairs, seed)`` and the repo's own
+    mixer, immune to stdlib RNG implementation details.
+    """
     if num_joiners <= 0:
         raise ValueError("num_joiners must be positive")
-    rng = random.Random(seed)
-    pairs = list(index.pairs)
-    rng.shuffle(pairs)
+    pairs = deterministic_shuffle(index.pairs, seed)
     per_joiner: List[List[Pair]] = [[] for _ in range(num_joiners)]
     for i, pair in enumerate(pairs):
         per_joiner[i % num_joiners].append(pair)

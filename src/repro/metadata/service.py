@@ -98,7 +98,9 @@ class TableCatalog:
                     f"table {self.name!r} has no coordinate attributes to index on"
                 )
             tree = RTree(ndim=len(names))
-            for desc in self.chunks.values():
+            # sorted: the R-tree's structure (and hence candidate order)
+            # must not depend on chunk registration order
+            for _, desc in sorted(self.chunks.items()):
                 tree.insert(self._box_of(desc), desc)
             self._rtree = tree
         return self._rtree

@@ -311,6 +311,20 @@ class CachingService(Generic[K, V]):
         self._staged: Dict[K, _Staged[V]] = {}
         self._staged_bytes = 0
         self.stats = CacheStats()
+        #: invariant checks run after every mutating operation (sanitizer)
+        self._validators: List = []
+
+    def install_validator(self, fn) -> None:
+        """Register ``fn(op_name)`` to run after every mutating operation.
+
+        The runtime sanitizer uses this to re-check the cache's byte
+        accounting at each step; validators must not mutate the cache.
+        """
+        self._validators.append(fn)
+
+    def _after_op(self, op: str) -> None:
+        for fn in self._validators:
+            fn(op)
 
     # -- observers ----------------------------------------------------------------
 
@@ -366,6 +380,20 @@ class CachingService(Generic[K, V]):
         ``source`` records which storage node served the bytes, enabling
         :meth:`invalidate_from` when that node later fails.
         """
+        # validators must also see failed puts: a put can evict victims and
+        # still return False when the entry ultimately cannot fit
+        ok = self._put(key, value, nbytes, pin, source)
+        self._after_op("put")
+        return ok
+
+    def _put(
+        self,
+        key: K,
+        value: V,
+        nbytes: int,
+        pin: bool,
+        source: Optional[int],
+    ) -> bool:
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
         if key in self._entries:
@@ -402,6 +430,7 @@ class CachingService(Generic[K, V]):
             self._entries[key].pins += 1
         except KeyError:
             raise KeyError(f"cannot pin absent key {key!r}") from None
+        self._after_op("pin")
 
     def unpin(self, key: K) -> None:
         entry = self._entries.get(key)
@@ -410,6 +439,7 @@ class CachingService(Generic[K, V]):
         if entry.pins <= 0:
             raise ValueError(f"key {key!r} is not pinned")
         entry.pins -= 1
+        self._after_op("unpin")
 
     # -- prefetch staging --------------------------------------------------------------
 
@@ -439,6 +469,7 @@ class CachingService(Generic[K, V]):
             return False
         self._staged[key] = _Staged(nbytes=nbytes)
         self._staged_bytes += nbytes
+        self._after_op("prefetch_begin")
         return True
 
     def prefetch_complete(self, key: K, value: V) -> None:
@@ -452,12 +483,14 @@ class CachingService(Generic[K, V]):
         staged.ready = True
         self.stats.prefetches += 1
         self.stats.bytes_prefetched += staged.nbytes
+        self._after_op("prefetch_complete")
 
     def prefetch_cancel(self, key: K) -> None:
         """Abandon a reservation (error paths); releases its budget."""
         staged = self._staged.pop(key, None)
         if staged is not None:
             self._staged_bytes -= staged.nbytes
+            self._after_op("prefetch_cancel")
 
     def take_prefetched(self, key: K) -> Optional[V]:
         """Remove and return a *ready* staged value (``None`` otherwise).
@@ -471,6 +504,7 @@ class CachingService(Generic[K, V]):
             return None
         del self._staged[key]
         self._staged_bytes -= staged.nbytes
+        self._after_op("take_prefetched")
         return staged.value
 
     def invalidate_from(self, source: int) -> int:
@@ -491,6 +525,7 @@ class CachingService(Generic[K, V]):
         for key in victims:
             self.remove(key)
         self.stats.invalidations += len(victims)
+        self._after_op("invalidate_from")
         return len(victims)
 
     def remove(self, key: K) -> bool:
@@ -500,6 +535,7 @@ class CachingService(Generic[K, V]):
             return False
         self._bytes -= entry.nbytes
         self.policy.on_remove(key)
+        self._after_op("remove")
         return True
 
     def clear(self) -> None:

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.core.rng import splitmix64
+
 __all__ = [
     "PlacementPolicy",
     "BlockCyclicPlacement",
@@ -87,7 +89,8 @@ class ContiguousPlacement(PlacementPolicy):
 
 
 class HashPlacement(PlacementPolicy):
-    """Pseudo-random but deterministic placement (splitmix-style mix)."""
+    """Pseudo-random but deterministic placement (counter-based splitmix64,
+    shared with the fault plans via :mod:`repro.core.rng`)."""
 
     def __init__(self, num_nodes: int, seed: int = 0):
         super().__init__(num_nodes)
@@ -96,8 +99,4 @@ class HashPlacement(PlacementPolicy):
     def node_for(self, ordinal: int, total: int) -> int:
         if ordinal < 0 or ordinal >= total:
             raise IndexError(f"ordinal {ordinal} out of range [0, {total})")
-        z = (ordinal + self.seed * 0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15) & (2**64 - 1)
-        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9 & (2**64 - 1)
-        z = (z ^ (z >> 27)) * 0x94D049BB133111EB & (2**64 - 1)
-        z = z ^ (z >> 31)
-        return z % self.num_nodes
+        return splitmix64(self.seed, ordinal) % self.num_nodes

@@ -1,0 +1,9 @@
+"""Fixture: C001 — raw heapq outside cluster/events.py."""
+
+import heapq  # expect: C001
+from heapq import heappush  # expect: C001
+
+
+def push(ready, cost, pair):
+    heapq.heappush(ready, (cost, pair))
+    heappush(ready, (cost, pair))

@@ -1,0 +1,11 @@
+"""Fixture: a clean file — no rule may fire (zero `# expect:` markers)."""
+
+
+def schedule(engine, refs, plan):
+    nodes = sorted({ref.storage_node for ref in refs})
+    done = engine.event()
+    engine.schedule(1.0, lambda: done.succeed())
+    total = sum(ref.nbytes for ref in refs)
+    for node in nodes:
+        plan.append((node, total))
+    yield done

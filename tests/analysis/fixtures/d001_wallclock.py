@@ -1,0 +1,30 @@
+"""Fixture: D001 — wall-clock reads and unseeded RNGs.
+
+`# expect: RULE` markers pin the exact (rule, line) diagnostics simlint
+must emit; the harness in test_rules.py asserts set equality.
+"""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def bad(engine):
+    stamp = time.time()  # expect: D001
+    mono = time.monotonic()  # expect: D001
+    now = datetime.now()  # expect: D001
+    jitter = random.random()  # expect: D001
+    draw = np.random.rand(4)  # expect: D001
+    rng = np.random.default_rng()  # expect: D001
+    other = random.Random()  # expect: D001
+    return stamp, mono, now, jitter, draw, rng, other
+
+
+def good(engine, seed):
+    stamp = engine.now
+    rng = np.random.default_rng(seed)
+    other = random.Random(seed)
+    host = time.perf_counter()  # sanctioned: host calibration measures the host
+    return stamp, rng, other, host

@@ -1,0 +1,24 @@
+"""Fixture: D002 — unordered iteration feeding ordered decisions."""
+
+
+def place(refs, schedule):
+    for node in {ref.storage_node for ref in refs}:  # expect: D002
+        schedule.append(node)
+    ordered = [n for n in set(schedule)]  # expect: D002
+    for node in sorted({ref.storage_node for ref in refs}):
+        schedule.append(node)
+    return ordered
+
+
+class Placement:
+    def __init__(self):
+        self.chunks = {}
+        self.totals = {}
+
+    def walk(self, tree):
+        for desc in self.chunks.values():  # expect: D002
+            tree.insert(desc)
+        for _, desc in sorted(self.chunks.items()):
+            tree.insert(desc)
+        for value in self.totals.values():  # not a decision-collection name
+            tree.insert(value)

@@ -1,0 +1,12 @@
+"""Fixture: D003 — float accumulation over unordered iterables."""
+
+import math
+
+
+def totals(busy_nodes, breakdowns):
+    t1 = sum({node.transfer_time for node in busy_nodes})  # expect: D003
+    t2 = sum(n.transfer_time for n in set(busy_nodes))  # expect: D002, D003
+    t3 = math.fsum({pb.stall for pb in breakdowns})  # expect: D003
+    t4 = sum(node.transfer_time for node in sorted(busy_nodes))
+    t5 = sum(pb.stall for pb in breakdowns)
+    return t1, t2, t3, t4, t5

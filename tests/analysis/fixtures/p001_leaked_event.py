@@ -1,0 +1,9 @@
+"""Fixture: P001 — events created but never triggered or observed."""
+
+
+def spawn(engine):
+    engine.event()  # expect: P001
+    done = engine.event()  # expect: P001
+    used = engine.event()
+    engine.schedule(1.0, lambda: used.succeed())
+    yield used

@@ -1,0 +1,14 @@
+"""Fixture: P002 — yield inside an except-Interrupt handler."""
+
+
+def worker(engine, pairs):
+    pending = pairs
+    try:
+        yield engine.timeout(1.0)
+    except Interrupt:  # noqa: F821 - fixtures are parsed, never imported
+        yield engine.timeout(0.5)  # expect: P002
+    try:
+        yield engine.timeout(1.0)
+    except (ValueError, Interrupt):  # noqa: F821
+        pending = pairs[:]  # synchronous cleanup: fine
+    return pending

@@ -1,0 +1,11 @@
+"""Fixture: P003 — container mutated while being iterated."""
+
+
+def evict(cache, stale):
+    for key in cache.chunks:
+        if stale(key):
+            cache.chunks.pop(key)  # expect: P003
+    for key, entry in cache.entries.items():
+        cache.entries[key] = entry.refresh()  # expect: P003
+    for key in list(cache.chunks):
+        cache.chunks.pop(key)

@@ -1,0 +1,12 @@
+"""Fixture: P004 — races and timed failures with the loser unhandled."""
+
+
+def worker(engine, transfer, deadline, exc):
+    yield engine.any_of([transfer, engine.timeout(deadline)])  # expect: P004
+    engine.fail_after(deadline, exc)  # expect: P004
+    race = engine.any_of([transfer, engine.timeout(deadline)])  # expect: P004
+    yield race
+    good = engine.any_of([transfer, engine.timeout(deadline)])
+    yield good
+    if good.first_index == 1:
+        raise exc

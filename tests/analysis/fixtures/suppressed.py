@@ -1,0 +1,13 @@
+"""Fixture: real violations silenced by `# simlint: disable=` directives.
+
+Zero `# expect:` markers — the harness asserts simlint stays silent.
+"""
+
+import heapq  # simlint: disable=C001
+import time
+
+
+def stamp(engine):
+    t = time.time()  # simlint: disable=D001
+    heapq.heappush([], (t, engine))
+    return t

@@ -1,0 +1,96 @@
+"""Linter front-end tests: suppression directives, the module entry point,
+and the acceptance scenario — a seeded wall-clock read must be named with
+its rule id and line number."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import lint_source
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def run_linter(*args, cwd=REPO):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env=env,
+    )
+
+
+# -- suppression ---------------------------------------------------------------------
+
+
+def test_disable_comment_suppresses_named_rule():
+    source = "import time\nstamp = time.time()  # simlint: disable=D001\n"
+    assert lint_source(source, "x.py") == []
+
+
+def test_disable_comment_is_rule_specific():
+    source = "import time\nstamp = time.time()  # simlint: disable=C001\n"
+    diags = lint_source(source, "x.py")
+    assert [d.rule for d in diags] == ["D001"]
+
+
+def test_disable_inside_string_literal_is_ignored():
+    source = 'import time\ns = "# simlint: disable=D001"\nstamp = time.time()\n'
+    diags = lint_source(source, "x.py")
+    assert [d.rule for d in diags] == ["D001"]
+
+
+# -- module entry point --------------------------------------------------------------
+
+
+def test_src_tree_is_clean():
+    proc = run_linter("src")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert proc.stdout == ""
+
+
+def test_src_and_tests_are_clean():
+    proc = run_linter("src", "tests")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_list_rules_prints_catalogue():
+    proc = run_linter("--list-rules")
+    assert proc.returncode == 0
+    for rule_id in ("D001", "D002", "D003", "P001", "P002", "P003", "P004", "C001"):
+        assert rule_id in proc.stdout
+
+
+def test_missing_path_is_a_usage_error():
+    proc = run_linter("no/such/dir")
+    assert proc.returncode == 2
+    assert "no such file or directory" in proc.stderr
+
+
+def test_unknown_select_is_a_usage_error():
+    proc = run_linter("--select", "Z999", "src")
+    assert proc.returncode == 2
+    assert "unknown rule" in proc.stderr
+
+
+# -- acceptance: a seeded violation is found and located -----------------------------
+
+
+def test_seeded_wallclock_read_is_named_with_line(tmp_path):
+    original = (REPO / "src" / "repro" / "joins" / "indexed_join.py").read_text(
+        encoding="utf-8"
+    )
+    seeded = original + "\nimport time\n_SEED_STAMP = time.time()\n"
+    target = tmp_path / "indexed_join.py"
+    target.write_text(seeded, encoding="utf-8")
+    lineno = len(seeded.splitlines())  # the time.time() call is the last line
+
+    proc = run_linter(str(target))
+    assert proc.returncode == 1
+    assert "D001" in proc.stdout
+    assert f"{target}:{lineno}:" in proc.stdout
+    assert "1 violation found" in proc.stderr

@@ -1,0 +1,129 @@
+"""Runtime sanitizer tests: invariant hooks fire, violations are caught,
+and a sanitized run is observationally identical to an unsanitized one."""
+
+import pytest
+
+from repro.analysis.sanitizer import (
+    RunSanitizer,
+    SanitizerViolation,
+    compare_digests,
+    full_digest,
+    semantic_digest,
+)
+from repro.cluster.events import SimEngine
+from repro.experiments.runner import run_point
+from repro.services.cache import CachingService
+from repro.workloads.generator import GridSpec
+
+SPEC = GridSpec(g=(16, 16), p=(4, 4), q=(4, 4))
+
+
+# -- end-to-end: sanitized runs are transparent --------------------------------------
+
+
+def test_sanitized_run_point_matches_unsanitized():
+    plain = run_point(SPEC, n_s=2, n_j=2)
+    sanitized = run_point(SPEC, n_s=2, n_j=2, sanitize=True)
+    assert sanitized.ij_sim == plain.ij_sim
+    assert sanitized.gh_sim == plain.gh_sim
+    assert full_digest(sanitized.ij_report) == full_digest(plain.ij_report)
+    assert full_digest(sanitized.gh_report) == full_digest(plain.gh_report)
+
+
+def test_sanitized_run_point_under_faults():
+    kwargs = dict(faults="seed=7,transient=0.2,storage_crash=0.01", replication=2)
+    plain = run_point(SPEC, n_s=2, n_j=2, **kwargs)
+    sanitized = run_point(SPEC, n_s=2, n_j=2, sanitize=True, **kwargs)
+    assert full_digest(sanitized.ij_report) == full_digest(plain.ij_report)
+    assert full_digest(sanitized.gh_report) == full_digest(plain.gh_report)
+
+
+# -- individual hooks ----------------------------------------------------------------
+
+
+def test_clock_monotonicity_probe():
+    san = RunSanitizer(label="clk")
+    engine = SimEngine()
+    san.attach_engine(engine)
+    engine.timeout(1.0)
+    engine.timeout(2.0)
+    engine.run()
+    assert san.checks["clock"] >= 2
+    with pytest.raises(SanitizerViolation, match="clock moved backwards"):
+        san._on_advance(engine.now - 1.0)
+
+
+def test_cache_ledger_corruption_detected():
+    san = RunSanitizer(label="cache")
+    cache = CachingService(capacity_bytes=100)
+    san.attach_cache(cache, name="c0")
+    assert cache.put("a", object(), 10)
+    assert san.checks["cache"] == 1
+    cache._bytes += 1  # corrupt the ledger behind the cache's back
+    with pytest.raises(SanitizerViolation, match="resident-byte ledger"):
+        cache.put("b", object(), 10)
+
+
+def test_negative_pin_detected():
+    san = RunSanitizer()
+    cache = CachingService(capacity_bytes=100)
+    san.attach_cache(cache, name="c0")
+    cache.put("a", object(), 10)
+    cache._entries["a"].pins = -1
+    with pytest.raises(SanitizerViolation, match="negative pin count"):
+        cache.put("b", object(), 10)
+
+
+def test_pending_process_detected_at_end_of_run():
+    san = RunSanitizer(label="pending")
+    engine = SimEngine()
+    san.attach_engine(engine)
+
+    def blocked():
+        yield engine.event()  # nobody will ever trigger this
+
+    engine.process(blocked(), name="stranded-reader")
+    engine.run()
+    with pytest.raises(SanitizerViolation, match="stranded-reader"):
+        san.after_run(engine, report=None)
+
+
+def test_reversed_tie_break_flips_same_time_order():
+    def order_of(tie_break):
+        engine = SimEngine(tie_break=tie_break)
+        order = []
+        for label in ("a", "b", "c"):
+            ev = engine.timeout(1.0)
+            ev.callbacks.append(lambda _, label=label: order.append(label))
+        engine.run()
+        return order
+
+    assert order_of("fifo") == ["a", "b", "c"]
+    assert order_of("reversed") == ["c", "b", "a"]
+
+
+def test_unknown_tie_break_rejected():
+    with pytest.raises(ValueError):
+        SimEngine(tie_break="random")
+
+
+# -- digests -------------------------------------------------------------------------
+
+
+def test_compare_digests_names_every_diverging_key():
+    primary = {"pairs_joined": 8, "bytes_from_storage": 100, "algorithm": "IJ"}
+    shadow = {"pairs_joined": 7, "bytes_from_storage": 90, "algorithm": "IJ"}
+    with pytest.raises(SanitizerViolation) as exc:
+        compare_digests(primary, shadow, "unit-test shadow")
+    msg = str(exc.value)
+    assert "pairs_joined" in msg and "bytes_from_storage" in msg
+    assert "algorithm" not in msg
+
+
+def test_semantic_digest_is_subset_of_full_digest():
+    report = run_point(SPEC, n_s=2, n_j=2).ij_report
+    semantic = semantic_digest(report)
+    full = full_digest(report)
+    assert set(semantic) <= set(full)
+    assert all(full[k] == v for k, v in semantic.items())
+    assert "total_time" in full and "total_time" not in semantic
