@@ -5,15 +5,23 @@ it sweeps the figure's x-axis through :mod:`repro.experiments`, overlays
 the analytic cost models, prints the series as the paper would tabulate it
 (saved under ``benchmarks/results/``), and asserts the figure's
 qualitative claims (who wins, trends, crossovers).
+
+Alongside each human-readable ``results/<name>.txt``, benches can save a
+machine-readable ``results/BENCH_<name>.json`` via :func:`record_json`;
+:func:`report_payload` / :func:`point_payload` turn execution reports into
+the per-point dictionaries (makespan, phase breakdown, cache hit rate,
+recovery counters) those artifacts carry.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
-from typing import Sequence
+from typing import Dict, Sequence
 
 # Re-exported so the individual bench files keep a single import point.
 from repro.experiments.runner import PointResult, run_point  # noqa: F401
+from repro.joins.report import ExecutionReport
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -46,3 +54,58 @@ def record_table(
 
 def fmt(x: float, digits: int = 2) -> str:
     return f"{x:.{digits}f}"
+
+
+def report_payload(report: ExecutionReport) -> Dict[str, object]:
+    """One execution report as a JSON-ready dictionary."""
+    agg = report.aggregate_phases()
+    hits = sum(s.hits for s in report.cache_stats)
+    misses = sum(s.misses for s in report.cache_stats)
+    rec = report.recovery
+    out: Dict[str, object] = {
+        "makespan_s": report.total_time,
+        "phases": {
+            "transfer": agg.transfer,
+            "scratch_write": agg.scratch_write,
+            "scratch_read": agg.scratch_read,
+            "cpu_build": agg.cpu_build,
+            "cpu_lookup": agg.cpu_lookup,
+            "stall": agg.stall,
+        },
+        "bytes_from_storage": report.bytes_from_storage,
+        "pairs_joined": report.pairs_joined,
+        "cache_hit_rate": hits / (hits + misses) if hits + misses else None,
+        "recovery": {
+            "retries": rec.retries,
+            "failovers": rec.failovers,
+            "reassigned_pairs": rec.reassigned_pairs,
+            "restarted_chunks": rec.restarted_chunks,
+            "cache_invalidations": rec.cache_invalidations,
+            "wasted_seconds": rec.wasted_seconds,
+            "wasted_bytes": rec.wasted_bytes,
+        },
+    }
+    if report.critical_path is not None:
+        out["critical_path"] = report.critical_path.to_dict()
+    return out
+
+
+def point_payload(r: PointResult) -> Dict[str, object]:
+    """Both algorithms of one sweep point, with the model predictions."""
+    return {
+        "spec": r.spec.describe(),
+        "ij": report_payload(r.ij_report),
+        "gh": report_payload(r.gh_report),
+        "ij_pred_s": r.ij_pred,
+        "gh_pred_s": r.gh_pred,
+        "sim_winner": r.sim_winner,
+        "model_winner": r.model_winner,
+    }
+
+
+def record_json(name: str, payload: object) -> Path:
+    """Save a machine-readable artifact as ``results/BENCH_<name>.json``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -16,7 +16,7 @@ per-pair transfers fail over with no work thrown away beyond the aborted
 transfer itself.
 """
 
-from benchmarks.harness import fmt, record_table
+from benchmarks.harness import fmt, record_json, record_table, report_payload
 from repro import GraceHashQES, IndexedJoinQES, MachineSpec
 from repro.cluster import paper_cluster
 from repro.faults import FaultPlan, NodeCrash
@@ -97,6 +97,28 @@ def test_ablation_faults(benchmark):
             "IJ rec: retries (transient rows) / replica failovers (crash row)",
             "GH rec: retries (transient rows) / chunks restarted (crash row)",
         ],
+    )
+    record_json(
+        "ablation_faults",
+        {
+            "baseline_s": results["baseline"],
+            "transient": [
+                {
+                    "rate": row["rate"],
+                    "ij": report_payload(row["IJ"]),
+                    "gh": report_payload(row["GH"]),
+                    "ij_overhead": row["IJ_overhead"],
+                    "gh_overhead": row["GH_overhead"],
+                }
+                for row in results["transient"]
+            ],
+            "storage_crash": {
+                "ij": report_payload(crash["IJ"]),
+                "gh": report_payload(crash["GH"]),
+                "ij_overhead": crash["IJ_overhead"],
+                "gh_overhead": crash["GH_overhead"],
+            },
+        },
     )
 
     base = results["baseline"]

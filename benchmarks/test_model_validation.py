@@ -13,7 +13,13 @@ direct total comparison.
 
 import statistics
 
-from benchmarks.harness import fmt, record_table, run_point
+from benchmarks.harness import (
+    fmt,
+    point_payload,
+    record_json,
+    record_table,
+    run_point,
+)
 from repro import PAPER_MACHINE, io_over_f_threshold, preferred_algorithm
 from repro.workloads import GridSpec
 
@@ -101,6 +107,9 @@ def test_model_validation(benchmark):
             "is unaffected (winner agreement above)",
         ],
     )
+    record_json(
+        "model_validation", {label: point_payload(r) for label, r in results}
+    )
 
     # "the models fit actual execution times closely"
     assert statistics.median(errors) < 0.10
@@ -161,12 +170,52 @@ def test_model_validation_pipelined(benchmark):
             "anything, which the asymptotic max() model ignores",
         ],
     )
+    record_json(
+        "model_validation_pipelined",
+        {label: point_payload(r) for label, r in results},
+    )
     assert statistics.median(errors) < 0.10
     assert max(errors) < 0.40
 
     # transfer-bound corner: most of the wire time must actually hide
     transfer_bound = dict(results)["degree 1"]
     assert transfer_bound.ij_report.overlap_ratio > 0.5
+
+
+def test_critical_path_cross_check():
+    """Telemetry cross-check against the cost model.
+
+    The span DAG's critical path must reproduce each simulated makespan
+    *exactly* (the walk telescopes over the query span with no gaps), and
+    on the synchronous Indexed Join its per-term attribution must sit at
+    or above the additive model's Transfer and Cpu terms — the closed
+    form idealises queueing away, so it lower-bounds what the wall clock
+    actually spent on each term.
+    """
+    from repro.core.cost_models import indexed_join_cost
+
+    picked = ("degree 1", "degree 8", "2 joiners")
+    payload = {}
+    for label, spec, n_s, n_j, f, extra in CONFIGS:
+        if label not in picked:
+            continue
+        machine = PAPER_MACHINE.with_cpu_factor(f)
+        r = run_point(spec, n_s, n_j, machine=machine,
+                      extra_attributes=extra, telemetry=True)
+        for rep in (r.ij_report, r.gh_report):
+            cp = rep.critical_path
+            assert cp.total == rep.total_time, label
+            assert abs(cp.attributed - cp.total) <= 1e-9 * cp.total, label
+        terms = r.ij_report.critical_path.by_term()
+        model = indexed_join_cost(r.params)
+        # the sync IJ touches no scratch disk: its critical path is made
+        # of transfers, hash work, and bookkeeping waits only
+        assert set(terms) <= {"Transfer", "Cpu", "Wait", "Other"}, label
+        assert terms.get("Transfer", 0.0) >= model.transfer * (1 - 1e-9), label
+        assert terms.get("Cpu", 0.0) >= model.cpu * (1 - 1e-9), label
+        assert r.ij_report.critical_path.total >= model.total * (1 - 1e-9), label
+        payload[label] = point_payload(r)
+    record_json("critical_path_cross_check", payload)
 
 
 def _check_inequality(results):

@@ -17,7 +17,12 @@ while a join runs:
   successful transfer whose waiting joiner died is never accounted);
 * **no stranded processes** — at the end of a run every spawned process
   has completed (succeeded or failed), i.e. nothing is silently blocked
-  on an event nobody will trigger.
+  on an event nobody will trigger;
+* **telemetry consistency** (telemetry-enabled runs only) — every span
+  that was opened is closed, every span's end is at or after its start,
+  child spans nest within their parents, and the critical-path analysis
+  reproduces the reported makespan exactly with its segment durations
+  summing back to that total.
 
 On top of the hooks, :func:`semantic_digest` / :func:`full_digest`
 summarise a report for the *same-timestamp nondeterminism detector*: the
@@ -61,6 +66,7 @@ class RunSanitizer:
             "clock": 0,
             "cache": 0,
             "transfer": 0,
+            "telemetry": 0,
             "after_run": 0,
         }
         #: bytes of storage transfers that *succeeded* on the fabric
@@ -165,6 +171,9 @@ class RunSanitizer:
         for name, cache in self._caches:
             self._check_cache(cache, name, "final")
         self._check_conservation(report)
+        tel = getattr(engine, "telemetry", None)
+        if tel is not None:
+            self._check_telemetry(tel, report)
 
     def _check_conservation(self, report) -> None:
         claimed = report.bytes_from_storage
@@ -182,6 +191,50 @@ class RunSanitizer:
                 f"{self.transferred_ok} transferred) with no compute crash "
                 "to excuse the loss"
             )
+
+    def _check_telemetry(self, tel, report) -> None:
+        """Span-DAG invariants of a telemetry-enabled run.
+
+        Timestamps are stamped from ``engine.now`` so nesting must hold
+        exactly; the tiny epsilon only absorbs float formatting of the
+        critical-path sum (an ``fsum`` of exact segment bounds).
+        """
+        self.checks["telemetry"] += 1
+        still_open = tel.recorder.open_spans()
+        if still_open:
+            names = ", ".join(repr(s.name) for s in still_open[:5])
+            self._fail(
+                f"{len(still_open)} telemetry span(s) never closed: {names}"
+            )
+        by_id = {s.span_id: s for s in tel.recorder.spans}
+        for span in tel.recorder.spans:
+            if span.end < span.start:
+                self._fail(
+                    f"span {span.name!r} ends before it starts "
+                    f"({span.end!r} < {span.start!r})"
+                )
+            if span.parent_id is None:
+                continue
+            parent = by_id[span.parent_id]
+            if span.start < parent.start or span.end > parent.end:
+                self._fail(
+                    f"span {span.name!r} [{span.start!r}, {span.end!r}] "
+                    f"escapes its parent {parent.name!r} "
+                    f"[{parent.start!r}, {parent.end!r}]"
+                )
+        cp = report.critical_path
+        if cp is not None:
+            if cp.total != report.total_time:
+                self._fail(
+                    f"critical-path total {cp.total!r} != reported makespan "
+                    f"{report.total_time!r}"
+                )
+            tol = 1e-12 + 1e-9 * abs(cp.total)
+            if abs(cp.attributed - cp.total) > tol:
+                self._fail(
+                    f"critical-path segments sum to {cp.attributed!r}, "
+                    f"not the makespan {cp.total!r}"
+                )
 
     def _compute_crashes_planned(self) -> bool:
         injector = getattr(self._cluster, "faults", None) if self._cluster else None

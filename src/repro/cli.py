@@ -19,12 +19,18 @@ Commands
 ``lint``
     Run ``simlint``, the determinism/engine-protocol static linter, over
     source paths (same as ``python -m repro.analysis``).
+``trace``
+    Execute both QES with causal span telemetry, write Chrome trace-event
+    JSON (loadable in Perfetto / ``chrome://tracing``) and print the
+    critical-path and per-resource utilisation summaries.
 ``calibrate``
     Measure this host's per-tuple hash constants (α_build, α_lookup).
 
 ``run`` and ``sweep`` accept ``--sanitize`` to execute under the runtime
 simulation sanitizer (invariant hooks plus a nondeterminism-detecting
-shadow run per QES); a violation exits with status 4.
+shadow run per QES); a violation exits with status 4.  Both also accept
+``--trace-out FILE`` to record telemetry and export one Chrome trace per
+QES execution (``FILE`` with ``.ij``/``.gh`` tags before the extension).
 
 Every command takes ``--grid/--p/--q`` as comma-separated sizes and the
 deployment shape via ``--storage/--compute``; ``--calibrated`` swaps the
@@ -104,8 +110,13 @@ def _add_deploy_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--sanitize", action="store_true",
                    help="run under the simulation sanitizer: invariant hooks "
                         "(clock, cache accounting, byte conservation, no "
-                        "stranded processes) plus a shadow execution per QES "
-                        "that detects same-timestamp nondeterminism")
+                        "stranded processes, telemetry consistency) plus a "
+                        "shadow execution per QES that detects "
+                        "same-timestamp nondeterminism")
+    p.add_argument("--trace-out", type=str, default=None, metavar="FILE",
+                   help="record causal span telemetry and write one Chrome "
+                        "trace-event JSON per QES execution (FILE gets "
+                        ".ij/.gh tags before its extension)")
 
 
 def _machine(args: argparse.Namespace) -> MachineSpec:
@@ -129,6 +140,23 @@ def _table(header: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
     for r in rows:
         lines.append("  ".join(str(v).rjust(w) for v, w in zip(r, widths)))
     return "\n".join(lines)
+
+
+def _trace_path(base: str, tag: str) -> str:
+    """``run.json`` + ``ij`` -> ``run.ij.json`` (tag before the extension)."""
+    if base.endswith(".json"):
+        return f"{base[:-5]}.{tag}.json"
+    return f"{base}.{tag}.json"
+
+
+def _export_traces(base: str, *reports) -> None:
+    """Write one Chrome trace per (tag, report) pair and say where."""
+    from repro.telemetry.export import write_chrome_trace
+
+    for tag, report in reports:
+        path = _trace_path(base, tag)
+        write_chrome_trace(report.telemetry, path)
+        print(f"trace ({tag}): {path}")
 
 
 # -- commands ---------------------------------------------------------------------
@@ -185,6 +213,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         faults=args.faults,
         replication=args.replication,
         sanitize=args.sanitize,
+        telemetry=args.trace_out is not None,
     )
     ij_name = "indexed-join (pipe)" if args.pipeline else "indexed-join"
     print(spec.describe())
@@ -210,6 +239,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   f"{rec.wasted_seconds:.3f}s / {rec.wasted_bytes:,} B")
     if args.sanitize:
         print("sanitizer: all invariant hooks and shadow comparisons passed")
+    if args.trace_out:
+        _export_traces(
+            args.trace_out, ("ij", result.ij_report), ("gh", result.gh_report)
+        )
+        for name, rep in (("IJ", result.ij_report), ("GH", result.gh_report)):
+            print(f"{name} {rep.critical_path.summary_lines(3)[0]}")
     return 0
 
 
@@ -217,44 +252,87 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     machine = _machine(args)
     pipe = args.pipeline
     san = args.sanitize
+    traced = args.trace_out is not None
     rows: List[Sequence[object]] = []
     if args.axis == "ne-cs":
         results = run_figure4(n_s=args.storage, n_j=args.compute, machine=machine,
-                              pipeline=pipe, sanitize=san)
+                              pipeline=pipe, sanitize=san, telemetry=traced)
         header = ["n_e*c_S", "IJ (s)", "GH (s)", "winner"]
         rows = [[f"{r.spec.ne_cs:,}", f"{r.ij_sim:.2f}", f"{r.gh_sim:.2f}", r.sim_winner]
                 for r in results]
     elif args.axis == "compute-nodes":
         results = run_figure5(n_s=args.storage, machine=machine, pipeline=pipe,
-                              sanitize=san)
+                              sanitize=san, telemetry=traced)
         header = ["n_j", "IJ (s)", "GH (s)", "gap"]
         rows = [[n, f"{r.ij_sim:.2f}", f"{r.gh_sim:.2f}", f"{r.gh_sim - r.ij_sim:.2f}"]
                 for n, r in results]
     elif args.axis == "tuples":
         results = run_figure6(factors=(1, 4, 16, 64), n_s=args.storage,
                               n_j=args.compute, machine=machine, pipeline=pipe,
-                              sanitize=san)
+                              sanitize=san, telemetry=traced)
         header = ["T", "IJ (s)", "GH (s)"]
         rows = [[f"{r.spec.T:,}", f"{r.ij_sim:.2f}", f"{r.gh_sim:.2f}"] for r in results]
     elif args.axis == "attributes":
         results = run_figure7(n_s=args.storage, n_j=args.compute, machine=machine,
-                              pipeline=pipe, sanitize=san)
+                              pipeline=pipe, sanitize=san, telemetry=traced)
         header = ["attrs", "IJ (s)", "GH (s)"]
         rows = [[n, f"{r.ij_sim:.2f}", f"{r.gh_sim:.2f}"] for n, r in results]
     elif args.axis == "cpu":
         results = run_figure8(n_s=args.storage, n_j=args.compute, machine=machine,
-                              pipeline=pipe, sanitize=san)
+                              pipeline=pipe, sanitize=san, telemetry=traced)
         header = ["F", "IJ (s)", "GH (s)", "winner"]
         rows = [[f, f"{r.ij_sim:.2f}", f"{r.gh_sim:.2f}", r.sim_winner]
                 for f, r in results]
     elif args.axis == "nfs":
-        results = run_figure9(pipeline=pipe, sanitize=san)
+        results = run_figure9(pipeline=pipe, sanitize=san, telemetry=traced)
         header = ["n_j", "IJ (s)", "GH (s)", "GH/IJ"]
         rows = [[n, f"{r.ij_sim:.2f}", f"{r.gh_sim:.2f}", f"{r.gh_sim / r.ij_sim:.1f}x"]
                 for n, r in results]
     else:  # pragma: no cover - argparse restricts choices
         raise AssertionError(args.axis)
     print(_table(header, rows))
+    if traced:
+        for i, item in enumerate(results):
+            point = item[1] if isinstance(item, tuple) else item
+            _export_traces(
+                args.trace_out,
+                (f"p{i}.ij", point.ij_report),
+                (f"p{i}.gh", point.gh_report),
+            )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.cluster.trace import Tracer
+    from repro.telemetry.export import text_dump
+
+    spec = _spec(args)
+    machine = _machine(args)
+    result = run_point(
+        spec,
+        n_s=1 if args.nfs else args.storage,
+        n_j=args.compute,
+        machine=machine,
+        shared_nfs=args.nfs,
+        pipeline=args.pipeline,
+        faults=args.faults,
+        replication=args.replication,
+        sanitize=args.sanitize,
+        telemetry=True,
+    )
+    print(spec.describe())
+    _export_traces(
+        args.out, ("ij", result.ij_report), ("gh", result.gh_report)
+    )
+    for name, rep in (("indexed-join", result.ij_report),
+                      ("grace-hash", result.gh_report)):
+        print(f"\n{name}: {rep.total_time:.3f}s simulated")
+        for line in rep.critical_path.summary_lines(args.top):
+            print(f"  {line}")
+        view = Tracer(recorder=rep.telemetry.recorder)
+        print("  " + "\n  ".join(view.summary().splitlines()))
+        if args.dump:
+            print(text_dump(rep.telemetry))
     return 0
 
 
@@ -311,6 +389,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_deploy_args(p_sweep)
     p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="execute both QES with span telemetry and export Chrome traces",
+    )
+    _add_spec_args(p_trace)
+    _add_deploy_args(p_trace)
+    p_trace.add_argument("--out", type=str, default="run.json", metavar="FILE",
+                         help="Chrome trace-event output base name (default "
+                              "run.json; written as run.ij.json / run.gh.json)")
+    p_trace.add_argument("--top", type=int, default=5, metavar="K",
+                         help="critical-path segments to list (default 5)")
+    p_trace.add_argument("--dump", action="store_true",
+                         help="also print the deterministic text dump of the "
+                              "span tree and metrics")
+    p_trace.set_defaults(fn=_cmd_trace)
 
     p_lint = sub.add_parser(
         "lint",

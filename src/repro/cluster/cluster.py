@@ -67,6 +67,7 @@ class ClusterSim:
         trace: bool = False,
         faults=None,
         tie_break: str = "fifo",
+        telemetry: bool = False,
     ):
         """Assemble a cluster.
 
@@ -85,6 +86,12 @@ class ClusterSim:
 
         ``tie_break`` is forwarded to the :class:`SimEngine`; anything but
         the default ``"fifo"`` is for the sanitizer's shadow runs only.
+
+        ``telemetry`` builds a :class:`repro.telemetry.Telemetry` hub for
+        the run (exposed as ``self.telemetry`` and ``engine.telemetry``):
+        causal span tracing, the metrics registry, and — since spans
+        subsume busy intervals — a :class:`Tracer` view sharing the same
+        recorder, as if ``trace=True``.
         """
         self.topology = topology
         self.spec = spec
@@ -98,7 +105,14 @@ class ClusterSim:
                 if not (0 <= node_id < limit):
                     raise ValueError(f"no {kind} node {node_id} in this topology")
         self.engine = SimEngine(tie_break=tie_break)
-        if trace:
+        self.telemetry = None
+        if telemetry:
+            from repro.telemetry import Telemetry
+
+            self.telemetry = Telemetry(self.engine)
+            self.engine.telemetry = self.telemetry
+            self.engine.tracer = Tracer(recorder=self.telemetry.recorder)
+        elif trace:
             self.engine.tracer = Tracer()
         total = topology.num_storage + topology.num_compute
         if topology.shared_nfs:
@@ -134,6 +148,26 @@ class ClusterSim:
             if isinstance(faults, str):
                 faults = FaultPlan.parse(faults)
             self.faults = FaultInjector(self, faults)
+        if self.telemetry is not None:
+            self._register_telemetry()
+
+    def _register_telemetry(self) -> None:
+        """Map resources to logical nodes and register component metrics."""
+        tel = self.telemetry
+        nodes = tel.resource_nodes
+        for s in self.storage_nodes:
+            nodes[s.disk.name] = f"storage{s.node_id}"
+            nodes[self.fabric.nic(s.fabric_id).name] = f"storage{s.node_id}"
+        for c in self.compute_nodes:
+            nodes[c.cpu.name] = f"compute{c.node_id}"
+            nodes[self.fabric.nic(c.fabric_id).name] = f"compute{c.node_id}"
+            if c.has_local_disk:
+                nodes[c.scratch.name] = f"compute{c.node_id}"
+        if getattr(self.fabric, "_backplane", None) is not None:
+            nodes[self.fabric._backplane.name] = "network"
+        self.fabric.attach_telemetry(tel)
+        if self.faults is not None:
+            self.faults.attach_telemetry(tel)
 
     # -- shorthand accessors ----------------------------------------------------
 
@@ -185,6 +219,7 @@ class ClusterSim:
                 return dead
         s = self.storage_nodes[storage]
         c = self.compute_nodes[compute]
+        self.fabric._observe_transfer(s.fabric_id, c.fabric_id, nbytes)
         resources = [s.disk] + self.fabric.transfer_resources(s.fabric_id, c.fabric_id)
         transfer = BandwidthResource.reserve_pipeline(resources, nbytes)
         if self.faults is not None:
@@ -205,6 +240,7 @@ class ClusterSim:
                 return dead
         s = self.storage_nodes[storage]
         c = self.compute_nodes[compute]
+        self.fabric._observe_transfer(s.fabric_id, c.fabric_id, nbytes)
         resources = [s.disk] + self.fabric.transfer_resources(s.fabric_id, c.fabric_id)
         transfer = BandwidthResource.reserve_pipeline(resources, nbytes)
         if self.faults is not None:
@@ -300,6 +336,7 @@ def paper_cluster(
     spec: MachineSpec = PAPER_MACHINE,
     faults=None,
     tie_break: str = "fifo",
+    telemetry: bool = False,
 ) -> ClusterSim:
     """The Section 6 testbed shape: switched fabric, local scratch disks."""
     return ClusterSim(
@@ -307,6 +344,7 @@ def paper_cluster(
         spec=spec,
         faults=faults,
         tie_break=tie_break,
+        telemetry=telemetry,
     )
 
 
@@ -315,6 +353,7 @@ def nfs_cluster(
     spec: MachineSpec = PAPER_MACHINE,
     faults=None,
     tie_break: str = "fifo",
+    telemetry: bool = False,
 ) -> ClusterSim:
     """The Figure 9 scenario: one shared NFS server, diskless compute nodes."""
     return ClusterSim(
@@ -322,4 +361,5 @@ def nfs_cluster(
         spec=spec,
         faults=faults,
         tie_break=tie_break,
+        telemetry=telemetry,
     )

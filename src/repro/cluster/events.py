@@ -224,6 +224,8 @@ class Process(Event):
         if self._triggered:
             return  # killed while a resumption was already scheduled
         self._target = None
+        prev = self.engine.current_process
+        self.engine.current_process = self
         try:
             if throw:
                 target = self._gen.throw(send_value)
@@ -243,6 +245,8 @@ class Process(Event):
             # identifies the failing logical activity — annotate it.
             exc.add_note(f"(raised in simulated process {self.name!r})")
             raise
+        finally:
+            self.engine.current_process = prev
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {type(target).__name__}, not an Event"
@@ -379,9 +383,20 @@ class SimEngine:
         #: optional :class:`repro.cluster.trace.Tracer` recording resource
         #: busy intervals; assigned by the cluster when tracing is enabled
         self.tracer = None
+        #: optional :class:`repro.telemetry.Telemetry` hub; assigned by the
+        #: cluster when span telemetry is enabled, ``None`` otherwise so
+        #: instrumentation sites can short-circuit without allocating
+        self.telemetry = None
         #: optional callable invoked with the new clock value on every
         #: event dispatch in :meth:`run` — the sanitizer's monotonicity probe
         self.monitor: Optional[Callable[[float], None]] = None
+        #: additional dispatch observers (see :meth:`add_monitor`); kept
+        #: separate from :attr:`monitor` so attaching telemetry never
+        #: clobbers the sanitizer (or vice versa)
+        self._monitors: List[Callable[[float], None]] = []
+        #: the :class:`Process` whose generator is currently executing —
+        #: the span recorder keys its per-process span stacks on this
+        self.current_process: Optional[Process] = None
 
     # -- scheduling -------------------------------------------------------------
 
@@ -428,6 +443,15 @@ class SimEngine:
         """Processes spawned but not yet completed, in spawn order."""
         return [p for p in self._live if not p.triggered]
 
+    def add_monitor(self, fn: Callable[[float], None]) -> None:
+        """Register an additional per-dispatch observer.
+
+        Observers run after :attr:`monitor` on every dispatch, in
+        registration order.  Unlike assigning :attr:`monitor` directly
+        (the sanitizer's historical API), registering here composes.
+        """
+        self._monitors.append(fn)
+
     def run(self, until: Optional[float] = None) -> float:
         """Drain the queue (optionally stopping at time ``until``).
 
@@ -445,6 +469,8 @@ class SimEngine:
             self.now = at
             if self.monitor is not None:
                 self.monitor(at)
+            for mon in self._monitors:
+                mon(at)
             fn()
         if until is not None and until > self.now:
             self.now = until

@@ -122,6 +122,8 @@ class BandwidthResource:
         self.stats.last_completion = completion
         if self.engine.tracer is not None:
             self.engine.tracer.record(self.name, start, completion)
+        if self.engine.telemetry is not None:
+            self.engine.telemetry.on_reservation(self.name, now, start, nbytes)
         return self.engine.timeout(completion - now)
 
     # -- coordinated multi-resource reservation ------------------------------------
@@ -169,6 +171,8 @@ class BandwidthResource:
             completion = max(completion, r._busy_until)
             if engine.tracer is not None:
                 engine.tracer.record(r.name, start, r._busy_until)
+            if engine.telemetry is not None:
+                engine.telemetry.on_reservation(r.name, now, start, nbytes)
         return engine.timeout(completion - now)
 
     @staticmethod
@@ -198,6 +202,8 @@ class BandwidthResource:
             r.stats.last_completion = completion
             if engine.tracer is not None:
                 engine.tracer.record(r.name, start, completion)
+            if engine.telemetry is not None:
+                engine.telemetry.on_reservation(r.name, now, start, nbytes)
         return engine.timeout(completion - now)
 
     def __repr__(self) -> str:

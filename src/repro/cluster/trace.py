@@ -7,6 +7,19 @@ simulation records every reservation as a ``(resource, start, end)``
 interval; :meth:`Tracer.gantt` renders the intervals as a terminal Gantt
 chart and :meth:`Tracer.utilisation` summarises busy fractions.
 
+The tracer is a thin view over the telemetry span store: every recorded
+interval is a ``category="resource"`` span in a
+:class:`~repro.telemetry.spans.SpanRecorder` (its own private one by
+default, the run's shared recorder when the cluster is built with
+``telemetry=True``), so Gantt/summary and the span exporters read the
+same data.
+
+Intervals on a serial FIFO resource are disjoint by construction of the
+reservation calculus — two overlapping intervals mean a reservation
+bug.  :meth:`Tracer.record` therefore *detects* overlap and raises
+(``on_overlap="warn"`` downgrades to a warning) instead of letting
+utilisation silently exceed and then be clamped to 100%.
+
 Enable with ``ClusterSim(..., trace=True)`` (or by assigning
 ``sim.engine.tracer = Tracer()`` before running) — tracing is off by
 default because interval lists grow linearly with reservations.
@@ -14,10 +27,19 @@ default because interval lists grow linearly with reservations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import bisect
+import math
+import warnings
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
-__all__ = ["Interval", "Tracer"]
+from repro.telemetry.spans import SpanRecorder
+
+__all__ = ["Interval", "Tracer", "OverlapError"]
+
+
+class OverlapError(ValueError):
+    """Two intervals on one serial resource overlap — a reservation bug."""
 
 
 @dataclass(frozen=True)
@@ -33,18 +55,63 @@ class Interval:
         return self.end - self.start
 
 
-@dataclass
 class Tracer:
-    """Accumulates busy intervals during a simulation run."""
+    """Accumulates busy intervals during a simulation run.
 
-    intervals: List[Interval] = field(default_factory=list)
+    ``recorder`` is the span store backing the view; omitted, the tracer
+    owns a private engineless recorder (the historical standalone
+    usage).  ``on_overlap`` selects what happens when an interval
+    overlaps an earlier one on the same resource: ``"raise"`` (default)
+    or ``"warn"``.
+    """
+
+    def __init__(
+        self,
+        recorder: Optional[SpanRecorder] = None,
+        on_overlap: str = "raise",
+    ) -> None:
+        if on_overlap not in ("raise", "warn"):
+            raise ValueError(f"unknown on_overlap mode {on_overlap!r}")
+        self.recorder = recorder if recorder is not None else SpanRecorder()
+        self.on_overlap = on_overlap
+        #: per-resource interval endpoints sorted by start, for overlap
+        #: detection in O(log n) per record
+        self._sorted: Dict[str, List[Tuple[float, float]]] = {}
 
     def record(self, resource: str, start: float, end: float) -> None:
         if end < start:
             raise ValueError(f"interval ends before it starts: {start} > {end}")
-        self.intervals.append(Interval(resource, start, end))
+        self._check_overlap(resource, start, end)
+        self.recorder.record_interval(resource, start, end)
+
+    def _check_overlap(self, resource: str, start: float, end: float) -> None:
+        ivals = self._sorted.setdefault(resource, [])
+        pos = bisect.bisect_right(ivals, (start, end))
+        clash: Optional[Tuple[float, float]] = None
+        if pos > 0 and ivals[pos - 1][1] > start:
+            clash = ivals[pos - 1]
+        elif pos < len(ivals) and ivals[pos][0] < end:
+            clash = ivals[pos]
+        ivals.insert(pos, (start, end))
+        if clash is not None:
+            msg = (
+                f"overlapping reservations on serial resource {resource!r}: "
+                f"[{start:g}, {end:g}] vs [{clash[0]:g}, {clash[1]:g}]"
+            )
+            if self.on_overlap == "raise":
+                raise OverlapError(msg)
+            warnings.warn(msg, RuntimeWarning, stacklevel=3)
 
     # -- queries ----------------------------------------------------------------
+
+    @property
+    def intervals(self) -> List[Interval]:
+        """Every recorded interval, in record order."""
+        return [
+            Interval(s.name, s.start, s.end)
+            for s in self.recorder.spans
+            if s.category == "resource"
+        ]
 
     @property
     def horizon(self) -> float:
@@ -65,14 +132,26 @@ class Tracer:
 
     def busy_time(self, resource: str) -> float:
         """Total busy duration (intervals on one serial resource are
-        disjoint by construction, so plain summation is exact)."""
-        return sum(iv.duration for iv in self.intervals if iv.resource == resource)
+        disjoint — enforced at :meth:`record` — so summation is exact)."""
+        return math.fsum(iv.duration for iv in self.by_resource(resource))
 
     def utilisation(self, resource: str, horizon: Optional[float] = None) -> float:
+        """Busy fraction of ``resource`` over ``horizon``.
+
+        Never clamps: with overlap rejected at :meth:`record`, a ratio
+        above 1.0 (beyond float noise) cannot arise from recorded data,
+        so one slipping through anyway is an internal error and raises.
+        """
         h = horizon if horizon is not None else self.horizon
         if h <= 0:
             return 0.0
-        return min(1.0, self.busy_time(resource) / h)
+        ratio = self.busy_time(resource) / h
+        if ratio > 1.0 + 1e-9:
+            raise OverlapError(
+                f"utilisation of {resource!r} is {ratio:.6f} > 1 over "
+                f"horizon {h:g}s — busy time exceeds elapsed time"
+            )
+        return min(1.0, ratio)  # shave float noise only
 
     # -- rendering ----------------------------------------------------------------
 
@@ -92,14 +171,16 @@ class Tracer:
             cells = [" "] * width
             if horizon > 0:
                 for iv in self.by_resource(name):
-                    lo = int(iv.start / horizon * width)
-                    hi = int(iv.end / horizon * width)
-                    hi = max(hi, lo)  # zero-length stays one cell
-                    for c in range(lo, min(hi + 1, width)):
+                    # clamp into [0, width): an interval touching the exact
+                    # horizon (zero-length included) still gets a cell
+                    lo = min(int(iv.start / horizon * width), width - 1)
+                    hi = min(max(int(iv.end / horizon * width), lo), width - 1)
+                    for c in range(lo, hi + 1):
                         cells[c] = "#"
             util = self.utilisation(name)
             lines.append(f"{name.rjust(label_w)} |{''.join(cells)}| {util:5.1%}")
-        scale = f"{'':>{label_w}} 0{'.' * (width - 2)}{horizon:.3g}s"
+        # the 0 tick sits under the first cell, inside the bars
+        scale = f"{'':>{label_w}}  0{'.' * (width - 2)}{horizon:.3g}s"
         lines.append(scale)
         return "\n".join(lines)
 

@@ -40,13 +40,14 @@ def run_figure4(
     machine: MachineSpec = PAPER_MACHINE,
     pipeline: bool = False,
     sanitize: bool = False,
+    telemetry: bool = False,
 ) -> List[PointResult]:
     """Execution time vs ``n_e·c_S`` at constant grid and edge ratio."""
     points = constant_edge_ratio_sweep(grid, component, steps=steps)
     return [
         run_point(
             pt.spec, n_s, n_j, machine=machine, pipeline=pipeline,
-            sanitize=sanitize,
+            sanitize=sanitize, telemetry=telemetry,
         )
         for pt in points
     ]
@@ -59,6 +60,7 @@ def run_figure5(
     machine: MachineSpec = PAPER_MACHINE,
     pipeline: bool = False,
     sanitize: bool = False,
+    telemetry: bool = False,
 ) -> List[Tuple[int, PointResult]]:
     """Execution time vs number of compute nodes (low ``n_e·c_S``)."""
     return [
@@ -66,7 +68,7 @@ def run_figure5(
             n_j,
             run_point(
                 spec, n_s, n_j, machine=machine, pipeline=pipeline,
-                sanitize=sanitize,
+                sanitize=sanitize, telemetry=telemetry,
             ),
         )
         for n_j in n_j_sweep
@@ -81,13 +83,14 @@ def run_figure6(
     machine: MachineSpec = PAPER_MACHINE,
     pipeline: bool = False,
     sanitize: bool = False,
+    telemetry: bool = False,
 ) -> List[PointResult]:
     """Execution time vs T, partitions held fixed (to ~2 B tuples)."""
     points = tuple_count_sweep(base, factors, scale_dim=0)
     return [
         run_point(
             pt.spec, n_s, n_j, machine=machine, pipeline=pipeline,
-            sanitize=sanitize,
+            sanitize=sanitize, telemetry=telemetry,
         )
         for pt in points
     ]
@@ -101,6 +104,7 @@ def run_figure7(
     machine: MachineSpec = PAPER_MACHINE,
     pipeline: bool = False,
     sanitize: bool = False,
+    telemetry: bool = False,
 ) -> List[Tuple[int, PointResult]]:
     """Execution time vs attribute count (4-byte attributes)."""
     return [
@@ -108,7 +112,7 @@ def run_figure7(
             4 + extra,
             run_point(
                 spec, n_s, n_j, machine=machine, extra_attributes=extra,
-                pipeline=pipeline, sanitize=sanitize,
+                pipeline=pipeline, sanitize=sanitize, telemetry=telemetry,
             ),
         )
         for extra in extra_attributes
@@ -123,6 +127,7 @@ def run_figure8(
     machine: MachineSpec = PAPER_MACHINE,
     pipeline: bool = False,
     sanitize: bool = False,
+    telemetry: bool = False,
 ) -> List[Tuple[float, PointResult]]:
     """Execution time vs computing-power factor F."""
     return [
@@ -130,7 +135,7 @@ def run_figure8(
             f,
             run_point(
                 spec, n_s, n_j, machine=machine.with_cpu_factor(f),
-                pipeline=pipeline, sanitize=sanitize,
+                pipeline=pipeline, sanitize=sanitize, telemetry=telemetry,
             ),
         )
         for f in f_sweep
@@ -143,6 +148,7 @@ def run_figure9(
     machine: MachineSpec = MachineSpec(disk_latency=5e-3),
     pipeline: bool = False,
     sanitize: bool = False,
+    telemetry: bool = False,
 ) -> List[Tuple[int, PointResult]]:
     """Shared-NFS deployment: execution time vs compute nodes."""
     return [
@@ -150,7 +156,7 @@ def run_figure9(
             n_j,
             run_point(
                 spec, n_s=1, n_j=n_j, shared_nfs=True, machine=machine,
-                pipeline=pipeline, sanitize=sanitize,
+                pipeline=pipeline, sanitize=sanitize, telemetry=telemetry,
             ),
         )
         for n_j in n_j_sweep

@@ -81,6 +81,7 @@ def run_point(
     faults: Optional[Union[FaultPlan, str]] = None,
     replication: int = 1,
     sanitize: bool = False,
+    telemetry: bool = False,
 ) -> PointResult:
     """Execute IJ and GH for one configuration and collect predictions.
 
@@ -105,6 +106,12 @@ def run_point(
     :class:`~repro.analysis.sanitizer.SanitizerViolation`.  The reports
     returned are the primary (hook-instrumented) runs, which produce
     byte-identical observables to un-sanitized runs.
+
+    ``telemetry`` records the causal span DAG and run metrics on each
+    primary execution (see :mod:`repro.telemetry`); the reports then
+    carry ``critical_path`` and ``telemetry`` for the exporters.  Shadow
+    executions stay untraced — telemetry is observation-only, so primary
+    and shadow observables still compare equal.
     """
     ds = build_oil_reservoir_dataset(
         spec, num_storage=n_s, functional=functional,
@@ -120,22 +127,30 @@ def run_point(
         n_s=n_s, n_j=n_j, shared_nfs=shared_nfs,
     )
 
-    def cluster(tie_break: str = "fifo"):
+    def cluster(tie_break: str = "fifo", traced: bool = False):
         if shared_nfs:
-            return nfs_cluster(n_j, spec=machine, faults=faults, tie_break=tie_break)
+            return nfs_cluster(
+                n_j, spec=machine, faults=faults, tie_break=tie_break,
+                telemetry=traced,
+            )
         return paper_cluster(
-            n_s, n_j, spec=machine, faults=faults, tie_break=tie_break
+            n_s, n_j, spec=machine, faults=faults, tie_break=tie_break,
+            telemetry=traced,
         )
 
-    def run_ij(tie_break: str = "fifo", sanitizer=None) -> ExecutionReport:
+    def run_ij(
+        tie_break: str = "fifo", sanitizer=None, traced: bool = False
+    ) -> ExecutionReport:
         return IndexedJoinQES(
-            cluster(tie_break), ds.metadata, "T1", "T2", ds.join_attrs,
+            cluster(tie_break, traced), ds.metadata, "T1", "T2", ds.join_attrs,
             ds.provider, pipeline=pipeline, sanitizer=sanitizer,
         ).run()
 
-    def run_gh(tie_break: str = "fifo", sanitizer=None) -> ExecutionReport:
+    def run_gh(
+        tie_break: str = "fifo", sanitizer=None, traced: bool = False
+    ) -> ExecutionReport:
         return GraceHashQES(
-            cluster(tie_break), ds.metadata, "T1", "T2", ds.join_attrs,
+            cluster(tie_break, traced), ds.metadata, "T1", "T2", ds.join_attrs,
             ds.provider, sanitizer=sanitizer,
         ).run()
 
@@ -150,7 +165,9 @@ def run_point(
         faulty = faults is not None and not faults.is_trivial
         reports = []
         for name, execute in (("indexed-join", run_ij), ("grace-hash", run_gh)):
-            primary = execute(sanitizer=RunSanitizer(label=name))
+            primary = execute(
+                sanitizer=RunSanitizer(label=name), traced=telemetry
+            )
             if faulty:
                 shadow = execute()
                 compare_digests(
@@ -168,8 +185,8 @@ def run_point(
             reports.append(primary)
         ij_report, gh_report = reports
     else:
-        ij_report = run_ij()
-        gh_report = run_gh()
+        ij_report = run_ij(traced=telemetry)
+        gh_report = run_gh(traced=telemetry)
     return PointResult(
         spec=spec,
         params=params,

@@ -48,6 +48,7 @@ from repro.joins.hash_join import hash_join
 from repro.joins.report import ExecutionReport, PhaseBreakdown
 from repro.metadata.service import MetaDataService
 from repro.services.bds import SubTableProvider
+from repro.telemetry.spans import maybe_span
 
 __all__ = ["GraceHashQES", "hash_records"]
 
@@ -145,6 +146,27 @@ class GraceHashQES:
             self.sanitizer.attach_engine(cluster.engine)
             self.sanitizer.attach_cluster(cluster)
 
+        tel = cluster.telemetry
+        qspan = pspan = None
+        if tel is not None:
+            self.metadata.attach_metrics(tel.metrics)
+            tel.metrics.histogram("gh.bucket_seconds")
+            qspan = tel.recorder.begin(
+                "query",
+                category="query",
+                node="global",
+                track="main",
+                algorithm=self.algorithm,
+                functional=functional,
+                num_buckets=n_b,
+            )
+            pspan = tel.recorder.begin(
+                "partition",
+                category="control",
+                node="global",
+                track="main",
+            )
+
         # bucket state: sizes always; record payloads only when functional
         # indices: [joiner][side][bucket]
         bucket_bytes = [[[0] * n_b for _ in range(2)] for _ in range(n_j)]
@@ -175,7 +197,7 @@ class GraceHashQES:
                 cluster.engine.process(
                     self._storage_streamer(
                         s, chunks, bucket_bytes, bucket_records, bucket_data,
-                        report, pending_writes, committed,
+                        report, pending_writes, committed, tel=tel, pspan=pspan,
                     ),
                     name=f"gh-storage{s}",
                 )
@@ -217,6 +239,7 @@ class GraceHashQES:
                         self._storage_streamer(
                             node, descs, bucket_bytes, bucket_records,
                             bucket_data, report, pending_writes, committed,
+                            tel=tel, pspan=pspan,
                         ),
                         name=f"gh-storage{node}.r{round_no}",
                     )
@@ -224,6 +247,8 @@ class GraceHashQES:
                 ]
                 yield cluster.engine.all_of(retry_procs)
             yield cluster.engine.all_of(pending_writes)
+            if tel is not None:
+                tel.recorder.finish(pspan)
             report.extras["partition_phase_time"] = cluster.engine.now
             # all scratch activity so far is bucket writes: snapshot it as
             # the per-joiner Write term
@@ -246,7 +271,8 @@ class GraceHashQES:
             joiners = [
                 cluster.engine.process(
                     self._bucket_joiner(
-                        j, bucket_bytes, bucket_records, bucket_data, report, results
+                        j, bucket_bytes, bucket_records, bucket_data, report,
+                        results, tel=tel, qspan=qspan,
                     ),
                     name=f"gh-joiner{j}",
                 )
@@ -273,6 +299,12 @@ class GraceHashQES:
         cluster.engine.run_process(barrier_then_join(), name="gh-driver")
         report.results = results
         report.pairs_joined = n_j * n_b
+        if tel is not None:
+            from repro.telemetry.critical_path import compute_critical_path
+
+            tel.recorder.finish(qspan, at=report.total_time)
+            report.critical_path = compute_critical_path(tel.recorder, qspan)
+            report.telemetry = tel
         if self.sanitizer is not None:
             self.sanitizer.after_run(cluster.engine, report)
         return report
@@ -289,6 +321,8 @@ class GraceHashQES:
         report: ExecutionReport,
         pending_writes: list,
         committed: set,
+        tel=None,
+        pspan=None,
     ):
         """Stream every chunk in ``chunks`` from sender node ``s``.
 
@@ -300,22 +334,31 @@ class GraceHashQES:
         work, accounted in ``report.recovery``.
         """
         cluster = self.cluster
-        for desc in chunks:
-            if desc.id in committed:
-                continue
-            t0 = cluster.engine.now
-            shipped = [0]
-            try:
-                yield from self._stream_chunk(
-                    s, desc, bucket_bytes, bucket_records, bucket_data,
-                    report, pending_writes, shipped,
-                )
-            except StorageNodeDown:
-                rec = report.recovery
-                rec.wasted_seconds += cluster.engine.now - t0
-                rec.wasted_bytes += shipped[0]
-                return
-            committed.add(desc.id)
+        with maybe_span(
+            tel, f"stream{s}", category="control", node=f"storage{s}",
+            track="stream", parent=pspan, chunks=len(chunks),
+        ):
+            for desc in chunks:
+                if desc.id in committed:
+                    continue
+                t0 = cluster.engine.now
+                shipped = [0]
+                try:
+                    with maybe_span(
+                        tel, "chunk", category="control", node=f"storage{s}",
+                        track="stream", chunk=str(desc.id),
+                    ):
+                        yield from self._stream_chunk(
+                            s, desc, bucket_bytes, bucket_records, bucket_data,
+                            report, pending_writes, shipped, tel=tel,
+                            pspan=pspan,
+                        )
+                except StorageNodeDown:
+                    rec = report.recovery
+                    rec.wasted_seconds += cluster.engine.now - t0
+                    rec.wasted_bytes += shipped[0]
+                    return
+                committed.add(desc.id)
 
     def _stream_chunk(
         self,
@@ -327,6 +370,8 @@ class GraceHashQES:
         report: ExecutionReport,
         pending_writes: list,
         shipped: list,
+        tel=None,
+        pspan=None,
     ):
         """Partition one chunk: ship all its batches, then commit.
 
@@ -360,7 +405,7 @@ class GraceHashQES:
                     continue
                 yield from self._ship_batch(
                     s, j, batch_records * record_size, report, pending_writes,
-                    shipped,
+                    shipped, tel=tel, pspan=pspan,
                 )
                 for b in range(n_b):
                     mask = jmask & (bucket_of == b)
@@ -379,7 +424,7 @@ class GraceHashQES:
                     continue
                 yield from self._ship_batch(
                     s, j, batch_records * record_size, report, pending_writes,
-                    shipped,
+                    shipped, tel=tel, pspan=pspan,
                 )
                 bbase, brem = divmod(batch_records, n_b)
                 for b in range(n_b):
@@ -392,7 +437,7 @@ class GraceHashQES:
                 bucket_data[j][side][b].append(data)
 
     def _ship_batch(self, s: int, j: int, nbytes: int, report: ExecutionReport,
-                    pending_writes: list, shipped: list):
+                    pending_writes: list, shipped: list, tel=None, pspan=None):
         """Send one record batch and post its remote bucket write.
 
         The sender waits for the wire transfer (it owns the sending
@@ -418,9 +463,25 @@ class GraceHashQES:
         while True:
             attempt += 1
             t0 = cluster.engine.now
+            tspan = None
+            if tel is not None:
+                tspan = tel.recorder.begin(
+                    "transfer",
+                    category="transfer",
+                    node=f"storage{s}",
+                    track=f"ship-compute{j}",
+                    bytes=nbytes,
+                    attempt=attempt,
+                )
             try:
                 yield cluster.stream_batch(s, j, nbytes)
             except TransientTransferFault:
+                if tspan is not None:
+                    # close before the backoff yield so retry sleep is not
+                    # attributed to wire time
+                    tspan.attrs["error"] = "TransientTransferFault"
+                    tel.recorder.finish(tspan)
+                    tspan = None
                 dt = cluster.engine.now - t0
                 rec.retries += 1
                 rec.wasted_seconds += dt
@@ -437,10 +498,31 @@ class GraceHashQES:
                     yield cluster.engine.timeout(backoff)
                     rec.wasted_seconds += backoff
                 continue
+            finally:
+                # success, StorageNodeDown, or an interrupt: the wire
+                # activity for this attempt ends now
+                if tspan is not None and tspan.end is None:
+                    tel.recorder.finish(tspan)
             dt = cluster.engine.now - t0
             pb.transfer += dt
             pb.stall += dt  # GH never overlaps: the QES thread waits per batch
-            pending_writes.append(cluster.ingest_write(j, nbytes))
+            write_ev = cluster.ingest_write(j, nbytes)
+            if tel is not None:
+                # the receiver-side write is fire-and-forget: a detached
+                # span under the partition phase, causally linked to the
+                # sender's transfer and closed when the write event fires
+                wspan = tel.recorder.begin(
+                    "bucket-write",
+                    category="scratch-write",
+                    node=f"compute{j}",
+                    track=f"ingest{j}",
+                    parent=pspan,
+                    detached=True,
+                    bytes=nbytes,
+                )
+                tel.recorder.link(wspan, tspan)
+                tel.span_until(write_ev, wspan)
+            pending_writes.append(write_ev)
             report.bytes_from_storage += nbytes
             report.bytes_scratch_written += nbytes
             shipped[0] += nbytes
@@ -456,6 +538,41 @@ class GraceHashQES:
         bucket_data,
         report: ExecutionReport,
         results: Optional[List[List[SubTable]]],
+        tel=None,
+        qspan=None,
+    ):
+        cluster = self.cluster
+        node = cluster.joiner(j)
+        pb = report.per_joiner[j]
+        jspan = None
+        if tel is not None:
+            jspan = tel.recorder.begin(
+                f"join-buckets{j}",
+                category="control",
+                node=f"compute{j}",
+                track="join",
+                parent=qspan,
+                joiner=j,
+                buckets=self.num_buckets,
+            )
+        try:
+            yield from self._join_buckets(
+                j, bucket_bytes, bucket_records, bucket_data, report, results,
+                tel,
+            )
+        finally:
+            if jspan is not None and jspan.end is None:
+                tel.recorder.finish(jspan)
+
+    def _join_buckets(
+        self,
+        j: int,
+        bucket_bytes,
+        bucket_records,
+        bucket_data,
+        report: ExecutionReport,
+        results: Optional[List[List[SubTable]]],
+        tel,
     ):
         cluster = self.cluster
         node = cluster.joiner(j)
@@ -465,20 +582,40 @@ class GraceHashQES:
             lrecs, rrecs = bucket_records[j][0][b], bucket_records[j][1][b]
             if lrecs == 0 and rrecs == 0:
                 continue
+            tb = cluster.engine.now
+
             t0 = cluster.engine.now
-            yield cluster.scratch_read(j, lbytes + rbytes)
+            with maybe_span(
+                tel, "bucket-read", category="scratch-read",
+                node=f"compute{j}", track="join", bucket=b,
+                bytes=lbytes + rbytes,
+            ):
+                yield cluster.scratch_read(j, lbytes + rbytes)
             pb.scratch_read += cluster.engine.now - t0
             report.bytes_scratch_read += lbytes + rbytes
 
             t0 = cluster.engine.now
-            yield node.compute(node.build_time(lrecs))
+            with maybe_span(
+                tel, "build", category="cpu-build", node=f"compute{j}",
+                track="join", bucket=b, records=lrecs,
+            ):
+                yield node.compute(node.build_time(lrecs))
             pb.cpu_build += cluster.engine.now - t0
             report.kernel.builds += lrecs
 
             t0 = cluster.engine.now
-            yield node.compute(node.lookup_time(rrecs))
+            with maybe_span(
+                tel, "probe", category="cpu-probe", node=f"compute{j}",
+                track="join", bucket=b, records=rrecs,
+            ):
+                yield node.compute(node.lookup_time(rrecs))
             pb.cpu_lookup += cluster.engine.now - t0
             report.kernel.probes += rrecs
+
+            if tel is not None:
+                tel.metrics.histogram("gh.bucket_seconds").observe(
+                    cluster.engine.now - tb
+                )
 
             if results is not None and bucket_data is not None and lrecs and rrecs:
                 left_bucket = concat_subtables(

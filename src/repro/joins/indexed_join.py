@@ -61,6 +61,7 @@ from repro.joins.scheduler import PairSchedule, schedule_two_stage
 from repro.metadata.service import MetaDataService
 from repro.services.bds import SubTableProvider
 from repro.services.cache import CachingService, make_policy
+from repro.telemetry.spans import maybe_span
 
 __all__ = ["IndexedJoinQES"]
 
@@ -209,6 +210,33 @@ class IndexedJoinQES:
             for j, c in enumerate(caches):
                 self.sanitizer.attach_cache(c, name=f"joiner{j}")
 
+        tel = cluster.telemetry
+        qspan = None
+        if tel is not None:
+            self.metadata.attach_metrics(tel.metrics)
+            tel.metrics.histogram("ij.pair_seconds")
+            for j, c in enumerate(caches):
+                c.attach_telemetry(
+                    tel, lambda: cluster.engine.now, prefix=f"cache.j{j}"
+                )
+            qspan = tel.recorder.begin(
+                "query",
+                category="query",
+                node="global",
+                track="main",
+                algorithm=self.algorithm,
+                pipeline=self.pipeline,
+                functional=self.provider.functional,
+            )
+            sched = tel.recorder.begin(
+                "schedule",
+                category="control",
+                node="global",
+                track="main",
+                **self.schedule.span_attrs(),
+            )
+            tel.recorder.finish(sched)
+
         injector = cluster.faults
 
         def launch(j: int, pairs, tag: str = ""):
@@ -217,10 +245,14 @@ class IndexedJoinQES:
             progress = [0]  # index of the first pair not yet fully joined
             if self.pipeline:
                 body = self._joiner_pipelined(
-                    j, pairs, caches[j], report, results, progress, tag
+                    j, pairs, caches[j], report, results, progress, tag,
+                    tel=tel, qspan=qspan,
                 )
             else:
-                body = self._joiner(j, pairs, caches[j], report, results, progress)
+                body = self._joiner(
+                    j, pairs, caches[j], report, results, progress,
+                    tel=tel, qspan=qspan, tag=tag,
+                )
             proc = cluster.spawn(body, name=f"ij-joiner{j}{tag}")
             if injector is not None:
                 injector.register_compute(j, proc)
@@ -281,6 +313,12 @@ class IndexedJoinQES:
         report.extras["num_edges"] = float(self.index.num_edges)
         report.extras["num_components"] = float(len(self.index.components()))
         report.extras["pipeline"] = 1.0 if self.pipeline else 0.0
+        if tel is not None:
+            from repro.telemetry.critical_path import compute_critical_path
+
+            tel.recorder.finish(qspan, at=report.total_time)
+            report.critical_path = compute_critical_path(tel.recorder, qspan)
+            report.telemetry = tel
         if self.sanitizer is not None:
             self.sanitizer.after_run(cluster.engine, report)
         return report
@@ -289,7 +327,8 @@ class IndexedJoinQES:
 
     def _transfer_with_recovery(self, joiner: int, desc, cache: Optional[CachingService],
                                 pb: PhaseBreakdown, report: ExecutionReport,
-                                inflight: Optional[Dict[SubTableId, Event]] = None):
+                                inflight: Optional[Dict[SubTableId, Event]] = None,
+                                tel=None, link_span=None, lane: str = ""):
         """Move one sub-table to ``joiner``, surviving transient faults and
         storage-node crashes.  Generator; returns the storage node that
         ultimately served the bytes.
@@ -313,11 +352,28 @@ class IndexedJoinQES:
                 attempt += 1
                 t0 = cluster.engine.now
                 transfer = cluster.read_and_send(node, joiner, desc.size)
+                tspan = None
+                if tel is not None:
+                    tspan = tel.recorder.begin(
+                        "transfer",
+                        category="transfer",
+                        node=f"storage{node}",
+                        track=f"serve-compute{joiner}{lane}",
+                        chunk=str(desc.id),
+                        bytes=desc.size,
+                        attempt=attempt,
+                    )
+                    if link_span is not None:
+                        tel.recorder.link(tspan, link_span)
                 if inflight is not None:
                     inflight[desc.id] = transfer
                 try:
                     yield transfer
                 except TransientTransferFault:
+                    if tspan is not None:
+                        tspan.attrs["error"] = "TransientTransferFault"
+                        tel.recorder.finish(tspan)
+                        tspan = None
                     dt = cluster.engine.now - t0
                     pb.stall += dt
                     rec.retries += 1
@@ -333,6 +389,10 @@ class IndexedJoinQES:
                         rec.wasted_seconds += backoff
                     continue
                 except StorageNodeDown:
+                    if tspan is not None:
+                        tspan.attrs["error"] = "StorageNodeDown"
+                        tel.recorder.finish(tspan)
+                        tspan = None
                     dt = cluster.engine.now - t0
                     pb.stall += dt
                     rec.failovers += 1
@@ -343,6 +403,8 @@ class IndexedJoinQES:
                 finally:
                     if inflight is not None:
                         inflight.pop(desc.id, None)
+                    if tspan is not None and tspan.end is None:
+                        tel.recorder.finish(tspan)
                 dt = cluster.engine.now - t0
                 pb.transfer += dt
                 pb.stall += dt  # the control loop waits out every byte
@@ -355,62 +417,101 @@ class IndexedJoinQES:
     # -- synchronous mode (paper-faithful) ----------------------------------------
 
     def _fetch(self, joiner: int, sid: SubTableId, cache: CachingService,
-               pb: PhaseBreakdown, report: ExecutionReport, is_left: bool):
+               pb: PhaseBreakdown, report: ExecutionReport, is_left: bool,
+               tel=None, link_span=None, track: str = "qes"):
         """Cache-or-fetch one sub-table; charges transfer (and, for left
         sub-tables, the hash-table build) on a miss.  Generator: yields
         simulation events; returns (entry, cached_flag)."""
         cluster = self.cluster
         node = cluster.joiner(joiner)
-        entry = cache.get(sid)
-        if entry is not None:
-            cache.pin(sid)
-            return entry, True
-        desc = self.metadata.chunk(sid)
-        serving = yield from self._transfer_with_recovery(
-            joiner, desc, cache, pb, report
-        )
-        entry = self.provider.fetch(desc, node=serving)
-        if is_left:
-            # build the hash table for this load (once until evicted)
-            t0 = cluster.engine.now
-            yield node.compute(node.build_time(desc.num_records))
-            pb.cpu_build += cluster.engine.now - t0
-            report.kernel.builds += desc.num_records
-        # left entries are charged double: sub-table + its hash table
-        # (this is exactly the 2·c_R term of the memory assumption)
-        nbytes = desc.size * 2 if is_left else desc.size
-        cached = cache.put(sid, entry, nbytes, pin=True, source=serving)
-        return entry, cached
+        with maybe_span(
+            tel, "fetch", category="wait", node=f"compute{joiner}",
+            track=track, chunk=str(sid), side="left" if is_left else "right",
+        ) as fspan:
+            entry = cache.get(sid)
+            if entry is not None:
+                if fspan is not None:
+                    fspan.attrs["hit"] = True
+                cache.pin(sid)
+                return entry, True
+            if fspan is not None:
+                fspan.attrs["hit"] = False
+            desc = self.metadata.chunk(sid)
+            serving = yield from self._transfer_with_recovery(
+                joiner, desc, cache, pb, report, tel=tel, link_span=link_span
+            )
+            entry = self.provider.fetch(desc, node=serving)
+            if is_left:
+                # build the hash table for this load (once until evicted)
+                t0 = cluster.engine.now
+                with maybe_span(
+                    tel, "build", category="cpu-build",
+                    node=f"compute{joiner}", track=track,
+                    records=desc.num_records,
+                ):
+                    yield node.compute(node.build_time(desc.num_records))
+                pb.cpu_build += cluster.engine.now - t0
+                report.kernel.builds += desc.num_records
+            # left entries are charged double: sub-table + its hash table
+            # (this is exactly the 2·c_R term of the memory assumption)
+            nbytes = desc.size * 2 if is_left else desc.size
+            cached = cache.put(sid, entry, nbytes, pin=True, source=serving)
+            return entry, cached
 
     def _joiner(self, j: int, pairs, cache: CachingService,
                 report: ExecutionReport,
-                results: Optional[List[List[SubTable]]], progress):
+                results: Optional[List[List[SubTable]]], progress,
+                tel=None, qspan=None, tag: str = ""):
         pb = report.per_joiner[j]
-        for seq, (lid, rid) in enumerate(pairs):
-            left_entry, left_cached = yield from self._fetch(
-                j, lid, cache, pb, report, is_left=True
+        track = f"qes{tag}"
+        jspan = None
+        if tel is not None:
+            jspan = tel.recorder.begin(
+                f"joiner{j}{tag}", category="control", node=f"compute{j}",
+                track=track, parent=qspan, joiner=j, pairs=len(pairs),
             )
-            right_entry, right_cached = yield from self._fetch(
-                j, rid, cache, pb, report, is_left=False
-            )
-            yield from self._probe_and_emit(
-                j, seq, left_entry, right_entry, pb, report, results
-            )
-            if left_cached:
-                cache.unpin(lid)
-            if right_cached:
-                cache.unpin(rid)
-            # no simulation events between emitting the pair's output above
-            # and this update, so a pair is either fully done or not started
-            # from the coordinator's point of view
-            progress[0] = seq + 1
+        try:
+            for seq, (lid, rid) in enumerate(pairs):
+                t_pair = self.cluster.engine.now
+                with maybe_span(
+                    tel, f"pair{seq}", category="control",
+                    node=f"compute{j}", track=track,
+                    left=str(lid), right=str(rid), pair_seq=seq,
+                ):
+                    left_entry, left_cached = yield from self._fetch(
+                        j, lid, cache, pb, report, is_left=True,
+                        tel=tel, link_span=jspan, track=track,
+                    )
+                    right_entry, right_cached = yield from self._fetch(
+                        j, rid, cache, pb, report, is_left=False,
+                        tel=tel, link_span=jspan, track=track,
+                    )
+                    yield from self._probe_and_emit(
+                        j, seq, left_entry, right_entry, pb, report, results,
+                        tel=tel, track=track,
+                    )
+                    if left_cached:
+                        cache.unpin(lid)
+                    if right_cached:
+                        cache.unpin(rid)
+                if tel is not None:
+                    tel.metrics.histogram("ij.pair_seconds").observe(
+                        self.cluster.engine.now - t_pair
+                    )
+                # no simulation events between emitting the pair's output
+                # above and this update, so a pair is either fully done or
+                # not started from the coordinator's point of view
+                progress[0] = seq + 1
+        finally:
+            if jspan is not None and jspan.end is None:
+                tel.recorder.finish(jspan)
 
     # -- pipelined mode ------------------------------------------------------------
 
     def _joiner_pipelined(self, j: int, pairs, cache: CachingService,
                           report: ExecutionReport,
                           results: Optional[List[List[SubTable]]],
-                          progress, tag: str = ""):
+                          progress, tag: str = "", tel=None, qspan=None):
         """Double-buffered control loop: consume pair ``k`` while a
         background process transfers pair ``k+1``'s sub-tables.
 
@@ -426,12 +527,23 @@ class IndexedJoinQES:
         pb = report.per_joiner[j]
         if not pairs:
             return
+        track = f"qes{tag}"
+        jspan = None
+        if tel is not None:
+            jspan = tel.recorder.begin(
+                f"joiner{j}{tag}", category="control", node=f"compute{j}",
+                track=track, parent=qspan, joiner=j, pairs=len(pairs),
+                pipelined=True,
+            )
         inflight: Dict[SubTableId, Event] = {}
         sources: Dict[SubTableId, int] = {}
 
         def spawn_prefetch(pair, label):
             proc = cluster.spawn(
-                self._prefetch_pair(j, pair, cache, inflight, sources, pb, report),
+                self._prefetch_pair(
+                    j, pair, cache, inflight, sources, pb, report,
+                    tel=tel, jspan=jspan, tag=tag, label=label,
+                ),
                 name=f"ij-prefetch{j}{tag}.{label}",
             )
             if injector is not None:
@@ -439,33 +551,55 @@ class IndexedJoinQES:
                 injector.register_compute(j, proc)
             return proc
 
-        fetch_next = spawn_prefetch(pairs[0], 0)
-        for seq, (lid, rid) in enumerate(pairs):
-            upcoming = pairs[seq + 1 : seq + 2]
-            t0 = cluster.engine.now
-            yield fetch_next
-            pb.stall += cluster.engine.now - t0
-            if upcoming:
-                fetch_next = spawn_prefetch(upcoming[0], seq + 1)
-            left_entry, left_cached = yield from self._consume(
-                j, lid, cache, inflight, sources, pb, report, is_left=True
-            )
-            right_entry, right_cached = yield from self._consume(
-                j, rid, cache, inflight, sources, pb, report, is_left=False
-            )
-            yield from self._probe_and_emit(
-                j, seq, left_entry, right_entry, pb, report, results
-            )
-            if left_cached:
-                cache.unpin(lid)
-            if right_cached:
-                cache.unpin(rid)
-            progress[0] = seq + 1
+        try:
+            fetch_next = spawn_prefetch(pairs[0], 0)
+            for seq, (lid, rid) in enumerate(pairs):
+                upcoming = pairs[seq + 1 : seq + 2]
+                t_pair = cluster.engine.now
+                with maybe_span(
+                    tel, f"pair{seq}", category="control",
+                    node=f"compute{j}", track=track,
+                    left=str(lid), right=str(rid), pair_seq=seq,
+                ):
+                    t0 = cluster.engine.now
+                    with maybe_span(
+                        tel, "await-prefetch", category="wait",
+                        node=f"compute{j}", track=track, pair_seq=seq,
+                    ):
+                        yield fetch_next
+                    pb.stall += cluster.engine.now - t0
+                    if upcoming:
+                        fetch_next = spawn_prefetch(upcoming[0], seq + 1)
+                    left_entry, left_cached = yield from self._consume(
+                        j, lid, cache, inflight, sources, pb, report,
+                        is_left=True, tel=tel, link_span=jspan, track=track,
+                    )
+                    right_entry, right_cached = yield from self._consume(
+                        j, rid, cache, inflight, sources, pb, report,
+                        is_left=False, tel=tel, link_span=jspan, track=track,
+                    )
+                    yield from self._probe_and_emit(
+                        j, seq, left_entry, right_entry, pb, report, results,
+                        tel=tel, track=track,
+                    )
+                    if left_cached:
+                        cache.unpin(lid)
+                    if right_cached:
+                        cache.unpin(rid)
+                if tel is not None:
+                    tel.metrics.histogram("ij.pair_seconds").observe(
+                        cluster.engine.now - t_pair
+                    )
+                progress[0] = seq + 1
+        finally:
+            if jspan is not None and jspan.end is None:
+                tel.recorder.finish(jspan)
 
     def _prefetch_pair(self, j: int, pair, cache: CachingService,
                        inflight: Dict[SubTableId, Event],
                        sources: Dict[SubTableId, int],
-                       pb: PhaseBreakdown, report: ExecutionReport):
+                       pb: PhaseBreakdown, report: ExecutionReport,
+                       tel=None, jspan=None, tag: str = "", label=0):
         """Background transfer process for one upcoming pair.
 
         Transfers are issued sequentially (one outstanding request per
@@ -483,45 +617,69 @@ class IndexedJoinQES:
         cluster = self.cluster
         injector = cluster.faults
         rec = report.recovery
-        for sid in pair:
-            if sid in cache or sid in inflight:
-                continue
-            desc = self.metadata.chunk(sid)
-            node = desc.ref.storage_node
-            if injector is not None and injector.storage_is_dead(node):
-                # primary known dead: stage from the first live replica
-                node = next(
-                    (
-                        r.storage_node
-                        for r in desc.all_refs
-                        if not injector.storage_is_dead(r.storage_node)
-                    ),
-                    None,
+        with maybe_span(
+            tel, f"prefetch{label}", category="control", node=f"compute{j}",
+            track=f"qes{tag}.pf", parent=jspan,
+        ):
+            for sid in pair:
+                if sid in cache or sid in inflight:
+                    continue
+                desc = self.metadata.chunk(sid)
+                node = desc.ref.storage_node
+                if injector is not None and injector.storage_is_dead(node):
+                    # primary known dead: stage from the first live replica
+                    node = next(
+                        (
+                            r.storage_node
+                            for r in desc.all_refs
+                            if not injector.storage_is_dead(r.storage_node)
+                        ),
+                        None,
+                    )
+                    if node is None:
+                        continue  # consumer will raise UnrecoverableFault
+                if not cache.prefetch_begin(sid, desc.size):
+                    continue
+                transfer = cluster.read_and_send(node, j, desc.size)
+                inflight[sid] = transfer
+                t0 = cluster.engine.now
+                tspan = None
+                if tel is not None:
+                    tspan = tel.recorder.begin(
+                        "transfer",
+                        category="transfer",
+                        node=f"storage{node}",
+                        track=f"serve-compute{j}.pf",
+                        chunk=str(sid),
+                        bytes=desc.size,
+                        prefetched=True,
+                    )
+                    tel.recorder.link(tspan, jspan)
+                try:
+                    yield transfer
+                except FaultError as exc:
+                    if tspan is not None:
+                        tspan.attrs["error"] = type(exc).__name__
+                    rec.wasted_seconds += cluster.engine.now - t0
+                    cache.prefetch_cancel(sid)
+                    inflight.pop(sid, None)
+                    continue
+                finally:
+                    if tspan is not None and tspan.end is None:
+                        tel.recorder.finish(tspan)
+                pb.transfer += cluster.engine.now - t0
+                report.bytes_from_storage += desc.size
+                sources[sid] = node
+                cache.prefetch_complete(
+                    sid, self.provider.fetch(desc, node=node)
                 )
-                if node is None:
-                    continue  # consumer will raise UnrecoverableFault
-            if not cache.prefetch_begin(sid, desc.size):
-                continue
-            transfer = cluster.read_and_send(node, j, desc.size)
-            inflight[sid] = transfer
-            t0 = cluster.engine.now
-            try:
-                yield transfer
-            except FaultError:
-                rec.wasted_seconds += cluster.engine.now - t0
-                cache.prefetch_cancel(sid)
-                inflight.pop(sid, None)
-                continue
-            pb.transfer += cluster.engine.now - t0
-            report.bytes_from_storage += desc.size
-            sources[sid] = node
-            cache.prefetch_complete(sid, self.provider.fetch(desc, node=node))
-            del inflight[sid]
+                del inflight[sid]
 
     def _consume(self, joiner: int, sid: SubTableId, cache: CachingService,
                  inflight: Dict[SubTableId, Event],
                  sources: Dict[SubTableId, int],
-                 pb: PhaseBreakdown, report: ExecutionReport, is_left: bool):
+                 pb: PhaseBreakdown, report: ExecutionReport, is_left: bool,
+                 tel=None, link_span=None, track: str = "qes"):
         """Pipelined counterpart of :meth:`_fetch`.
 
         Performs the exact cache protocol of the synchronous path
@@ -532,52 +690,76 @@ class IndexedJoinQES:
         """
         cluster = self.cluster
         node = cluster.joiner(joiner)
-        entry = cache.get(sid)
-        if entry is not None:
-            cache.pin(sid)
-            return entry, True
-        desc = self.metadata.chunk(sid)
-        serving: Optional[int] = None
-        entry = cache.take_prefetched(sid)
-        if entry is None and sid in inflight:
-            # the next pair's prefetcher is mid-transfer on a sub-table we
-            # share with it — wait for that transfer instead of re-issuing
-            t0 = cluster.engine.now
-            try:
-                yield inflight[sid]
-            except FaultError:
-                pass  # prefetcher's transfer faulted; recover synchronously
-            pb.stall += cluster.engine.now - t0
+        with maybe_span(
+            tel, "fetch", category="wait", node=f"compute{joiner}",
+            track=track, chunk=str(sid), side="left" if is_left else "right",
+            mode="pipelined",
+        ) as fspan:
+            entry = cache.get(sid)
+            if entry is not None:
+                if fspan is not None:
+                    fspan.attrs["hit"] = True
+                cache.pin(sid)
+                return entry, True
+            if fspan is not None:
+                fspan.attrs["hit"] = False
+            desc = self.metadata.chunk(sid)
+            serving: Optional[int] = None
             entry = cache.take_prefetched(sid)
-        if entry is not None:
-            serving = sources.pop(sid, None)
-        else:
-            # prefetch skipped (budget), invalidated (evicted after the
-            # lookahead decision) or faulted: pay the transfer synchronously
-            # through the recovering path, exactly like the baseline would
-            serving = yield from self._transfer_with_recovery(
-                joiner, desc, cache, pb, report, inflight=inflight
-            )
-            entry = self.provider.fetch(desc, node=serving)
-        if is_left:
-            t0 = cluster.engine.now
-            yield node.compute(node.build_time(desc.num_records))
-            pb.cpu_build += cluster.engine.now - t0
-            report.kernel.builds += desc.num_records
-        nbytes = desc.size * 2 if is_left else desc.size
-        cached = cache.put(sid, entry, nbytes, pin=True, source=serving)
-        return entry, cached
+            if entry is None and sid in inflight:
+                # the next pair's prefetcher is mid-transfer on a sub-table
+                # we share with it — wait for that transfer instead of
+                # re-issuing
+                t0 = cluster.engine.now
+                try:
+                    yield inflight[sid]
+                except FaultError:
+                    pass  # prefetcher's transfer faulted; recover synchronously
+                pb.stall += cluster.engine.now - t0
+                entry = cache.take_prefetched(sid)
+            if entry is not None:
+                if fspan is not None:
+                    fspan.attrs["staged"] = True
+                serving = sources.pop(sid, None)
+            else:
+                # prefetch skipped (budget), invalidated (evicted after the
+                # lookahead decision) or faulted: pay the transfer
+                # synchronously through the recovering path, exactly like
+                # the baseline would
+                serving = yield from self._transfer_with_recovery(
+                    joiner, desc, cache, pb, report, inflight=inflight,
+                    tel=tel, link_span=link_span,
+                )
+                entry = self.provider.fetch(desc, node=serving)
+            if is_left:
+                t0 = cluster.engine.now
+                with maybe_span(
+                    tel, "build", category="cpu-build",
+                    node=f"compute{joiner}", track=track,
+                    records=desc.num_records,
+                ):
+                    yield node.compute(node.build_time(desc.num_records))
+                pb.cpu_build += cluster.engine.now - t0
+                report.kernel.builds += desc.num_records
+            nbytes = desc.size * 2 if is_left else desc.size
+            cached = cache.put(sid, entry, nbytes, pin=True, source=serving)
+            return entry, cached
 
     # -- shared probe/emit ---------------------------------------------------------
 
     def _probe_and_emit(self, j: int, seq: int, left_entry, right_entry,
                         pb: PhaseBreakdown, report: ExecutionReport,
-                        results: Optional[List[List[SubTable]]]):
+                        results: Optional[List[List[SubTable]]],
+                        tel=None, track: str = "qes"):
         cluster = self.cluster
         node = cluster.joiner(j)
         nprobe = right_entry.num_records
         t0 = cluster.engine.now
-        yield node.compute(node.lookup_time(nprobe))
+        with maybe_span(
+            tel, "probe", category="cpu-probe", node=f"compute{j}",
+            track=track, records=nprobe,
+        ):
+            yield node.compute(node.lookup_time(nprobe))
         pb.cpu_lookup += cluster.engine.now - t0
         report.kernel.probes += nprobe
         if results is not None:

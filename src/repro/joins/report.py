@@ -136,6 +136,13 @@ class ExecutionReport:
     extras: Dict[str, float] = field(default_factory=dict)
     #: What failure recovery cost this run (all-zero when fault-free).
     recovery: RecoveryStats = field(default_factory=RecoveryStats)
+    #: Critical-path analysis of the recorded span DAG
+    #: (:class:`repro.telemetry.critical_path.CriticalPath`); only set on
+    #: telemetry-enabled runs.
+    critical_path: Optional[object] = None
+    #: The run's :class:`repro.telemetry.Telemetry` hub, for exporters;
+    #: only set on telemetry-enabled runs.
+    telemetry: Optional[object] = field(default=None, repr=False)
 
     @property
     def result_tuples(self) -> int:
@@ -198,5 +205,9 @@ class ExecutionReport:
                 f"{rec.restarted_chunks} chunks restarted, "
                 f"{rec.cache_invalidations} cache invalidations "
                 f"(wasted {rec.wasted_seconds:.3f}s / {rec.wasted_bytes:,} B)"
+            )
+        if self.critical_path is not None:
+            lines.extend(
+                "  " + line for line in self.critical_path.summary_lines(3)
             )
         return "\n".join(lines)

@@ -60,6 +60,15 @@ class PairSchedule:
         mean = sum(counts) / len(counts) if counts else 0.0
         return max(counts) / mean if mean else 1.0
 
+    def span_attrs(self) -> "Dict[str, object]":
+        """Structured attributes for the telemetry ``schedule`` span."""
+        return {
+            "strategy": self.strategy,
+            "joiners": self.num_joiners,
+            "pairs": self.total_pairs,
+            "imbalance": round(self.imbalance(), 6),
+        }
+
     def reference_string(self, joiner: int) -> List[SubTableId]:
         """The cache reference string of one joiner (left id then right id
         per pair) — the input Belady's policy needs."""

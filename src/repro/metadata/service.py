@@ -133,6 +133,18 @@ class MetaDataService:
         self._by_id: Dict[int, TableCatalog] = {}
         self._by_name: Dict[str, int] = {}
         self._kv: Dict[str, object] = {}
+        self._metrics = None
+
+    def attach_metrics(self, registry) -> None:
+        """Count catalog traffic on a :class:`~repro.telemetry.metrics.MetricsRegistry`.
+
+        The MDS is shared state: a QES attaches the run's registry so
+        chunk lookups and range queries made on the query path are
+        visible in the run's metrics.
+        """
+        self._metrics = registry
+        registry.counter("metadata.chunk_lookups")
+        registry.counter("metadata.range_queries")
 
     # -- table registration -----------------------------------------------------
 
@@ -171,6 +183,8 @@ class MetaDataService:
         return [self._by_id[k] for k in sorted(self._by_id)]
 
     def chunk(self, id: SubTableId) -> ChunkDescriptor:
+        if self._metrics is not None:
+            self._metrics.counter("metadata.chunk_lookups").inc()
         catalog = self.table(id.table_id)
         try:
             return catalog.chunks[id.chunk_id]
@@ -179,6 +193,8 @@ class MetaDataService:
 
     def find_chunks(self, table: int | str, query: BoundingBox) -> List[ChunkDescriptor]:
         """Range query: chunk descriptors of ``table`` intersecting ``query``."""
+        if self._metrics is not None:
+            self._metrics.counter("metadata.range_queries").inc()
         return self.table(table).find_chunks(query)
 
     def replica_nodes(self, id: SubTableId) -> List[int]:

@@ -313,6 +313,25 @@ class CachingService(Generic[K, V]):
         self.stats = CacheStats()
         #: invariant checks run after every mutating operation (sanitizer)
         self._validators: List = []
+        self._telemetry = None
+        self._clock = None
+        self._metric_prefix = "cache"
+
+    def attach_telemetry(self, telemetry, clock, prefix: str = "cache") -> None:
+        """Register cache instruments on a telemetry hub.
+
+        The cache has no engine reference, so the simulated clock is
+        injected as a zero-argument ``clock`` callable; occupancy is
+        sampled after every mutating operation, hits/misses counted on
+        :meth:`get`.
+        """
+        self._telemetry = telemetry
+        self._clock = clock
+        self._metric_prefix = prefix
+        telemetry.metrics.counter(f"{prefix}.hits")
+        telemetry.metrics.counter(f"{prefix}.misses")
+        occupancy = telemetry.metrics.gauge(f"{prefix}.occupancy_bytes")
+        occupancy.set(clock(), float(self._bytes))
 
     def install_validator(self, fn) -> None:
         """Register ``fn(op_name)`` to run after every mutating operation.
@@ -323,6 +342,10 @@ class CachingService(Generic[K, V]):
         self._validators.append(fn)
 
     def _after_op(self, op: str) -> None:
+        if self._telemetry is not None:
+            self._telemetry.metrics.gauge(
+                f"{self._metric_prefix}.occupancy_bytes"
+            ).set(self._clock(), float(self._bytes))
         for fn in self._validators:
             fn(op)
 
@@ -350,8 +373,14 @@ class CachingService(Generic[K, V]):
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
+            if self._telemetry is not None:
+                self._telemetry.metrics.counter(
+                    f"{self._metric_prefix}.misses"
+                ).inc()
             return None
         self.stats.hits += 1
+        if self._telemetry is not None:
+            self._telemetry.metrics.counter(f"{self._metric_prefix}.hits").inc()
         self.policy.on_access(key)
         return entry.value
 

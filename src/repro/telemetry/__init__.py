@@ -1,0 +1,98 @@
+"""Causal span telemetry and metrics for the simulated join stack.
+
+:class:`Telemetry` bundles the per-run observability state: a
+:class:`~repro.telemetry.spans.SpanRecorder` (the causal span DAG), a
+:class:`~repro.telemetry.metrics.MetricsRegistry` (counters, gauges,
+histograms), and the resource→node mapping the exporters use to group
+tracks.  A :class:`~repro.cluster.cluster.ClusterSim` built with
+``telemetry=True`` owns one instance, reachable from every component as
+``engine.telemetry``; when the flag is off the attribute is ``None`` and
+every instrumentation site short-circuits without allocating (see
+:func:`~repro.telemetry.spans.maybe_span`).
+
+Everything recorded is a pure function of the simulation: spans stamp
+``engine.now``, metrics are fed simulated timestamps, and no telemetry
+code schedules events — a traced run is byte-identical in query output
+to an untraced one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.telemetry.metrics import (
+    DEFAULT_BYTE_BUCKETS,
+    DEFAULT_SECONDS_BUCKETS,
+    MetricsRegistry,
+)
+from repro.telemetry.spans import (
+    NULL_SPAN,
+    Span,
+    SpanRecorder,
+    maybe_span,
+)
+
+__all__ = [
+    "Telemetry",
+    "Span",
+    "SpanRecorder",
+    "MetricsRegistry",
+    "maybe_span",
+    "NULL_SPAN",
+]
+
+
+class Telemetry:
+    """Per-run telemetry hub: span recorder + metrics + node mapping."""
+
+    def __init__(self, engine=None, label: str = "") -> None:
+        self.engine = engine
+        self.label = label
+        self.recorder = SpanRecorder(engine)
+        self.metrics = MetricsRegistry()
+        #: resource name (``s0.disk``, ``nic7``, ``backplane``) → logical
+        #: node (``storage0``, ``compute2``, ``network``); populated by
+        #: the cluster at construction, consumed by the exporters.
+        self.resource_nodes: Dict[str, str] = {}
+
+    def now(self) -> float:
+        return self.recorder.now()
+
+    def node_of(self, resource: str) -> str:
+        return self.resource_nodes.get(resource, "global")
+
+    # -- hooks called from the cluster layer -----------------------------
+
+    def on_reservation(
+        self, resource: str, now: float, start: float, nbytes: Optional[float]
+    ) -> None:
+        """Observe one bandwidth reservation on ``resource``.
+
+        ``start - now`` is the time the request sat behind earlier
+        reservations — the FIFO queue delay — recorded as a per-resource
+        gauge so convoys show up as sustained non-zero queue depth.
+        """
+        self.metrics.gauge(f"queue.{resource}").set(now, start - now)
+        if nbytes is not None:
+            self.metrics.histogram(
+                "resource.request_bytes", bounds=DEFAULT_BYTE_BUCKETS
+            ).observe(nbytes)
+
+    def span_until(self, event, span: Span) -> None:
+        """Close ``span`` when ``event`` fires (at the firing time).
+
+        Used for fire-and-forget work whose completion is observed only
+        through an event callback (e.g. Grace Hash scratch writes posted
+        by a storage streamer that does not wait for them).
+        """
+
+        def _close(_ev) -> None:
+            if span.end is None:
+                self.recorder.finish(span)
+
+        event.callbacks.append(_close)
+
+
+# re-exported for convenient bucket choices at call sites
+Telemetry.BYTE_BUCKETS = DEFAULT_BYTE_BUCKETS
+Telemetry.SECONDS_BUCKETS = DEFAULT_SECONDS_BUCKETS

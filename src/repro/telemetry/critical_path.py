@@ -1,0 +1,187 @@
+"""Critical-path extraction over the recorded span DAG.
+
+Walks backwards from the end of the root (query) span, repeatedly
+descending into the child span that was active latest, to produce the
+chain of spans that *determined the makespan*: shrinking any segment on
+the path would (to first order) shrink the run.  Each segment is
+attributed to the deepest span covering it; gaps where no child was
+active are attributed to the covering span itself (coordination /
+waiting time).
+
+The segments telescope — consecutive segments share endpoints and
+together partition ``[root.start, root.end]`` — so the summed path
+duration equals the makespan up to float rounding, and ``total`` (taken
+directly as ``root.end - root.start``) equals it *exactly*.  Grouping
+segment durations by span category maps the path onto the analytic
+cost-model terms (``Transfer``, ``Cpu``, ...), which is what lets a
+simulated critical path be compared against the paper's models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.spans import Span, SpanRecorder, TERM_OF_CATEGORY
+
+__all__ = ["Segment", "CriticalPath", "compute_critical_path"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One interval of the critical path, attributed to a span."""
+
+    span_id: int
+    name: str
+    category: str
+    node: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def term(self) -> str:
+        return TERM_OF_CATEGORY.get(self.category, "Other")
+
+
+@dataclass
+class CriticalPath:
+    """The chain of spans determining a run's makespan."""
+
+    root_start: float
+    root_end: float
+    #: segments in path order (latest first, as discovered by the
+    #: backward walk), telescoping over ``[root_start, root_end]``.
+    segments: List[Segment]
+
+    @property
+    def total(self) -> float:
+        """Exactly ``root.end - root.start`` — the reported makespan."""
+        return self.root_end - self.root_start
+
+    @property
+    def attributed(self) -> float:
+        """Sum of segment durations; equals :attr:`total` up to rounding."""
+        return math.fsum(seg.duration for seg in self.segments)
+
+    def by_term(self) -> Dict[str, float]:
+        """Path time grouped by cost-model term, name-sorted."""
+        groups: Dict[str, List[float]] = {}
+        for seg in self.segments:
+            groups.setdefault(seg.term, []).append(seg.duration)
+        return {term: math.fsum(groups[term]) for term in sorted(groups)}
+
+    def top_segments(self, k: int = 5) -> List[Segment]:
+        return sorted(
+            self.segments, key=lambda s: (-s.duration, s.start, s.span_id)
+        )[:k]
+
+    def summary_lines(self, top: int = 5) -> List[str]:
+        terms = ", ".join(
+            f"{term} {value:.4g}s" for term, value in self.by_term().items()
+        )
+        lines = [f"critical path: {self.total:.4g}s ({terms})"]
+        for seg in self.top_segments(top):
+            lines.append(
+                f"  {seg.duration:10.4g}s  {seg.name} on {seg.node} "
+                f"[{seg.term}] @ {seg.start:.4g}s"
+            )
+        return lines
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "total": self.total,
+            "by_term": self.by_term(),
+            "segments": [
+                {
+                    "span_id": seg.span_id,
+                    "name": seg.name,
+                    "category": seg.category,
+                    "node": seg.node,
+                    "start": seg.start,
+                    "end": seg.end,
+                }
+                for seg in self.segments
+            ],
+        }
+
+
+def compute_critical_path(
+    recorder: SpanRecorder, root: Optional[Span] = None
+) -> CriticalPath:
+    """Extract the critical path below ``root`` (default: the query span).
+
+    Resource-occupancy spans (``category="resource"``) are bookkeeping
+    outside the causal tree and are ignored.  Every span reachable from
+    ``root`` must be closed.
+    """
+    if root is None:
+        root = recorder.find_root("query")
+    if root.end is None:
+        raise ValueError("root span is still open; finish the run first")
+
+    children_of: Dict[int, List[Span]] = {}
+    for span in recorder.spans:
+        if span.category == "resource" or span.parent_id is None:
+            continue
+        if span.end is None:
+            raise ValueError(
+                f"span {span.name!r} (#{span.span_id}) is still open"
+            )
+        children_of.setdefault(span.parent_id, []).append(span)
+    # Sorted by end time so the backward walk can consume candidates with
+    # a single decreasing index pointer per parent (amortised linear).
+    for kids in children_of.values():
+        kids.sort(key=lambda s: (s.end, s.span_id))
+
+    segments: List[Segment] = []
+
+    def emit(span: Span, start: float, end: float) -> None:
+        if end > start:
+            segments.append(
+                Segment(
+                    span_id=span.span_id,
+                    name=span.name,
+                    category=span.category,
+                    node=span.node,
+                    start=start,
+                    end=end,
+                )
+            )
+
+    def walk(span: Span, lo: float, hi: float) -> None:
+        """Attribute the window ``[lo, hi]`` within ``span``'s subtree."""
+        kids = children_of.get(span.span_id, ())
+        idx = len(kids) - 1
+        frontier = hi
+        while frontier > lo:
+            # Skip children lying entirely at/after the frontier: the
+            # frontier only decreases, so they can never become active.
+            while idx >= 0 and kids[idx].start >= frontier:
+                idx -= 1
+            if idx < 0:
+                emit(span, lo, frontier)
+                return
+            cand = kids[idx]
+            if cand.end <= lo:
+                # Latest-ending remaining child precedes the window:
+                # nothing below covers it.
+                emit(span, lo, frontier)
+                return
+            idx -= 1
+            cover_end = min(cand.end, frontier)
+            # Gap above the chosen child is the span's own time
+            # (scheduling, waiting between children).
+            emit(span, cover_end, frontier)
+            child_lo = max(lo, cand.start)
+            walk(cand, child_lo, cover_end)
+            frontier = child_lo
+
+    walk(root, root.start, root.end)
+    return CriticalPath(
+        root_start=root.start, root_end=root.end, segments=segments
+    )

@@ -1,0 +1,109 @@
+"""Structural validator for exported Chrome trace-event JSON.
+
+Checks the subset of the trace-event format contract that the exporter
+promises: a ``traceEvents`` array whose entries carry the required keys
+for their phase, numeric non-negative timestamps/durations, and paired
+flow events.  CI runs this over the traced smoke-run artifact
+(``python -m repro.telemetry.validate run.json``); tests call
+:func:`validate_chrome_trace` directly.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List
+
+__all__ = ["validate_chrome_trace", "main"]
+
+#: phases the exporter emits → keys every such event must carry
+_REQUIRED_KEYS = {
+    "X": ("name", "cat", "ph", "ts", "dur", "pid", "tid", "args"),
+    "M": ("name", "ph", "pid", "args"),
+    "C": ("name", "ph", "ts", "pid", "args"),
+    "s": ("name", "ph", "id", "ts", "pid", "tid"),
+    "f": ("name", "ph", "id", "ts", "pid", "tid", "bp"),
+}
+
+_METADATA_NAMES = {"process_name", "process_sort_index", "thread_name"}
+
+
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Return a list of violations (empty == valid)."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["top level is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-array 'traceEvents'"]
+    if not events:
+        errors.append("'traceEvents' is empty")
+
+    flow_starts: Dict[Any, int] = {}
+    flow_ends: Dict[Any, int] = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _REQUIRED_KEYS:
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        for key in _REQUIRED_KEYS[ph]:
+            if key not in ev:
+                errors.append(f"{where}: phase {ph!r} missing key {key!r}")
+        if "ts" in _REQUIRED_KEYS[ph] and "ts" in ev:
+            ts = ev["ts"]
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(f"{where}: non-numeric or negative ts {ts!r}")
+        if ph == "X" and "dur" in ev:
+            dur = ev["dur"]
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: non-numeric or negative dur {dur!r}")
+        if ph == "M" and ev.get("name") not in _METADATA_NAMES:
+            errors.append(
+                f"{where}: unexpected metadata name {ev.get('name')!r}"
+            )
+        if ph == "f" and ev.get("bp") != "e":
+            errors.append(f"{where}: flow end must set bp='e'")
+        if ph == "s":
+            flow_starts[ev.get("id")] = flow_starts.get(ev.get("id"), 0) + 1
+        if ph == "f":
+            flow_ends[ev.get("id")] = flow_ends.get(ev.get("id"), 0) + 1
+
+    for fid in sorted(set(flow_starts) | set(flow_ends), key=repr):
+        if flow_starts.get(fid, 0) != flow_ends.get(fid, 0):
+            errors.append(
+                f"flow id {fid!r}: {flow_starts.get(fid, 0)} starts vs "
+                f"{flow_ends.get(fid, 0)} ends"
+            )
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: python -m repro.telemetry.validate TRACE.json ...")
+        return 2
+    status = 0
+    for path in argv:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable ({exc})")
+            status = 1
+            continue
+        errors = validate_chrome_trace(doc)
+        if errors:
+            status = 1
+            for err in errors:
+                print(f"{path}: {err}")
+        else:
+            n = len(doc["traceEvents"])
+            print(f"{path}: OK ({n} events)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -9,6 +9,7 @@ from repro.cluster import (
     SimEngine,
     Tracer,
 )
+from repro.cluster.trace import OverlapError
 from repro.joins import GraceHashQES, IndexedJoinQES
 from repro.workloads import GridSpec, build_oil_reservoir_dataset
 
@@ -63,6 +64,105 @@ class TestTracerBasics:
         t.record("b", 0, 5)
         lines = t.summary().splitlines()
         assert "b" in lines[1] and "a" in lines[2]
+
+
+class TestOverlapDetection:
+    def test_overlapping_intervals_raise(self):
+        t = Tracer()
+        t.record("disk", 0.0, 2.0)
+        with pytest.raises(OverlapError):
+            t.record("disk", 1.0, 3.0)
+
+    def test_overlap_detected_out_of_order(self):
+        t = Tracer()
+        t.record("disk", 4.0, 6.0)
+        with pytest.raises(OverlapError):
+            t.record("disk", 3.0, 5.0)
+
+    def test_containment_is_overlap(self):
+        t = Tracer()
+        t.record("disk", 0.0, 10.0)
+        with pytest.raises(OverlapError):
+            t.record("disk", 2.0, 3.0)
+
+    def test_touching_endpoints_allowed(self):
+        t = Tracer()
+        t.record("disk", 0.0, 1.0)
+        t.record("disk", 1.0, 2.0)  # back-to-back is fine
+        assert t.busy_time("disk") == pytest.approx(2.0)
+
+    def test_distinct_resources_may_overlap(self):
+        t = Tracer()
+        t.record("disk", 0.0, 2.0)
+        t.record("nic", 1.0, 3.0)  # different device — no clash
+        assert t.horizon == 3.0
+
+    def test_warn_mode_downgrades(self):
+        t = Tracer(on_overlap="warn")
+        t.record("disk", 0.0, 2.0)
+        with pytest.warns(RuntimeWarning):
+            t.record("disk", 1.0, 3.0)
+        # both intervals are kept; utilisation over the horizon now
+        # exceeds 1 and must refuse to clamp silently
+        with pytest.raises(OverlapError):
+            t.utilisation("disk", horizon=2.0)
+
+    def test_unknown_overlap_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(on_overlap="ignore")
+
+    def test_utilisation_never_clamps_quietly(self):
+        t = Tracer()
+        t.record("disk", 0.0, 4.0)
+        # a horizon shorter than the busy time means someone mis-measured
+        with pytest.raises(OverlapError):
+            t.utilisation("disk", horizon=2.0)
+
+
+class TestGanttEdgeCases:
+    def test_zero_horizon_only_zero_length_intervals(self):
+        t = Tracer()
+        t.record("disk", 0.0, 0.0)
+        assert t.horizon == 0.0
+        chart = t.gantt(width=10)
+        disk_row = chart.splitlines()[0]
+        assert disk_row.startswith("disk")
+        assert "0.0%" in disk_row  # zero horizon -> utilisation 0, no crash
+
+    def test_single_zero_length_interval_visible(self):
+        t = Tracer()
+        t.record("cpu", 0.0, 8.0)
+        t.record("disk", 8.0, 8.0)  # at the very end of the horizon
+        chart = t.gantt(width=8)
+        disk_row = [l for l in chart.splitlines() if l.startswith("disk")][0]
+        assert disk_row.count("#") == 1
+
+    def test_resource_name_alignment(self):
+        t = Tracer()
+        t.record("a", 0.0, 1.0)
+        t.record("longer-name", 0.0, 1.0)
+        lines = t.gantt(width=12).splitlines()
+        # every row's first bar is in the same column
+        bars = {line.index("|") for line in lines[:-1]}
+        assert len(bars) == 1
+        # scale line is padded to the same label width
+        assert lines[-1].index("0") == lines[0].index("|") + 1
+
+    def test_width_one(self):
+        t = Tracer()
+        t.record("disk", 0.0, 1.0)
+        t.record("cpu", 0.5, 1.0)
+        chart = t.gantt(width=1)
+        for line in chart.splitlines()[:-1]:
+            assert "|#|" in line
+
+    def test_gantt_row_cells_never_exceed_width(self):
+        t = Tracer()
+        t.record("disk", 0.0, 10.0)
+        t.record("disk", 10.0, 10.0)  # zero-length at the exact horizon
+        chart = t.gantt(width=5, resources=["disk"])
+        row = chart.splitlines()[0]
+        assert row.count("#") == 5
 
 
 class TestEngineIntegration:

@@ -1,0 +1,135 @@
+"""Critical-path extraction over hand-built span trees."""
+
+import pytest
+
+from repro.telemetry.critical_path import compute_critical_path
+from repro.telemetry.spans import SpanRecorder
+
+
+def closed(rec, name, start, end, *, category="control", parent=None, node="global"):
+    s = rec.begin(name, category=category, parent=parent, start=start, node=node)
+    rec.finish(s, at=end)
+    return s
+
+
+class TestWalk:
+    def test_leaf_root_is_one_segment(self):
+        rec = SpanRecorder()
+        root = closed(rec, "query", 0.0, 10.0, category="query")
+        cp = compute_critical_path(rec, root)
+        assert cp.total == 10.0
+        assert cp.attributed == 10.0
+        assert [(s.name, s.start, s.end) for s in cp.segments] == [
+            ("query", 0.0, 10.0)
+        ]
+
+    def test_gaps_attributed_to_covering_span(self):
+        rec = SpanRecorder()
+        root = closed(rec, "query", 0.0, 10.0, category="query")
+        closed(rec, "fetch", 1.0, 4.0, category="transfer", parent=root)
+        closed(rec, "probe", 4.0, 9.0, category="cpu-probe", parent=root)
+        cp = compute_critical_path(rec, root)
+        # backward walk: query tail, probe, fetch, query head
+        assert [(s.name, s.start, s.end) for s in cp.segments] == [
+            ("query", 9.0, 10.0),
+            ("probe", 4.0, 9.0),
+            ("fetch", 1.0, 4.0),
+            ("query", 0.0, 1.0),
+        ]
+        assert cp.attributed == pytest.approx(cp.total)
+        assert cp.by_term() == {"Cpu": 5.0, "Other": 2.0, "Transfer": 3.0}
+
+    def test_deepest_covering_span_wins(self):
+        rec = SpanRecorder()
+        root = closed(rec, "query", 0.0, 8.0, category="query")
+        pair = closed(rec, "pair", 1.0, 8.0, parent=root)
+        closed(rec, "build", 2.0, 5.0, category="cpu-build", parent=pair)
+        closed(rec, "probe", 5.0, 8.0, category="cpu-probe", parent=pair)
+        cp = compute_critical_path(rec, root)
+        assert [(s.name, s.start, s.end) for s in cp.segments] == [
+            ("probe", 5.0, 8.0),
+            ("build", 2.0, 5.0),
+            ("pair", 1.0, 2.0),
+            ("query", 0.0, 1.0),
+        ]
+
+    def test_overlapping_children_pick_latest_active(self):
+        rec = SpanRecorder()
+        root = closed(rec, "query", 0.0, 10.0, category="query")
+        closed(rec, "slow", 0.0, 9.0, category="transfer", parent=root)
+        closed(rec, "fast", 0.0, 4.0, category="cpu-build", parent=root)
+        cp = compute_critical_path(rec, root)
+        # the later-finishing child determined the makespan; the faster
+        # concurrent one never appears on the path
+        names = [s.name for s in cp.segments]
+        assert "slow" in names and "fast" not in names
+        assert cp.by_term() == {"Other": 1.0, "Transfer": 9.0}
+
+    def test_zero_duration_segments_dropped(self):
+        rec = SpanRecorder()
+        root = closed(rec, "query", 0.0, 5.0, category="query")
+        closed(rec, "tick", 2.0, 2.0, parent=root)  # zero-length child
+        closed(rec, "work", 0.0, 5.0, category="cpu-probe", parent=root)
+        cp = compute_critical_path(rec, root)
+        assert all(s.duration > 0 for s in cp.segments)
+        assert cp.attributed == pytest.approx(5.0)
+
+    def test_resource_spans_excluded(self):
+        rec = SpanRecorder()
+        root = closed(rec, "query", 0.0, 5.0, category="query")
+        rec.record_interval("disk0", 0.0, 100.0)  # bookkeeping, not causal
+        cp = compute_critical_path(rec, root)
+        assert cp.total == 5.0
+        assert [s.name for s in cp.segments] == ["query"]
+
+    def test_default_root_is_the_query_span(self):
+        rec = SpanRecorder()
+        closed(rec, "query", 0.0, 5.0, category="query")
+        assert compute_critical_path(rec).total == 5.0
+
+    def test_open_root_raises(self):
+        rec = SpanRecorder()
+        root = rec.begin("query", category="query", parent=None, start=0.0)
+        with pytest.raises(ValueError, match="still open"):
+            compute_critical_path(rec, root)
+
+    def test_open_child_raises(self):
+        rec = SpanRecorder()
+        root = closed(rec, "query", 0.0, 5.0, category="query")
+        rec.begin("fetch", parent=root, start=1.0)
+        with pytest.raises(ValueError, match="still open"):
+            compute_critical_path(rec, root)
+
+
+class TestReporting:
+    def build(self):
+        rec = SpanRecorder()
+        root = closed(rec, "query", 0.0, 10.0, category="query")
+        closed(rec, "fetch", 1.0, 4.0, category="transfer", parent=root,
+               node="storage0")
+        closed(rec, "probe", 4.0, 9.0, category="cpu-probe", parent=root,
+               node="compute1")
+        return compute_critical_path(rec, root)
+
+    def test_top_segments_sorted_by_duration(self):
+        cp = self.build()
+        top = cp.top_segments(2)
+        assert [s.name for s in top] == ["probe", "fetch"]
+
+    def test_summary_lines(self):
+        cp = self.build()
+        lines = cp.summary_lines(top=1)
+        assert lines[0].startswith("critical path: 10s")
+        assert "Cpu 5s" in lines[0] and "Transfer 3s" in lines[0]
+        assert len(lines) == 2
+        assert "probe on compute1 [Cpu]" in lines[1]
+
+    def test_to_dict_round_trip(self):
+        cp = self.build()
+        d = cp.to_dict()
+        assert d["total"] == 10.0
+        assert d["by_term"] == {"Cpu": 5.0, "Other": 2.0, "Transfer": 3.0}
+        assert [seg["name"] for seg in d["segments"]] == [
+            "query", "probe", "fetch", "query",
+        ]
+        assert d["segments"][1]["node"] == "compute1"
