@@ -1,4 +1,4 @@
-"""Shared machinery for the experiment benchmarks.
+"""Shared machinery for the experiment benchmarks, plus the regression CLI.
 
 Every benchmark regenerates one table or figure of the paper's evaluation:
 it sweeps the figure's x-axis through :mod:`repro.experiments`, overlays
@@ -11,19 +11,42 @@ machine-readable ``results/BENCH_<name>.json`` via :func:`record_json`;
 :func:`report_payload` / :func:`point_payload` turn execution reports into
 the per-point dictionaries (makespan, phase breakdown, cache hit rate,
 recovery counters) those artifacts carry.
+
+Run as a script, the harness is the benchmark regression tracker::
+
+    python benchmarks/harness.py bench             # run the tracked configs
+    python benchmarks/harness.py check bench_regression
+    python benchmarks/harness.py check bench_regression --update
+
+``bench`` executes the small tracked configurations (deterministic
+simulated makespans — no wall clock anywhere) and writes
+``results/BENCH_bench_regression.json``; ``check`` walks every
+``makespan_s`` leaf of that artifact against the committed baseline under
+``baselines/`` and exits 1 on any relative regression beyond
+``--tolerance``, which is what fails CI.  ``--update`` rewrites the
+baseline after an intentional performance change.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import sys
 from pathlib import Path
-from typing import Dict, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 # Re-exported so the individual bench files keep a single import point.
 from repro.experiments.runner import PointResult, run_point  # noqa: F401
 from repro.joins.report import ExecutionReport
 
 RESULTS_DIR = Path(__file__).parent / "results"
+BASELINES_DIR = Path(__file__).parent / "baselines"
+
+#: Relative makespan increase tolerated before `check` fails.  Simulated
+#: times are deterministic, so any drift is a real behaviour change; the
+#: slack only absorbs float-level noise from refactors that reorder
+#: arithmetic.
+DEFAULT_TOLERANCE = 0.02
 
 
 def record_table(
@@ -109,3 +132,163 @@ def record_json(name: str, payload: object) -> Path:
     path = RESULTS_DIR / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+# -- benchmark regression tracking --------------------------------------------------
+
+
+def tracked_configurations() -> Dict[str, Dict[str, object]]:
+    """The small configurations the regression tracker runs in CI.
+
+    Small enough to finish in seconds, but covering both deployments
+    (switched fabric and shared NFS) so a perf regression in either QES
+    or either topology moves at least one tracked makespan.
+    """
+    from repro.workloads.generator import GridSpec
+
+    small = GridSpec((16, 16, 16), (4, 4, 4), (4, 4, 4))
+    return {
+        "switched_small": {"spec": small, "n_s": 2, "n_j": 2},
+        "nfs_small": {"spec": small, "n_s": 1, "n_j": 2, "shared_nfs": True},
+    }
+
+
+def run_tracked_benchmarks() -> Dict[str, object]:
+    """Execute the tracked configs; returns the JSON-ready payload."""
+    payload: Dict[str, object] = {}
+    for name, cfg in sorted(tracked_configurations().items()):
+        result = run_point(
+            cfg["spec"],
+            n_s=cfg["n_s"],
+            n_j=cfg["n_j"],
+            shared_nfs=bool(cfg.get("shared_nfs", False)),
+        )
+        payload[name] = point_payload(result)
+    return payload
+
+
+def iter_makespans(payload: object, prefix: str = "") -> List[Tuple[str, float]]:
+    """All ``makespan_s`` leaves of a benchmark artifact, path-sorted.
+
+    Paths are slash-joined dict keys / list indices, e.g.
+    ``switched_small/ij/makespan_s``.
+    """
+    found: List[Tuple[str, float]] = []
+    if isinstance(payload, dict):
+        for key in sorted(payload):
+            path = f"{prefix}/{key}" if prefix else str(key)
+            if key == "makespan_s":
+                found.append((path, float(payload[key])))
+            else:
+                found.extend(iter_makespans(payload[key], path))
+    elif isinstance(payload, list):
+        for i, item in enumerate(payload):
+            found.extend(iter_makespans(item, f"{prefix}/{i}" if prefix else str(i)))
+    return found
+
+
+def compare_benchmarks(
+    current: object, baseline: object, tolerance: float = DEFAULT_TOLERANCE
+) -> Tuple[List[str], List[str]]:
+    """Diff every makespan leaf of ``current`` against ``baseline``.
+
+    Returns ``(regressions, notes)``: regressions are makespans that grew
+    by more than ``tolerance`` (relative) or disappeared from the current
+    artifact — either fails CI; notes record improvements, new leaves and
+    within-tolerance drift.
+    """
+    cur = dict(iter_makespans(current))
+    base = dict(iter_makespans(baseline))
+    regressions: List[str] = []
+    notes: List[str] = []
+    for path in sorted(base):
+        if path not in cur:
+            regressions.append(f"{path}: missing from current results")
+            continue
+        b, c = base[path], cur[path]
+        rel = (c - b) / b if b > 0 else (0.0 if c == b else float("inf"))
+        line = f"{path}: {b:.6f}s -> {c:.6f}s ({rel:+.2%})"
+        if rel > tolerance:
+            regressions.append(line)
+        elif rel != 0:
+            notes.append(line)
+    for path in sorted(set(cur) - set(base)):
+        notes.append(f"{path}: new (no baseline), {cur[path]:.6f}s")
+    return regressions, notes
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    payload = run_tracked_benchmarks()
+    path = record_json(args.name, payload)
+    for leaf, value in iter_makespans(payload):
+        print(f"{leaf}: {value:.6f}s")
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    status = 0
+    for name in args.names:
+        current_path = RESULTS_DIR / f"BENCH_{name}.json"
+        baseline_path = BASELINES_DIR / f"BENCH_{name}.json"
+        if not current_path.exists():
+            print(f"{name}: no current artifact at {current_path} "
+                  f"(run `python benchmarks/harness.py bench` first)",
+                  file=sys.stderr)
+            status = 1
+            continue
+        current = json.loads(current_path.read_text())
+        if args.update or not baseline_path.exists():
+            BASELINES_DIR.mkdir(exist_ok=True)
+            baseline_path.write_text(
+                json.dumps(current, indent=2, sort_keys=True) + "\n"
+            )
+            verb = "updated" if args.update else "created (was missing)"
+            print(f"{name}: baseline {verb}: {baseline_path}")
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        regressions, notes = compare_benchmarks(
+            current, baseline, tolerance=args.tolerance
+        )
+        for line in notes:
+            print(f"{name}: note: {line}")
+        if regressions:
+            for line in regressions:
+                print(f"{name}: REGRESSION: {line}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"{name}: OK — {len(iter_makespans(current))} makespans "
+                  f"within {args.tolerance:.0%} of baseline")
+    return status
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="harness",
+        description="benchmark regression tracker (see module docstring)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_bench = sub.add_parser(
+        "bench", help="run the tracked configs and write the artifact"
+    )
+    p_bench.add_argument("--name", default="bench_regression",
+                         help="artifact name (default bench_regression)")
+    p_bench.set_defaults(fn=_cmd_bench)
+    p_check = sub.add_parser(
+        "check", help="diff current artifacts against committed baselines"
+    )
+    p_check.add_argument("names", nargs="*", default=["bench_regression"],
+                         help="artifact names (default bench_regression)")
+    p_check.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                         help="relative makespan increase allowed "
+                              f"(default {DEFAULT_TOLERANCE})")
+    p_check.add_argument("--update", action="store_true",
+                         help="rewrite the baselines from the current "
+                              "artifacts instead of checking")
+    p_check.set_defaults(fn=_cmd_check)
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

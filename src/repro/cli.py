@@ -9,9 +9,22 @@ Commands
 ``plan``
     Evaluate both cost models for a configuration and show the Query
     Planning Service's choice.
+``explain``
+    Render the plan tree without executing: both cost models laid out
+    operator by operator (the rows ``run --analyze`` later annotates),
+    the chosen QES, the crossover point and the config fingerprint.
 ``run``
     Execute both QES algorithms on the simulated cluster (model-only) and
-    report simulated times next to the predictions.
+    report simulated times next to the predictions.  ``--analyze``
+    additionally profiles the same executions operator by operator —
+    predicted vs. observed time, bytes and records per model term, the
+    planner's counterfactual and its regret — and appends per-term drift
+    records to the drift store.
+``drift``
+    Report accumulated cost-model drift from the store: per (algorithm,
+    term) observed/predicted ratios, flagging terms beyond a threshold;
+    ``--calibrated`` fits per-term corrections and shows the ratios a
+    re-planned (calibrated) model would achieve.
 ``sweep``
     Regenerate one of the paper's figure sweeps at a chosen scale
     (``ne-cs``, ``compute-nodes``, ``tuples``, ``attributes``, ``cpu``,
@@ -33,24 +46,40 @@ shadow run per QES); a violation exits with status 4.  Both also accept
 QES execution (``FILE`` with ``.ij``/``.gh`` tags before the extension).
 
 Every command takes ``--grid/--p/--q`` as comma-separated sizes and the
-deployment shape via ``--storage/--compute``; ``--calibrated`` swaps the
-paper-testbed CPU constants for the host's measured ones.
+deployment shape via ``--storage/--compute``; ``--calibrated host`` swaps
+the paper-testbed CPU constants for the host's measured ones, and
+``--calibrated drift`` re-plans with per-term corrections fitted from the
+drift store.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence, Tuple
 
 from repro.cluster.nodes import MachineSpec, PAPER_MACHINE
 from repro.core.cost_models import (
     CostParameters,
+    TermCalibration,
     crossover_ne_cs,
     grace_hash_cost,
     indexed_join_cost,
 )
-from repro.experiments.calibration import calibrate_host_machine
+from repro.experiments.calibration import (
+    calibrate_host_machine,
+    fit_term_calibration,
+)
+from repro.observe import (
+    DEFAULT_DRIFT_THRESHOLD,
+    DriftStore,
+    explain_plan,
+    profile_execution,
+    render_drift_report,
+    render_explanation,
+    summarize_drift,
+)
 from repro.experiments.figures import (
     run_figure4,
     run_figure5,
@@ -93,9 +122,16 @@ def _add_deploy_args(p: argparse.ArgumentParser) -> None:
                    help="shared-NFS deployment (single server, diskless compute)")
     p.add_argument("--cpu-factor", type=float, default=1.0,
                    help="computing-power factor F (default 1.0)")
-    p.add_argument("--calibrated", action="store_true",
-                   help="use this host's measured hash constants instead of "
-                        "the paper testbed's")
+    p.add_argument("--calibrated", nargs="?", const="host", default=None,
+                   choices=["host", "drift"],
+                   help="re-plan with calibrated constants: 'host' (the "
+                        "default when the flag is bare) measures this host's "
+                        "hash constants; 'drift' applies per-term corrections "
+                        "fitted from the drift store (see `repro drift`)")
+    p.add_argument("--drift-store", type=str, default=None, metavar="FILE",
+                   help="drift-record store (default benchmarks/results/"
+                        "DRIFT.jsonl; 'none' disables appending on "
+                        "`run --analyze`)")
     p.add_argument("--pipeline", action=argparse.BooleanOptionalAction, default=False,
                    help="overlap Indexed Join transfers with build/probe work "
                         "(prefetch pipeline; default off — the paper's QES is "
@@ -121,9 +157,42 @@ def _add_deploy_args(p: argparse.ArgumentParser) -> None:
 
 def _machine(args: argparse.Namespace) -> MachineSpec:
     base = PAPER_MACHINE
-    if getattr(args, "calibrated", False):
+    if getattr(args, "calibrated", None) == "host":
         base = calibrate_host_machine().machine(base)
     return base.with_cpu_factor(getattr(args, "cpu_factor", 1.0))
+
+
+def _drift_calibration(args: argparse.Namespace) -> Optional[TermCalibration]:
+    """Fitted per-term corrections when ``--calibrated drift`` was given."""
+    if getattr(args, "calibrated", None) != "drift":
+        return None
+    store = DriftStore(_store_path(args))
+    records = store.load()
+    if not records:
+        raise ValueError(
+            f"drift store {store.path} is empty; run `repro run --analyze` "
+            f"first"
+        )
+    return fit_term_calibration(records)
+
+
+def _store_path(args: argparse.Namespace) -> Optional[str]:
+    path = getattr(args, "drift_store", None)
+    return None if path in (None, "none") else path
+
+
+def _view_params(args: argparse.Namespace) -> CostParameters:
+    """Table 1 for the CLI's synthetic two-table view of a grid spec."""
+    spec = _spec(args)
+    rs = 4 * (spec.ndim + 1)
+    return CostParameters.from_machine(
+        _machine(args),
+        T=spec.T, c_R=spec.c_R, c_S=spec.c_S, n_e=spec.n_e,
+        RS_R=rs, RS_S=rs,
+        n_s=1 if args.nfs else args.storage, n_j=args.compute,
+        shared_nfs=args.nfs,
+        calibration=_drift_calibration(args),
+    )
 
 
 def _spec(args: argparse.Namespace) -> GridSpec:
@@ -172,15 +241,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 def _cmd_plan(args: argparse.Namespace) -> int:
     spec = _spec(args)
-    machine = _machine(args)
-    rs = 4 * (spec.ndim + 1)
-    params = CostParameters.from_machine(
-        machine,
-        T=spec.T, c_R=spec.c_R, c_S=spec.c_S, n_e=spec.n_e,
-        RS_R=rs, RS_S=rs,
-        n_s=1 if args.nfs else args.storage, n_j=args.compute,
-        shared_nfs=args.nfs,
-    )
+    params = _view_params(args)
     ij = indexed_join_cost(params, pipelined=args.pipeline)
     gh = grace_hash_cost(params)
     ij_name = "indexed-join (pipe)" if args.pipeline else "indexed-join"
@@ -200,6 +261,17 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    spec = _spec(args)
+    info = explain_plan(_view_params(args), pipelined=args.pipeline)
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    print(spec.describe())
+    print(render_explanation(info))
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = _spec(args)
     machine = _machine(args)
@@ -213,7 +285,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         faults=args.faults,
         replication=args.replication,
         sanitize=args.sanitize,
-        telemetry=args.trace_out is not None,
+        telemetry=args.trace_out is not None or args.analyze,
+        calibration=_drift_calibration(args),
     )
     ij_name = "indexed-join (pipe)" if args.pipeline else "indexed-join"
     print(spec.describe())
@@ -245,6 +318,72 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         for name, rep in (("IJ", result.ij_report), ("GH", result.gh_report)):
             print(f"{name} {rep.critical_path.summary_lines(3)[0]}")
+    if args.analyze:
+        # Both profiles come from the single traced execution above —
+        # --analyze never re-runs the workload.
+        profiles = [
+            profile_execution(
+                result.params, result.ij_report, pipelined=args.pipeline
+            ),
+            profile_execution(result.params, result.gh_report),
+        ]
+        for prof in profiles:
+            print()
+            print(prof.render())
+        store_path = _store_path(args)
+        if args.drift_store != "none":
+            store = DriftStore(store_path)
+            added = store.append(
+                [rec for prof in profiles for rec in prof.drift_records()]
+            )
+            print(f"\ndrift store: {store.path} (+{added} records)")
+        if args.analyze_json:
+            payload = {prof.algorithm: prof.to_dict() for prof in profiles}
+            with open(args.analyze_json, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"analysis json: {args.analyze_json}")
+    return 0
+
+
+def _cmd_drift(args: argparse.Namespace) -> int:
+    store = DriftStore(args.store)
+    records = store.load()
+    if not records:
+        print(
+            f"drift store {store.path} is empty; run `repro run --analyze` "
+            f"first",
+            file=sys.stderr,
+        )
+        return 2
+    calibration = fit_term_calibration(records) if args.calibrated else None
+    summaries = summarize_drift(records, calibration=calibration)
+
+    def flagged(s) -> bool:
+        if calibration is not None:
+            return s.calibrated_flagged(args.threshold)
+        return s.flagged(args.threshold)
+
+    if args.json:
+        payload = {
+            "records": len(records),
+            "threshold": args.threshold,
+            "calibration": (
+                calibration.to_dict() if calibration is not None else None
+            ),
+            "terms": [
+                {**s.to_dict(), "flagged": flagged(s)} for s in summaries
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(
+            render_drift_report(
+                summaries, threshold=args.threshold, calibration=calibration
+            )
+        )
+    if args.check and any(flagged(s) for s in summaries):
+        return 1
     return 0
 
 
@@ -377,9 +516,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_deploy_args(p_plan)
     p_plan.set_defaults(fn=_cmd_plan)
 
+    p_explain = sub.add_parser(
+        "explain",
+        help="render the plan tree (both models, operator by operator) "
+             "without executing",
+    )
+    _add_spec_args(p_explain)
+    _add_deploy_args(p_explain)
+    p_explain.add_argument("--json", action="store_true",
+                           help="emit the machine-readable explanation "
+                                "(sorted keys) instead of the tree")
+    p_explain.set_defaults(fn=_cmd_explain)
+
     p_run = sub.add_parser("run", help="execute both QES on the simulated cluster")
     _add_spec_args(p_run)
     _add_deploy_args(p_run)
+    p_run.add_argument("--analyze", action="store_true",
+                       help="profile the executions operator by operator "
+                            "(predicted vs. observed per model term), report "
+                            "planner regret, and append drift records to the "
+                            "drift store")
+    p_run.add_argument("--analyze-json", type=str, default=None, metavar="FILE",
+                       help="also write the --analyze profiles as sorted-key "
+                            "JSON to FILE")
     p_run.set_defaults(fn=_cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="regenerate one of the paper's sweeps")
@@ -420,6 +579,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--explain", metavar="RULE",
                         help="print one rule's documentation and exit")
     p_lint.set_defaults(fn=_cmd_lint)
+
+    p_drift = sub.add_parser(
+        "drift",
+        help="report accumulated cost-model drift from the store",
+    )
+    p_drift.add_argument("--store", type=str, default=None, metavar="FILE",
+                         help="drift store to read (default benchmarks/"
+                              "results/DRIFT.jsonl)")
+    p_drift.add_argument("--threshold", type=float,
+                         default=DEFAULT_DRIFT_THRESHOLD, metavar="X",
+                         help="flag terms whose observed/predicted ratio (or "
+                              "its inverse) exceeds 1+X (default "
+                              f"{DEFAULT_DRIFT_THRESHOLD})")
+    p_drift.add_argument("--calibrated", action="store_true",
+                         help="fit per-term corrections from the store and "
+                              "report the ratios calibrated re-planning "
+                              "would achieve")
+    p_drift.add_argument("--check", action="store_true",
+                         help="exit 1 if any term is flagged (for CI)")
+    p_drift.add_argument("--json", action="store_true",
+                         help="emit the report as sorted-key JSON")
+    p_drift.set_defaults(fn=_cmd_drift)
 
     p_cal = sub.add_parser("calibrate", help="measure this host's hash constants")
     p_cal.add_argument("--tuples", type=int, default=100_000)

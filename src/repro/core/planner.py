@@ -16,10 +16,13 @@ from typing import Optional, Tuple
 
 from repro.cluster.nodes import MachineSpec, PAPER_MACHINE
 from repro.core.cost_models import (
+    TOSSUP_MARGIN,
     CostBreakdown,
     CostParameters,
+    TermCalibration,
     grace_hash_cost,
     indexed_join_cost,
+    models_are_tossup,
 )
 from repro.core.view import JoinView
 from repro.joins.join_index import PageJoinIndex, build_join_index
@@ -41,13 +44,46 @@ class Plan:
     #: Whether the Indexed Join was costed in its pipelined execution mode.
     pipeline: bool = False
 
+    #: Relative gap below which the two models are considered a toss-up:
+    #: the plan choice is fragile and worth flagging in drift reports.
+    TOSSUP_MARGIN = TOSSUP_MARGIN
+
+    @property
+    def chosen_cost(self) -> CostBreakdown:
+        """The cost breakdown of the algorithm the planner picked."""
+        return self.ij_cost if self.algorithm == "indexed-join" else self.gh_cost
+
+    @property
+    def counterfactual_cost(self) -> CostBreakdown:
+        """The cost breakdown of the algorithm the planner rejected."""
+        return self.gh_cost if self.algorithm == "indexed-join" else self.ij_cost
+
+    @property
+    def counterfactual_algorithm(self) -> str:
+        return "grace-hash" if self.algorithm == "indexed-join" else "indexed-join"
+
     @property
     def predicted_time(self) -> float:
-        return min(self.ij_cost.total, self.gh_cost.total)
+        """The *chosen* algorithm's predicted total.
+
+        Reads ``algorithm`` explicitly rather than recomputing
+        ``min(...)`` so the two can never silently disagree (e.g. if a
+        caller constructs a Plan with a forced algorithm choice).
+        """
+        return self.chosen_cost.total
+
+    @property
+    def is_tossup(self) -> bool:
+        """True when the two models land within :attr:`TOSSUP_MARGIN` of
+        each other — either QES could win, so observed drift on any
+        shared term can silently flip the choice."""
+        return models_are_tossup(
+            self.ij_cost.total, self.gh_cost.total, self.TOSSUP_MARGIN
+        )
 
     def describe(self) -> str:
         ij_mode = " (pipelined)" if self.pipeline else ""
-        return (
+        text = (
             f"plan for {self.view.describe()}:\n"
             f"  predicted IJ total: {self.ij_cost.total:.3f}s{ij_mode} "
             f"(transfer {self.ij_cost.transfer:.3f}, cpu {self.ij_cost.cpu:.3f})\n"
@@ -56,6 +92,13 @@ class Plan:
             f"read {self.gh_cost.read:.3f}, cpu {self.gh_cost.cpu:.3f})\n"
             f"  chosen QES: {self.algorithm}"
         )
+        if self.is_tossup:
+            text += (
+                f"\n  note: toss-up — the models are within "
+                f"{self.TOSSUP_MARGIN:.0%} of each other; the choice is "
+                f"sensitive to cost-model drift"
+            )
+        return text
 
 
 class QueryPlanningService:
@@ -68,6 +111,7 @@ class QueryPlanningService:
         num_compute: int,
         machine: MachineSpec = PAPER_MACHINE,
         shared_nfs: bool = False,
+        calibration: Optional[TermCalibration] = None,
     ):
         if num_storage <= 0 or num_compute <= 0:
             raise ValueError("need at least one storage and one compute node")
@@ -76,6 +120,9 @@ class QueryPlanningService:
         self.num_compute = num_compute
         self.machine = machine
         self.shared_nfs = shared_nfs
+        #: fitted per-term model corrections (see the drift observatory,
+        #: DESIGN.md §9); ``None`` plans with the raw Section 5 models
+        self.calibration = calibration
 
     # -- join index management ----------------------------------------------------
 
@@ -139,6 +186,7 @@ class QueryPlanningService:
             n_s=self.num_storage,
             n_j=self.num_compute,
             shared_nfs=self.shared_nfs,
+            calibration=self.calibration,
         )
         return params, index
 

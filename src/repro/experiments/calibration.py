@@ -1,9 +1,10 @@
-"""Host-machine calibration of the per-tuple hash costs.
+"""Calibration of the cost models, from two directions.
 
-The cost models' system half is mostly nameplate (disk and link
-bandwidths), but ``α_build`` and ``α_lookup`` are software constants the
-paper measured on its own testbed.  :func:`calibrate_host_machine` measures
-them on *this* machine the same way — time a hash-table build over N keyed
+**Host microbenchmarks** (:func:`calibrate_host_machine`): the cost
+models' system half is mostly nameplate (disk and link bandwidths), but
+``α_build`` and ``α_lookup`` are software constants the paper measured
+on its own testbed.  :func:`calibrate_host_machine` measures them on
+*this* machine the same way — time a hash-table build over N keyed
 records storing record pointers, then N probes — so a user deploying the
 planner against real hardware can feed it real constants.
 
@@ -12,18 +13,33 @@ in-memory hash join's reference (dict-kernel) implementation; vectorised
 kernels are faster per tuple, so these constants are conservative, which
 is the right bias for a planner (it under-promises the CPU-bound
 algorithm).
+
+**Drift-store fitting** (:func:`fit_term_calibration`): the other
+direction of the loop.  ``repro run --analyze`` accumulates per-term
+``(predicted, observed)`` records in the drift store; fitting pools them
+per :class:`~repro.core.cost_models.TermCalibration` field and takes the
+ratio of total observed to total predicted seconds — the least-squares
+multiplier under the model's own linear structure.  The result plugs
+back into planning via :meth:`CostParameters.with_calibration`.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
+from typing import Dict, Iterable
 
 import numpy as np
 
 from repro.cluster.nodes import MachineSpec, PAPER_MACHINE
+from repro.core.cost_models import TermCalibration
+from repro.observe.drift import CALIBRATION_FIELD_OF_TERM, DriftRecord
 
-__all__ = ["CalibrationResult", "calibrate_host_machine"]
+__all__ = [
+    "CalibrationResult",
+    "calibrate_host_machine",
+    "fit_term_calibration",
+]
 
 
 @dataclass(frozen=True)
@@ -86,3 +102,31 @@ def calibrate_host_machine(
         tuples=tuples,
         repeats=repeats,
     )
+
+
+def fit_term_calibration(
+    records: Iterable[DriftRecord],
+) -> TermCalibration:
+    """Fit per-term model corrections from accumulated drift records.
+
+    Pools predicted and observed seconds per calibration field — across
+    algorithms and configurations, since e.g. ``transfer`` is one shared
+    term — and takes total-observed / total-predicted as the correction
+    factor.  Terms with no usable records (never predicted, or never
+    observed on any critical path) keep their identity factor: there is
+    no evidence to move them.
+    """
+    predicted: Dict[str, float] = {}
+    observed: Dict[str, float] = {}
+    for rec in records:
+        field = CALIBRATION_FIELD_OF_TERM.get(rec.term)
+        if field is None or rec.predicted_s <= 0:
+            continue
+        predicted[field] = predicted.get(field, 0.0) + rec.predicted_s
+        observed[field] = observed.get(field, 0.0) + rec.observed_s
+    factors = {
+        field: observed[field] / predicted[field]
+        for field in sorted(predicted)
+        if observed[field] > 0
+    }
+    return TermCalibration(**factors)

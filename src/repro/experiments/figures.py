@@ -9,14 +9,17 @@ in its overlapped prefetching mode — an ablation the paper's synchronous
 QES does not have, useful for seeing how much of each figure's IJ curve is
 exposed transfer time.  ``sanitize=True`` additionally runs every point
 under the runtime sanitizer (invariant hooks plus a shadow execution per
-QES — see :func:`repro.experiments.runner.run_point`).
+QES — see :func:`repro.experiments.runner.run_point`).  ``calibration``
+re-predicts every point with fitted per-term model corrections (the
+simulations are unaffected; see :mod:`repro.observe`).
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.cluster.nodes import MachineSpec, PAPER_MACHINE
+from repro.core.cost_models import TermCalibration
 from repro.experiments.runner import PointResult, run_point
 from repro.workloads.generator import GridSpec
 from repro.workloads.sweeps import constant_edge_ratio_sweep, tuple_count_sweep
@@ -41,13 +44,14 @@ def run_figure4(
     pipeline: bool = False,
     sanitize: bool = False,
     telemetry: bool = False,
+    calibration: Optional[TermCalibration] = None,
 ) -> List[PointResult]:
     """Execution time vs ``n_e·c_S`` at constant grid and edge ratio."""
     points = constant_edge_ratio_sweep(grid, component, steps=steps)
     return [
         run_point(
             pt.spec, n_s, n_j, machine=machine, pipeline=pipeline,
-            sanitize=sanitize, telemetry=telemetry,
+            sanitize=sanitize, telemetry=telemetry, calibration=calibration,
         )
         for pt in points
     ]
@@ -61,6 +65,7 @@ def run_figure5(
     pipeline: bool = False,
     sanitize: bool = False,
     telemetry: bool = False,
+    calibration: Optional[TermCalibration] = None,
 ) -> List[Tuple[int, PointResult]]:
     """Execution time vs number of compute nodes (low ``n_e·c_S``)."""
     return [
@@ -68,7 +73,7 @@ def run_figure5(
             n_j,
             run_point(
                 spec, n_s, n_j, machine=machine, pipeline=pipeline,
-                sanitize=sanitize, telemetry=telemetry,
+                sanitize=sanitize, telemetry=telemetry, calibration=calibration,
             ),
         )
         for n_j in n_j_sweep
@@ -84,13 +89,14 @@ def run_figure6(
     pipeline: bool = False,
     sanitize: bool = False,
     telemetry: bool = False,
+    calibration: Optional[TermCalibration] = None,
 ) -> List[PointResult]:
     """Execution time vs T, partitions held fixed (to ~2 B tuples)."""
     points = tuple_count_sweep(base, factors, scale_dim=0)
     return [
         run_point(
             pt.spec, n_s, n_j, machine=machine, pipeline=pipeline,
-            sanitize=sanitize, telemetry=telemetry,
+            sanitize=sanitize, telemetry=telemetry, calibration=calibration,
         )
         for pt in points
     ]
@@ -105,6 +111,7 @@ def run_figure7(
     pipeline: bool = False,
     sanitize: bool = False,
     telemetry: bool = False,
+    calibration: Optional[TermCalibration] = None,
 ) -> List[Tuple[int, PointResult]]:
     """Execution time vs attribute count (4-byte attributes)."""
     return [
@@ -112,7 +119,7 @@ def run_figure7(
             4 + extra,
             run_point(
                 spec, n_s, n_j, machine=machine, extra_attributes=extra,
-                pipeline=pipeline, sanitize=sanitize, telemetry=telemetry,
+                pipeline=pipeline, sanitize=sanitize, telemetry=telemetry, calibration=calibration,
             ),
         )
         for extra in extra_attributes
@@ -128,6 +135,7 @@ def run_figure8(
     pipeline: bool = False,
     sanitize: bool = False,
     telemetry: bool = False,
+    calibration: Optional[TermCalibration] = None,
 ) -> List[Tuple[float, PointResult]]:
     """Execution time vs computing-power factor F."""
     return [
@@ -135,7 +143,7 @@ def run_figure8(
             f,
             run_point(
                 spec, n_s, n_j, machine=machine.with_cpu_factor(f),
-                pipeline=pipeline, sanitize=sanitize, telemetry=telemetry,
+                pipeline=pipeline, sanitize=sanitize, telemetry=telemetry, calibration=calibration,
             ),
         )
         for f in f_sweep
@@ -149,6 +157,7 @@ def run_figure9(
     pipeline: bool = False,
     sanitize: bool = False,
     telemetry: bool = False,
+    calibration: Optional[TermCalibration] = None,
 ) -> List[Tuple[int, PointResult]]:
     """Shared-NFS deployment: execution time vs compute nodes."""
     return [
@@ -156,7 +165,7 @@ def run_figure9(
             n_j,
             run_point(
                 spec, n_s=1, n_j=n_j, shared_nfs=True, machine=machine,
-                pipeline=pipeline, sanitize=sanitize, telemetry=telemetry,
+                pipeline=pipeline, sanitize=sanitize, telemetry=telemetry, calibration=calibration,
             ),
         )
         for n_j in n_j_sweep

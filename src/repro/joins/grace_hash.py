@@ -525,6 +525,9 @@ class GraceHashQES:
             pending_writes.append(write_ev)
             report.bytes_from_storage += nbytes
             report.bytes_scratch_written += nbytes
+            if tel is not None:
+                tel.metrics.counter("op.transfer.bytes").inc(nbytes)
+                tel.metrics.counter("op.partition-write.bytes").inc(nbytes)
             shipped[0] += nbytes
             return
 
@@ -593,6 +596,8 @@ class GraceHashQES:
                 yield cluster.scratch_read(j, lbytes + rbytes)
             pb.scratch_read += cluster.engine.now - t0
             report.bytes_scratch_read += lbytes + rbytes
+            if tel is not None:
+                tel.metrics.counter("op.bucket-read.bytes").inc(lbytes + rbytes)
 
             t0 = cluster.engine.now
             with maybe_span(
@@ -602,6 +607,8 @@ class GraceHashQES:
                 yield node.compute(node.build_time(lrecs))
             pb.cpu_build += cluster.engine.now - t0
             report.kernel.builds += lrecs
+            if tel is not None:
+                tel.metrics.counter("op.hash-build.records").inc(lrecs)
 
             t0 = cluster.engine.now
             with maybe_span(
@@ -611,6 +618,8 @@ class GraceHashQES:
                 yield node.compute(node.lookup_time(rrecs))
             pb.cpu_lookup += cluster.engine.now - t0
             report.kernel.probes += rrecs
+            if tel is not None:
+                tel.metrics.counter("op.probe.records").inc(rrecs)
 
             if tel is not None:
                 tel.metrics.histogram("gh.bucket_seconds").observe(

@@ -409,6 +409,8 @@ class IndexedJoinQES:
                 pb.transfer += dt
                 pb.stall += dt  # the control loop waits out every byte
                 report.bytes_from_storage += desc.size
+                if tel is not None:
+                    tel.metrics.counter("op.transfer.bytes").inc(desc.size)
                 return node
         raise UnrecoverableFault(
             "no surviving replica for chunk", chunk=desc.id, node=last_node
@@ -452,6 +454,10 @@ class IndexedJoinQES:
                     yield node.compute(node.build_time(desc.num_records))
                 pb.cpu_build += cluster.engine.now - t0
                 report.kernel.builds += desc.num_records
+                if tel is not None:
+                    tel.metrics.counter("op.hash-build.records").inc(
+                        desc.num_records
+                    )
             # left entries are charged double: sub-table + its hash table
             # (this is exactly the 2·c_R term of the memory assumption)
             nbytes = desc.size * 2 if is_left else desc.size
@@ -669,6 +675,8 @@ class IndexedJoinQES:
                         tel.recorder.finish(tspan)
                 pb.transfer += cluster.engine.now - t0
                 report.bytes_from_storage += desc.size
+                if tel is not None:
+                    tel.metrics.counter("op.transfer.bytes").inc(desc.size)
                 sources[sid] = node
                 cache.prefetch_complete(
                     sid, self.provider.fetch(desc, node=node)
@@ -741,6 +749,10 @@ class IndexedJoinQES:
                     yield node.compute(node.build_time(desc.num_records))
                 pb.cpu_build += cluster.engine.now - t0
                 report.kernel.builds += desc.num_records
+                if tel is not None:
+                    tel.metrics.counter("op.hash-build.records").inc(
+                        desc.num_records
+                    )
             nbytes = desc.size * 2 if is_left else desc.size
             cached = cache.put(sid, entry, nbytes, pin=True, source=serving)
             return entry, cached
@@ -762,6 +774,8 @@ class IndexedJoinQES:
             yield node.compute(node.lookup_time(nprobe))
         pb.cpu_lookup += cluster.engine.now - t0
         report.kernel.probes += nprobe
+        if tel is not None:
+            tel.metrics.counter("op.probe.records").inc(nprobe)
         if results is not None:
             assert isinstance(left_entry, SubTable) and isinstance(right_entry, SubTable)
             out, ks = hash_join(

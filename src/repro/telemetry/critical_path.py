@@ -75,6 +75,19 @@ class CriticalPath:
             groups.setdefault(seg.term, []).append(seg.duration)
         return {term: math.fsum(groups[term]) for term in sorted(groups)}
 
+    def by_category(self) -> Dict[str, float]:
+        """Path time grouped by span category, name-sorted.
+
+        Finer than :meth:`by_term`: distinguishes ``cpu-build`` from
+        ``cpu-probe`` (both map to the ``Cpu`` term), which is what lets
+        a :class:`~repro.observe.PlanProfile` line observed time up
+        against each model term separately.
+        """
+        groups: Dict[str, List[float]] = {}
+        for seg in self.segments:
+            groups.setdefault(seg.category, []).append(seg.duration)
+        return {cat: math.fsum(groups[cat]) for cat in sorted(groups)}
+
     def top_segments(self, k: int = 5) -> List[Segment]:
         return sorted(
             self.segments, key=lambda s: (-s.duration, s.start, s.span_id)

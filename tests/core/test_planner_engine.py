@@ -123,6 +123,52 @@ class TestPlanner:
         with pytest.raises(ValueError):
             QueryPlanningService(dataset.metadata, 0, 1)
 
+    def test_predicted_time_follows_forced_algorithm(self, dataset):
+        """predicted_time reads the chosen algorithm explicitly — a Plan
+        constructed with a forced (non-minimal) choice reports that
+        algorithm's cost, not min(...)."""
+        from dataclasses import replace
+
+        qps = QueryPlanningService(dataset.metadata, 2, 2, machine=MACHINE)
+        plan = qps.plan(JoinView("V1", "T1", "T2", on=dataset.join_attrs))
+        assert plan.algorithm == "indexed-join"
+        forced = replace(plan, algorithm="grace-hash")
+        assert forced.predicted_time == plan.gh_cost.total
+        assert forced.chosen_cost == plan.gh_cost
+        assert forced.counterfactual_cost == plan.ij_cost
+        assert forced.counterfactual_algorithm == "indexed-join"
+
+    def test_tossup_flagged_in_describe(self, dataset):
+        from dataclasses import replace
+
+        qps = QueryPlanningService(dataset.metadata, 2, 2, machine=MACHINE)
+        plan = qps.plan(JoinView("V1", "T1", "T2", on=dataset.join_attrs))
+        assert not plan.is_tossup
+        assert "toss-up" not in plan.describe()
+        near = replace(
+            plan,
+            gh_cost=replace(
+                plan.ij_cost, transfer=plan.ij_cost.transfer * 1.01
+            ),
+        )
+        assert near.is_tossup
+        assert "toss-up" in near.describe()
+
+    def test_planner_applies_calibration(self, dataset):
+        from repro.core.cost_models import TermCalibration
+
+        cal = TermCalibration(transfer=2.0)
+        plain = QueryPlanningService(dataset.metadata, 2, 2, machine=MACHINE)
+        calibrated = QueryPlanningService(
+            dataset.metadata, 2, 2, machine=MACHINE, calibration=cal
+        )
+        view = JoinView("V1", "T1", "T2", on=dataset.join_attrs)
+        p0 = plain.plan(view)
+        p1 = calibrated.plan(view)
+        assert p1.params.calibration == cal
+        assert p1.ij_cost.transfer == pytest.approx(2 * p0.ij_cost.transfer)
+        assert p1.ij_cost.cpu == pytest.approx(p0.ij_cost.cpu)
+
 
 class TestDerivedDataSource:
     def test_execute_auto_matches_oracle(self, dataset):

@@ -91,3 +91,74 @@ class TestCalibration:
             calibrate_host_machine(tuples=0)
         with pytest.raises(ValueError):
             calibrate_host_machine(repeats=0)
+
+
+class TestTermCalibrationRoundTrip:
+    """Fit per-term constants on a sweep, re-plan with them, and check the
+    drift on every fitted cost term shrinks (to ~1.0 on the pooled fit)."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        from repro.observe import profile_execution
+
+        points = [
+            run_point(SMALL, n_s=2, n_j=2, telemetry=True),
+            run_point(SMALL, n_s=2, n_j=4, telemetry=True),
+            run_point(SMALL, n_s=1, n_j=2, shared_nfs=True, telemetry=True),
+        ]
+        records = []
+        for res in points:
+            for report in (res.ij_report, res.gh_report):
+                records.extend(
+                    profile_execution(res.params, report).drift_records()
+                )
+        return points, records
+
+    @staticmethod
+    def _pooled_deviation(records, calibration):
+        """Per-calibration-field |pooled ratio − 1| over ``records``."""
+        from repro.observe import CALIBRATION_FIELD_OF_TERM, summarize_drift
+
+        deviation = {}
+        for s in summarize_drift(records, calibration=calibration):
+            field = CALIBRATION_FIELD_OF_TERM[s.term]
+            pred = deviation.setdefault(field, [0.0, 0.0])
+            pred[0] += s.calibrated_predicted_s
+            pred[1] += s.observed_s
+        return {
+            field: abs(obs / pred - 1.0)
+            for field, (pred, obs) in sorted(deviation.items())
+        }
+
+    def test_drift_shrinks_on_every_cost_term(self, sweep):
+        from repro.core.cost_models import IDENTITY_CALIBRATION
+        from repro.experiments.calibration import fit_term_calibration
+
+        _, records = sweep
+        calibration = fit_term_calibration(records)
+        before = self._pooled_deviation(records, IDENTITY_CALIBRATION)
+        after = self._pooled_deviation(records, calibration)
+        assert set(after) == {
+            "transfer", "write", "read", "cpu_build", "cpu_lookup",
+        }
+        for field in after:
+            assert after[field] <= before[field] + 1e-12
+            # the pooled fit nulls the pooled drift exactly
+            assert after[field] == pytest.approx(0.0, abs=1e-9)
+
+    def test_replanned_sweep_uses_calibrated_predictions(self, sweep):
+        from repro.core.cost_models import grace_hash_cost
+        from repro.experiments.calibration import fit_term_calibration
+
+        points, records = sweep
+        calibration = fit_term_calibration(records)
+        assert not calibration.is_identity
+        replanned = run_point(
+            SMALL, n_s=2, n_j=2, calibration=calibration
+        )
+        assert replanned.params.calibration == calibration
+        assert replanned.gh_pred == pytest.approx(
+            grace_hash_cost(points[0].params.with_calibration(calibration)).total
+        )
+        # the simulation itself must not see the calibration
+        assert replanned.gh_sim == points[0].gh_sim

@@ -1,0 +1,151 @@
+"""Plan profiles: operator rows, telescoping, regret, drift lowering."""
+
+import math
+
+import pytest
+
+from repro.core.cost_models import grace_hash_cost, indexed_join_cost
+from repro.experiments.runner import run_point
+from repro.observe import (
+    COORDINATION,
+    PlanProfile,
+    planned_operators,
+    profile_execution,
+)
+from repro.workloads.generator import GridSpec
+
+SMALL = GridSpec((16, 16, 16), (4, 4, 4), (4, 4, 4))
+
+
+@pytest.fixture(scope="module")
+def point():
+    return run_point(SMALL, n_s=2, n_j=2, telemetry=True)
+
+
+@pytest.fixture(scope="module")
+def profiles(point):
+    return {
+        "ij": profile_execution(point.params, point.ij_report),
+        "gh": profile_execution(point.params, point.gh_report),
+    }
+
+
+class TestPlannedOperators:
+    def test_ij_rows_sum_to_model_total(self, point):
+        ops = planned_operators("indexed-join", point.params)
+        assert [op.name for op in ops] == ["transfer", "hash-build", "probe"]
+        total = indexed_join_cost(point.params).total
+        assert math.fsum(op.predicted_s for op in ops) == pytest.approx(total)
+
+    def test_gh_rows_sum_to_model_total(self, point):
+        ops = planned_operators("grace-hash", point.params)
+        assert [op.name for op in ops] == [
+            "transfer", "partition-write", "bucket-read", "hash-build",
+            "probe",
+        ]
+        total = grace_hash_cost(point.params).total
+        assert math.fsum(op.predicted_s for op in ops) == pytest.approx(total)
+
+    def test_unknown_algorithm_rejected(self, point):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            planned_operators("sort-merge", point.params)
+
+
+class TestProfileExecution:
+    def test_needs_critical_path(self, point):
+        untraced = run_point(SMALL, n_s=2, n_j=2)
+        with pytest.raises(ValueError, match="telemetry-enabled"):
+            profile_execution(untraced.params, untraced.ij_report)
+
+    def test_every_operator_row_has_predicted_and_observed(self, profiles):
+        for prof in profiles.values():
+            assert len(prof.operators) >= 4
+            for op in prof.operators:
+                assert op.observed_s >= 0
+                if op.name != COORDINATION:
+                    assert op.predicted_s > 0
+                    assert op.drift_ratio is not None
+
+    def test_observed_telescopes_to_makespan(self, point, profiles):
+        """The acceptance criterion: operator observed times sum exactly
+        (fsum over telescoping critical-path segments) to the makespan."""
+        for key, report in (("ij", point.ij_report), ("gh", point.gh_report)):
+            prof = profiles[key]
+            assert prof.observed_total_s == report.total_time
+            assert prof.attributed_s == pytest.approx(
+                report.total_time, rel=1e-12
+            )
+
+    def test_observed_units_match_report_counters(self, point, profiles):
+        ij = profiles["ij"]
+        by_name = {op.name: op for op in ij.operators}
+        assert by_name["transfer"].observed_units == (
+            point.ij_report.bytes_from_storage
+        )
+        assert by_name["hash-build"].observed_units == (
+            point.ij_report.kernel.builds
+        )
+        assert by_name["probe"].observed_units == point.ij_report.kernel.probes
+        gh = {op.name: op for op in profiles["gh"].operators}
+        assert gh["partition-write"].observed_units == (
+            point.gh_report.bytes_scratch_written
+        )
+        assert gh["bucket-read"].observed_units == (
+            point.gh_report.bytes_scratch_read
+        )
+
+    def test_counterfactual_and_regret(self, point, profiles):
+        ij, gh = profiles["ij"], profiles["gh"]
+        assert ij.counterfactual_algorithm == "grace-hash"
+        assert gh.counterfactual_algorithm == "indexed-join"
+        assert ij.counterfactual_predicted_s == pytest.approx(
+            grace_hash_cost(point.params).total
+        )
+        # IJ wins here, so running it shows negative regret vs GH's model.
+        assert ij.regret_s < 0
+        assert gh.regret_s > 0
+
+    def test_fingerprints_differ_by_algorithm_mode_only(self, profiles):
+        # same config, same mode -> same fingerprint for both algorithms
+        assert profiles["ij"].fingerprint == profiles["gh"].fingerprint
+
+    def test_pipelined_profile_uses_pipelined_model(self):
+        res = run_point(SMALL, n_s=2, n_j=2, pipeline=True, telemetry=True)
+        prof = profile_execution(
+            res.params, res.ij_report, pipelined=res.pipelined
+        )
+        assert prof.pipelined
+        assert prof.predicted_total_s == pytest.approx(
+            indexed_join_cost(res.params, pipelined=True).total
+        )
+        # pipelined flag never leaks into the GH profile
+        gh = profile_execution(
+            res.params, res.gh_report, pipelined=res.pipelined
+        )
+        assert not gh.pipelined
+
+    def test_drift_records_cover_modelled_operators(self, profiles):
+        recs = profiles["gh"].drift_records()
+        assert sorted(r.term for r in recs) == [
+            "bucket-read", "hash-build", "partition-write", "probe",
+            "transfer",
+        ]
+        assert all(r.algorithm == "grace-hash" for r in recs)
+        assert all(r.predicted_s > 0 for r in recs)
+        # coordination has no model term, so it never reaches the store
+        assert COORDINATION not in {r.term for r in recs}
+
+    def test_render_is_deterministic_and_complete(self, profiles):
+        text = profiles["ij"].render()
+        assert text == profiles["ij"].render()
+        for op in profiles["ij"].operators:
+            assert op.name in text
+        assert "makespan" in text
+        assert "regret" in text
+
+    def test_round_trips_to_dict(self, profiles):
+        d = profiles["ij"].to_dict()
+        assert d["algorithm"] == "indexed-join"
+        assert d["attributed_s"] == profiles["ij"].attributed_s
+        assert len(d["operators"]) == len(profiles["ij"].operators)
+        assert isinstance(profiles["ij"], PlanProfile)

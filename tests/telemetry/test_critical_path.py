@@ -65,6 +65,20 @@ class TestWalk:
         assert "slow" in names and "fast" not in names
         assert cp.by_term() == {"Other": 1.0, "Transfer": 9.0}
 
+    def test_by_category_splits_cpu_terms(self):
+        rec = SpanRecorder()
+        root = closed(rec, "query", 0.0, 10.0, category="query")
+        closed(rec, "build", 0.0, 4.0, category="cpu-build", parent=root)
+        closed(rec, "probe", 4.0, 9.0, category="cpu-probe", parent=root)
+        cp = compute_critical_path(rec, root)
+        # by_term merges both into Cpu; by_category keeps them apart so
+        # plan profiles can line each up against its own model term
+        assert cp.by_term() == {"Cpu": 9.0, "Other": 1.0}
+        assert cp.by_category() == {
+            "cpu-build": 4.0, "cpu-probe": 5.0, "query": 1.0,
+        }
+        assert list(cp.by_category()) == sorted(cp.by_category())
+
     def test_zero_duration_segments_dropped(self):
         rec = SpanRecorder()
         root = closed(rec, "query", 0.0, 5.0, category="query")
