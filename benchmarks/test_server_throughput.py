@@ -1,0 +1,121 @@
+"""Benchmark: multi-tenant serving throughput over the shared cache.
+
+Runs the same seeded two-tenant arrival stream through the
+:class:`~repro.server.server.QueryServer` under each admission policy
+(FIFO, shortest-predicted-first, per-tenant fair share) and against the
+single-query-era baseline — every query standalone on cold caches.
+
+Claims checked:
+
+* every policy answers every query identically (admission order changes
+  *when* a query runs, never what it answers);
+* the shared cache strictly beats the serial cold-cache hit rate — the
+  reason the server exists;
+* everything is deterministic, so the per-policy makespans land in
+  ``results/BENCH_server.json`` for the regression tracker.
+"""
+
+from benchmarks.harness import fmt, record_json, record_table
+from repro.server import QueryServer, run_serial_baseline
+from repro.workloads import TenantSpec, generate_workload
+from repro.workloads.generator import GridSpec
+from repro.workloads.oilres import build_oil_reservoir_dataset
+
+SPEC = GridSpec(g=(64, 64, 64), p=(16, 16, 16), q=(16, 16, 16))
+N_S = N_J = 4
+SLOTS = 2
+SEED = 2006
+POLICIES = ("fifo", "spf", "fair")
+TENANTS = (
+    TenantSpec(
+        name="interactive", rate=20.0, num_queries=10,
+        mix=(("scan", 2.0), ("join", 1.0)),
+    ),
+    TenantSpec(
+        name="batch", rate=5.0, num_queries=6, process="bursty",
+        mix=(("aggregate", 2.0), ("join", 1.0)),
+    ),
+)
+
+
+def run_bench():
+    arrivals = generate_workload(TENANTS, seed=SEED)
+    reports = {}
+    for policy in POLICIES:
+        ds = build_oil_reservoir_dataset(SPEC, num_storage=N_S, functional=False)
+        reports[policy] = QueryServer(
+            ds, num_compute=N_J, policy=policy, slots=SLOTS
+        ).serve(arrivals)
+    ds = build_oil_reservoir_dataset(SPEC, num_storage=N_S, functional=False)
+    serial = run_serial_baseline(ds, arrivals, num_compute=N_J)
+    return reports, serial
+
+
+def test_server_throughput(benchmark):
+    reports, serial = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+
+    rows = []
+    for policy in POLICIES:
+        rep = reports[policy]
+        worst_p99 = max(s["p99"] for s in rep.tenant_latency.values())
+        rows.append(
+            [
+                policy,
+                fmt(rep.makespan, 3),
+                fmt(worst_p99, 3),
+                f"{rep.cache_hit_rate:.1%}",
+                f"{rep.bytes_from_storage:,}",
+            ]
+        )
+    rows.append(
+        [
+            "serial/cold",
+            fmt(serial.total_exec_time, 3),
+            "-",
+            f"{serial.cache_hit_rate:.1%}",
+            f"{serial.bytes_from_storage:,}",
+        ]
+    )
+    record_table(
+        "server_throughput",
+        f"Multi-tenant serving — {len(generate_workload(TENANTS, seed=SEED))} "
+        f"queries, {SLOTS} slots, {N_J} compute nodes (dataset {SPEC.g})",
+        ["policy", "makespan (s)", "worst p99 (s)", "cache hits", "bytes fetched"],
+        rows,
+        notes=[
+            "serial/cold runs each query standalone on cold caches; its",
+            "'makespan' is the sum of standalone execution times.",
+        ],
+    )
+
+    payload = {
+        policy: {
+            "makespan_s": rep.makespan,
+            "cache_hit_rate": rep.cache_hit_rate,
+            "bytes_from_storage": rep.bytes_from_storage,
+            "admission_order": list(rep.admission_order),
+            "tenant_latency": rep.tenant_latency,
+            "digest": rep.digest(),
+        }
+        for policy, rep in reports.items()
+    }
+    payload["serial_cold"] = {
+        "makespan_s": serial.total_exec_time,
+        "cache_hit_rate": serial.cache_hit_rate,
+        "bytes_from_storage": serial.bytes_from_storage,
+    }
+    record_json("server", payload)
+
+    # admission policy moves queries in time, never changes answers
+    answers = {
+        policy: {(r.qid, r.pairs_joined, r.result_records) for r in rep.records}
+        for policy, rep in reports.items()
+    }
+    assert answers["spf"] == answers["fifo"]
+    assert answers["fair"] == answers["fifo"]
+
+    # the shared cache strictly beats the single-query era on both
+    # hit rate and bytes pulled from storage
+    for policy, rep in reports.items():
+        assert rep.cache_hit_rate > serial.cache_hit_rate, policy
+        assert rep.bytes_from_storage < serial.bytes_from_storage, policy

@@ -9,7 +9,9 @@ while a join runs:
 * **cache accounting** — after every mutating cache operation, resident
   bytes equal the sum of entry sizes and never exceed capacity, staged
   bytes equal the sum of reservations and never exceed the prefetch
-  budget, and no pin count is negative;
+  budget, and no pin count is negative; at end of run no entry may still
+  be pinned (``pinned_bytes == 0`` at quiesce — leaked pins would
+  permanently shrink a shared cache);
 * **byte conservation** — every byte the report claims was pulled from
   storage corresponds to a transfer that actually succeeded on the
   simulated fabric (wrapping ``read_and_send``/``stream_batch``), with
@@ -170,6 +172,17 @@ class RunSanitizer:
             )
         for name, cache in self._caches:
             self._check_cache(cache, name, "final")
+            pinned = cache.pinned_bytes
+            if pinned:
+                held = sorted(
+                    (k for k, e in cache._entries.items() if e.pins > 0),
+                    key=repr,
+                )
+                self._fail(
+                    f"cache {name or '?'} still holds {pinned} pinned bytes "
+                    f"at quiesce (leaked pins on {held!r}); every pin must "
+                    "be released by end of run"
+                )
         self._check_conservation(report)
         tel = getattr(engine, "telemetry", None)
         if tel is not None:

@@ -25,6 +25,14 @@ Commands
     term) observed/predicted ratios, flagging terms beyond a threshold;
     ``--calibrated`` fits per-term corrections and shows the ratios a
     re-planned (calibrated) model would achieve.
+``serve``
+    Run the multi-tenant query server: a seeded arrival stream (JSON
+    tenant-mix spec or a built-in default) planned per query, admitted
+    through a bounded slot pool (``--policy fifo|spf|fair``) and executed
+    concurrently over per-compute-node shared caches.  ``--baseline``
+    adds the serial cold-cache comparison; ``--sanitize`` re-serves with
+    the engine tie-break reversed and demands an identical semantic
+    digest.
 ``sweep``
     Regenerate one of the paper's figure sweeps at a chosen scale
     (``ne-cs``, ``compute-nodes``, ``tuples``, ``attributes``, ``cpu``,
@@ -346,6 +354,123 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+_DEFAULT_TENANTS = (
+    {"name": "interactive", "rate": 2.0, "num_queries": 8,
+     "mix": {"scan": 2.0, "join": 1.0}},
+    {"name": "batch", "rate": 0.5, "num_queries": 4, "process": "bursty",
+     "mix": {"aggregate": 2.0, "join": 1.0}},
+)
+
+
+def _load_tenants(path: Optional[str]):
+    """Tenant specs from a JSON file, or the built-in two-tenant mix.
+
+    The file holds either a list of tenant objects or ``{"tenants":
+    [...]}``; each object is a :meth:`TenantSpec.from_dict` mapping.
+    """
+    from repro.workloads.arrivals import TenantSpec
+
+    if path is None:
+        data = list(_DEFAULT_TENANTS)
+    else:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+        if isinstance(data, dict):
+            data = data["tenants"]
+    if not isinstance(data, list) or not data:
+        raise ValueError(f"tenant spec {path!r} holds no tenants")
+    return [TenantSpec.from_dict(d) for d in data]
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import QueryServer, run_serial_baseline
+    from repro.workloads.arrivals import generate_workload
+    from repro.workloads.oilres import build_oil_reservoir_dataset
+
+    spec = _spec(args)
+    machine = _machine(args)
+    calibration = _drift_calibration(args)
+    tenants = _load_tenants(args.tenants)
+    arrivals = generate_workload(tenants, seed=args.seed)
+
+    def build_server(tie_break: str) -> QueryServer:
+        dataset = build_oil_reservoir_dataset(
+            spec, num_storage=args.storage, functional=args.functional,
+            seed=args.seed,
+        )
+        return QueryServer(
+            dataset,
+            num_compute=args.compute,
+            machine=machine,
+            policy=args.policy,
+            slots=args.slots,
+            cache_policy=args.cache_policy,
+            calibration=calibration,
+            sanitize=args.sanitize,
+            tie_break=tie_break,
+        )
+
+    report = build_server("fifo").serve(arrivals)
+    if args.sanitize:
+        # shadow serve with the engine's same-instant tie-break reversed:
+        # the semantic outcome (admission order, per-query answers) must
+        # not depend on how simultaneous events happened to be ordered
+        shadow = build_server("reversed").serve(arrivals)
+        if shadow.digest() != report.digest():
+            raise SanitizerViolation(
+                "server outcome depends on same-instant event order "
+                f"(digest {report.digest()[:12]} vs {shadow.digest()[:12]} "
+                "under reversed tie-break)"
+            )
+
+    print(spec.describe())
+    print(f"policy: {report.policy}   slots: {report.slots}   "
+          f"queries: {len(report.records)}   makespan: {report.makespan:.3f}s")
+    print(f"shared cache: {report.cache_hits:,} hits / "
+          f"{report.cache_misses:,} misses "
+          f"(hit rate {report.cache_hit_rate:.1%}); "
+          f"{report.bytes_from_storage:,} B from storage")
+    rows = [
+        [
+            tenant,
+            int(stats["count"]),
+            f"{stats['mean']:.3f}",
+            f"{stats['p50']:.3f}",
+            f"{stats['p99']:.3f}",
+            f"{report.tenant_queue_wait[tenant]['max']:.3f}",
+        ]
+        for tenant, stats in report.tenant_latency.items()
+    ]
+    print(_table(
+        ["tenant", "queries", "mean (s)", "p50 (s)", "p99 (s)", "max wait (s)"],
+        rows,
+    ))
+    if args.baseline:
+        dataset = build_oil_reservoir_dataset(
+            spec, num_storage=args.storage, functional=args.functional,
+            seed=args.seed,
+        )
+        base = run_serial_baseline(
+            dataset, arrivals, num_compute=args.compute, machine=machine,
+            cache_policy=args.cache_policy, calibration=calibration,
+        )
+        print(f"serial cold-cache baseline: hit rate "
+              f"{base.cache_hit_rate:.1%} "
+              f"({base.cache_hits:,}/{base.cache_hits + base.cache_misses:,}), "
+              f"{base.bytes_from_storage:,} B from storage, "
+              f"{base.total_exec_time:.3f}s summed execution")
+    print(f"digest: {report.digest()}")
+    if args.sanitize:
+        print("sanitizer: invariant hooks and reversed-tie-break shadow "
+              "serve passed")
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(report.to_payload(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report json: {args.json_out}")
+    return 0
+
+
 def _cmd_drift(args: argparse.Namespace) -> int:
     store = DriftStore(args.store)
     records = store.load()
@@ -540,6 +665,56 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the --analyze profiles as sorted-key "
                             "JSON to FILE")
     p_run.set_defaults(fn=_cmd_run)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve a seeded multi-tenant query stream concurrently on "
+             "one shared cluster",
+    )
+    _add_spec_args(p_serve)
+    p_serve.add_argument("--storage", type=int, default=5,
+                         help="storage nodes (default 5)")
+    p_serve.add_argument("--compute", type=int, default=5,
+                         help="compute nodes (default 5)")
+    p_serve.add_argument("--cpu-factor", type=float, default=1.0,
+                         help="computing-power factor F (default 1.0)")
+    p_serve.add_argument("--calibrated", nargs="?", const="host", default=None,
+                         choices=["host", "drift"],
+                         help="plan queries with calibrated constants "
+                              "(see `repro plan --help`)")
+    p_serve.add_argument("--drift-store", type=str, default=None, metavar="FILE",
+                         help="drift-record store for --calibrated drift")
+    p_serve.add_argument("--seed", type=int, default=0,
+                         help="workload seed (default 0); the whole served "
+                              "stream is a pure function of (tenants, seed)")
+    p_serve.add_argument("--tenants", type=str, default=None, metavar="FILE",
+                         help="JSON tenant-mix spec (list of tenant objects "
+                              "or {'tenants': [...]}); default: a built-in "
+                              "interactive + bursty-batch pair")
+    p_serve.add_argument("--policy", choices=["fifo", "spf", "fair"],
+                         default="fifo",
+                         help="admission policy (default fifo)")
+    p_serve.add_argument("--slots", type=int, default=2,
+                         help="concurrent execution slots (default 2)")
+    p_serve.add_argument("--cache-policy", type=str, default="lru",
+                         help="shared-cache eviction policy (default lru; "
+                              "belady is rejected — it needs one query's "
+                              "future, which a shared cache does not have)")
+    p_serve.add_argument("--functional", action="store_true",
+                         help="execute record-level (real answers) instead "
+                              "of model-only")
+    p_serve.add_argument("--baseline", action="store_true",
+                         help="also run every query standalone on cold "
+                              "caches and report the hit-rate gap")
+    p_serve.add_argument("--sanitize", action="store_true",
+                         help="run under the simulation sanitizer and "
+                              "re-serve with the engine's same-instant "
+                              "tie-break reversed; a semantic digest "
+                              "mismatch exits 4")
+    p_serve.add_argument("--json-out", type=str, default=None, metavar="FILE",
+                         help="write the full deterministic report payload "
+                              "as sorted-key JSON")
+    p_serve.set_defaults(fn=_cmd_serve)
 
     p_sweep = sub.add_parser("sweep", help="regenerate one of the paper's sweeps")
     p_sweep.add_argument(

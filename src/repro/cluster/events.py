@@ -485,7 +485,16 @@ class SimEngine:
         injection able to strand processes, "who is waiting on what" is
         the first question a deadlock report must answer.
         """
-        proc = self.process(gen, name=name)
+        return self.drive(self.process(gen, name=name))
+
+    def drive(self, proc: Process) -> Any:
+        """Drain the queue until ``proc`` (already spawned) completes.
+
+        The split from :meth:`run_process` exists for callers that spawn a
+        process early — e.g. a query server admitting an execution whose
+        driver was started by ``begin()`` — and only later hand the engine
+        the reins.  Deadlock diagnostics are identical.
+        """
         self.run()
         if not proc.triggered:
             lines = [

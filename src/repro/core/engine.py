@@ -28,7 +28,7 @@ from repro.metadata.service import MetaDataService
 from repro.query.aggregate import aggregate
 from repro.services.bds import SubTableProvider
 
-__all__ = ["DerivedDataSource", "QueryResult", "bbox_mask"]
+__all__ = ["DerivedDataSource", "QueryResult", "assemble_result", "bbox_mask"]
 
 
 def bbox_mask(sub: SubTable, box: BoundingBox) -> np.ndarray:
@@ -157,69 +157,88 @@ class DerivedDataSource:
     # -- result assembly -----------------------------------------------------------------
 
     def _assemble(self, report: ExecutionReport, plan: Plan) -> Optional[SubTable]:
-        if report.results is None:
-            return None
-        where = self.join_view.where
+        return assemble_result(
+            report, self.view, self.metadata, aggregate_mode=self.aggregate_mode
+        )
 
-        def filtered(table: SubTable) -> SubTable:
-            # record-level range selection (QES prune only at chunk level)
-            if where is not None and len(where):
-                return table.select(bbox_mask(table, where))
-            return table
 
-        if (
-            isinstance(self.view, AggregationView)
-            and self.aggregate_mode == "distributed"
-        ):
-            distributed = self._distributed_aggregate(report, filtered)
-            if distributed is not None:
-                return distributed
+def assemble_result(
+    report: ExecutionReport,
+    view: JoinView | AggregationView,
+    metadata: MetaDataService,
+    aggregate_mode: str = "central",
+) -> Optional[SubTable]:
+    """Turn a join QES report into the view's record-level answer.
 
-        parts = [sub for per in report.results for sub in per]
-        if not parts:
-            left = self.metadata.table(self.join_view.left).schema
-            right = self.metadata.table(self.join_view.right).schema
-            schema = left.join(right, on=self.join_view.on)
-            table = SubTable(
-                SubTableId(-1, 0),
-                schema,
-                {a.name: np.empty(0, dtype=a.np_dtype) for a in schema},
-            )
-        else:
-            table = concat_subtables(parts, id=SubTableId(-1, 0))
-        table = filtered(table)
-        if isinstance(self.view, AggregationView):
-            table = aggregate(table, self.view.aggregates, self.view.group_by)
+    Applies the record-level range selection (the QES prunes only at
+    chunk level), concatenates per-joiner outputs (empty-schema fallback
+    when nothing matched) and runs the aggregation stage for
+    :class:`AggregationView`.  A free function so any executor that
+    produced an :class:`ExecutionReport` — the :class:`DerivedDataSource`
+    or the query server running many views on one cluster — shares one
+    assembly semantics.  Returns ``None`` for model-only runs.
+    """
+    if report.results is None:
+        return None
+    join_view: JoinView = view.source if isinstance(view, AggregationView) else view
+    where = join_view.where
+
+    def filtered(table: SubTable) -> SubTable:
+        # record-level range selection (QES prune only at chunk level)
+        if where is not None and len(where):
+            return table.select(bbox_mask(table, where))
         return table
 
-    def _distributed_aggregate(self, report: ExecutionReport, filtered):
-        """Per-joiner partial aggregation plus a central merge.
+    if isinstance(view, AggregationView) and aggregate_mode == "distributed":
+        distributed = _distributed_aggregate(report, view, filtered)
+        if distributed is not None:
+            return distributed
 
-        Each joiner reduces its own join output to partial-state rows, so
-        only those (typically tiny) partials travel to the coordinator —
-        the classic two-phase aggregation the paper's future-work section
-        points at.  Returns ``None`` when no joiner produced records (the
-        caller's central path then defines the empty-input semantics).
-        ``report.extras`` records the byte reduction.
-        """
-        from repro.query.partial import merge_partials, partial_aggregate
+    parts = [sub for per in report.results for sub in per]
+    if not parts:
+        left = metadata.table(join_view.left).schema
+        right = metadata.table(join_view.right).schema
+        schema = left.join(right, on=join_view.on)
+        table = SubTable(
+            SubTableId(-1, 0),
+            schema,
+            {a.name: np.empty(0, dtype=a.np_dtype) for a in schema},
+        )
+    else:
+        table = concat_subtables(parts, id=SubTableId(-1, 0))
+    table = filtered(table)
+    if isinstance(view, AggregationView):
+        table = aggregate(table, view.aggregates, view.group_by)
+    return table
 
-        assert isinstance(self.view, AggregationView)
-        partials = []
-        raw_bytes = 0
-        for per in report.results or []:
-            if not per:
-                continue
-            table = filtered(concat_subtables(per, id=SubTableId(-1, 0)))
-            if table.num_records == 0:
-                continue
-            raw_bytes += table.nbytes
-            partials.append(
-                partial_aggregate(table, self.view.aggregates, self.view.group_by)
-            )
-        if not partials:
-            return None
-        merged = merge_partials(partials, self.view.aggregates, self.view.group_by)
-        report.extras["agg_raw_result_bytes"] = float(raw_bytes)
-        report.extras["agg_partial_bytes"] = float(sum(p.nbytes for p in partials))
-        return merged
+
+def _distributed_aggregate(report: ExecutionReport, view: AggregationView, filtered):
+    """Per-joiner partial aggregation plus a central merge.
+
+    Each joiner reduces its own join output to partial-state rows, so
+    only those (typically tiny) partials travel to the coordinator —
+    the classic two-phase aggregation the paper's future-work section
+    points at.  Returns ``None`` when no joiner produced records (the
+    caller's central path then defines the empty-input semantics).
+    ``report.extras`` records the byte reduction.
+    """
+    from repro.query.partial import merge_partials, partial_aggregate
+
+    partials = []
+    raw_bytes = 0
+    for per in report.results or []:
+        if not per:
+            continue
+        table = filtered(concat_subtables(per, id=SubTableId(-1, 0)))
+        if table.num_records == 0:
+            continue
+        raw_bytes += table.nbytes
+        partials.append(
+            partial_aggregate(table, view.aggregates, view.group_by)
+        )
+    if not partials:
+        return None
+    merged = merge_partials(partials, view.aggregates, view.group_by)
+    report.extras["agg_raw_result_bytes"] = float(raw_bytes)
+    report.extras["agg_partial_bytes"] = float(sum(p.nbytes for p in partials))
+    return merged

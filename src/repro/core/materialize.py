@@ -85,8 +85,10 @@ def materialize_table(
         partitions.append(
             TablePartition(columns={a.name: piece.column(a.name) for a in schema})
         )
-    if not partitions:
-        # an empty view still materialises (zero chunks) and registers
-        return metadata.register_table(table_id, name, schema)
+    # one registration path regardless of cardinality: an empty view writes
+    # zero chunks but still registers through the writer result, so its
+    # catalog carries the same metadata (the generated extractor's schema)
+    # as any non-empty materialisation and range/join queries treat it
+    # exactly like a base table
     written = writer.write_table(table_id, extractor, partitions)
     return metadata.register_written_table(name, written)

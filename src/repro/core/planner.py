@@ -25,10 +25,11 @@ from repro.core.cost_models import (
     models_are_tossup,
 )
 from repro.core.view import JoinView
+from repro.datamodel.bounding_box import BoundingBox
 from repro.joins.join_index import PageJoinIndex, build_join_index
 from repro.metadata.service import MetaDataService
 
-__all__ = ["Plan", "QueryPlanningService"]
+__all__ = ["Plan", "ScanPlan", "QueryPlanningService"]
 
 
 @dataclass(frozen=True)
@@ -99,6 +100,28 @@ class Plan:
                 f"sensitive to cost-model drift"
             )
         return text
+
+
+@dataclass(frozen=True)
+class ScanPlan:
+    """Outcome of planning one range scan.
+
+    No QES choice to make — a scan is chunk pruning plus transfers — but
+    an admission controller ordering mixed workloads by
+    ``Plan.predicted_time`` needs the same property on every query kind,
+    so scans get a plan object with a transfer-model estimate too.
+    """
+
+    table: str
+    where: Optional[BoundingBox]
+    num_chunks: int
+    nbytes: int
+    #: modelled transfer seconds (bandwidth + per-chunk latency)
+    transfer: float
+
+    @property
+    def predicted_time(self) -> float:
+        return self.transfer
 
 
 class QueryPlanningService:
@@ -189,6 +212,29 @@ class QueryPlanningService:
             calibration=self.calibration,
         )
         return params, index
+
+    def plan_scan(
+        self, table: int | str, where: Optional[BoundingBox] = None
+    ) -> ScanPlan:
+        """Plan a range scan: chunk pruning via the R-tree, then the
+        transfer model for moving the surviving chunks to one compute
+        node (disk→link pipeline bounded by the slower stage, plus
+        per-chunk latency)."""
+        catalog = self.metadata.table(table)
+        if where is not None and len(where):
+            chunks = catalog.find_chunks(where)
+        else:
+            chunks = catalog.all_chunks()
+        nbytes = sum(c.size for c in chunks)
+        bw = min(self.machine.disk_read_bw, self.machine.link_bw)
+        latency = self.machine.disk_latency + self.machine.net_latency
+        return ScanPlan(
+            table=catalog.name,
+            where=where,
+            num_chunks=len(chunks),
+            nbytes=nbytes,
+            transfer=nbytes / bw + latency * len(chunks),
+        )
 
     def plan(self, view: JoinView, pipeline: bool = False) -> Plan:
         """Evaluate both cost models and choose the QES.

@@ -50,7 +50,7 @@ from repro.metadata.service import MetaDataService
 from repro.services.bds import SubTableProvider
 from repro.telemetry.spans import maybe_span
 
-__all__ = ["GraceHashQES", "hash_records"]
+__all__ = ["GraceHashQES", "GraceHashRun", "hash_records"]
 
 _MIX1 = np.uint64(0x9E3779B97F4A7C15)
 _MIX2 = np.uint64(0xFF51AFD7ED558CCD)
@@ -101,6 +101,7 @@ class GraceHashQES:
         kernel: str = "vectorized",
         range_constraint: Optional["BoundingBox"] = None,
         sanitizer=None,
+        critical_path: bool = True,
     ):
         self.cluster = cluster
         self.metadata = metadata
@@ -112,6 +113,10 @@ class GraceHashQES:
         self.range_constraint = range_constraint
         #: optional RunSanitizer installing invariant hooks (``--sanitize``)
         self.sanitizer = sanitizer
+        #: compute the telemetry critical path at finish; the query server
+        #: disables this for its per-query executions (one global recorder
+        #: spans many interleaved queries, so a per-query path is undefined)
+        self.critical_path = critical_path
         self.num_buckets = (
             num_buckets if num_buckets is not None else self._choose_num_buckets()
         )
@@ -131,6 +136,21 @@ class GraceHashQES:
     # -- execution -----------------------------------------------------------------
 
     def run(self) -> ExecutionReport:
+        """Execute to completion on this QES's engine (single-query mode)."""
+        handle = self.begin()
+        self.cluster.engine.drive(handle.process)
+        return handle.finish()
+
+    def begin(self, name: str = "gh-driver") -> "GraceHashRun":
+        """Start the execution without draining the engine.
+
+        Spawns the supervising driver (barrier + restart rounds + bucket
+        joins) as an ordinary simulated process and returns a
+        :class:`GraceHashRun` handle, mirroring
+        :meth:`IndexedJoinQES.begin` so the query server can interleave
+        either QES on a shared engine.  :meth:`run` is exactly ``begin``
+        + drain + ``finish``.
+        """
         cluster = self.cluster
         n_j = cluster.num_compute
         n_b = self.num_buckets
@@ -296,18 +316,8 @@ class GraceHashQES:
         results: Optional[List[List[SubTable]]] = (
             [[] for _ in range(n_j)] if functional else None
         )
-        cluster.engine.run_process(barrier_then_join(), name="gh-driver")
-        report.results = results
-        report.pairs_joined = n_j * n_b
-        if tel is not None:
-            from repro.telemetry.critical_path import compute_critical_path
-
-            tel.recorder.finish(qspan, at=report.total_time)
-            report.critical_path = compute_critical_path(tel.recorder, qspan)
-            report.telemetry = tel
-        if self.sanitizer is not None:
-            self.sanitizer.after_run(cluster.engine, report)
-        return report
+        process = cluster.engine.process(barrier_then_join(), name=name)
+        return GraceHashRun(self, process, report, results, tel, qspan)
 
     # -- phase 1: storage-side streaming ----------------------------------------------
 
@@ -643,3 +653,46 @@ class GraceHashQES:
                 report.kernel.matches += ks.matches
                 if out.num_records:
                     results[j].append(out)
+
+
+class GraceHashRun:
+    """Handle for one in-flight Grace Hash execution.
+
+    Returned by :meth:`GraceHashQES.begin`; ``process`` is the supervising
+    driver (an event other processes can wait on) and :meth:`finish`
+    assembles the :class:`ExecutionReport` once the driver has completed.
+    """
+
+    def __init__(self, qes, process, report, results, tel, qspan):
+        self.qes = qes
+        self.process = process
+        self.report = report
+        self._results = results
+        self._tel = tel
+        self._qspan = qspan
+        self._finished = False
+
+    def finish(self) -> ExecutionReport:
+        """Assemble and return the report (driver must have completed)."""
+        if not self.process.triggered:
+            raise RuntimeError(
+                "finish() called before the execution's driver completed"
+            )
+        if self._finished:
+            return self.report
+        self._finished = True
+        qes, report = self.qes, self.report
+        report.results = self._results
+        report.pairs_joined = qes.cluster.num_compute * qes.num_buckets
+        if self._tel is not None:
+            self._tel.recorder.finish(self._qspan, at=report.total_time)
+            if qes.critical_path:
+                from repro.telemetry.critical_path import compute_critical_path
+
+                report.critical_path = compute_critical_path(
+                    self._tel.recorder, self._qspan
+                )
+            report.telemetry = self._tel
+        if qes.sanitizer is not None:
+            qes.sanitizer.after_run(qes.cluster.engine, report)
+        return report

@@ -63,7 +63,7 @@ from repro.services.bds import SubTableProvider
 from repro.services.cache import CachingService, make_policy
 from repro.telemetry.spans import maybe_span
 
-__all__ = ["IndexedJoinQES"]
+__all__ = ["IndexedJoinQES", "IndexedJoinRun"]
 
 
 class IndexedJoinQES:
@@ -112,7 +112,20 @@ class IndexedJoinQES:
         A :class:`repro.analysis.sanitizer.RunSanitizer` to install
         invariant hooks into this execution's engine, caches and
         transfers (``--sanitize`` runs).  ``None`` (the default) adds no
-        instrumentation.
+        instrumentation.  Under a query server the sanitizer belongs to
+        the *server* (one engine, one cluster, shared caches), so
+        per-query executions pass ``None`` here.
+    busy_joiners:
+        Zero-argument callable returning the compute nodes currently
+        executing *another query's* pair (shared pools under a query
+        server).  Consulted at reassignment time so dead-joiner recovery
+        never hands pairs to a joiner busy with foreign work.  ``None``
+        (single-query runs) excludes nobody.
+    critical_path:
+        Compute the critical-path attribution on telemetry-enabled runs
+        (default).  A server turns this off per query: with several
+        queries interleaved on one fabric, a single query's span tree no
+        longer covers a contiguous slice of the makespan.
     """
 
     algorithm = "indexed-join"
@@ -134,6 +147,8 @@ class IndexedJoinQES:
         pipeline: bool = False,
         prefetch_budget: Optional[int] = None,
         sanitizer=None,
+        busy_joiners=None,
+        critical_path: bool = True,
     ):
         self.cluster = cluster
         self.metadata = metadata
@@ -166,10 +181,26 @@ class IndexedJoinQES:
         self.pipeline = pipeline
         self.prefetch_budget = prefetch_budget
         self.sanitizer = sanitizer
+        self.busy_joiners = busy_joiners
+        self.critical_path = critical_path
 
     # -- execution ---------------------------------------------------------------
 
     def run(self) -> ExecutionReport:
+        """Execute to completion on this QES's engine (single-query mode)."""
+        handle = self.begin()
+        self.cluster.engine.drive(handle.process)
+        return handle.finish()
+
+    def begin(self, name: str = "ij-driver") -> "IndexedJoinRun":
+        """Start the execution without draining the engine.
+
+        Spawns the supervising driver as an ordinary simulated process and
+        returns an :class:`IndexedJoinRun` handle; the caller (a query
+        server admitting many executions onto one engine) waits on
+        ``handle.process`` and then calls ``handle.finish()`` for the
+        report.  :meth:`run` is exactly ``begin`` + drain + ``finish``.
+        """
         cluster = self.cluster
         report = ExecutionReport(
             algorithm=self.algorithm,
@@ -296,32 +327,30 @@ class IndexedJoinQES:
                         )
                     generation += 1
                     report.recovery.reassigned_pairs += len(remaining)
+                    busy = (
+                        tuple(self.busy_joiners())
+                        if self.busy_joiners is not None
+                        else ()
+                    )
                     for s, batch in self.schedule.reassign(
-                        remaining, survivors
+                        remaining, survivors, busy=busy
                     ).items():
                         active.append(launch(s, batch, tag=f".r{generation}"))
             # capture before returning: pending fault timers may advance the
             # clock after the join is already complete
             report.total_time = cluster.engine.now
 
-        cluster.engine.run_process(coordinator(), name="ij-driver")
-        report.pairs_joined = self.schedule.total_pairs
-        report.results = results
-        report.cache_stats = [
-            c.stats.since(before) for c, before in zip(caches, stats_before)
-        ]
-        report.extras["num_edges"] = float(self.index.num_edges)
-        report.extras["num_components"] = float(len(self.index.components()))
-        report.extras["pipeline"] = 1.0 if self.pipeline else 0.0
-        if tel is not None:
-            from repro.telemetry.critical_path import compute_critical_path
-
-            tel.recorder.finish(qspan, at=report.total_time)
-            report.critical_path = compute_critical_path(tel.recorder, qspan)
-            report.telemetry = tel
-        if self.sanitizer is not None:
-            self.sanitizer.after_run(cluster.engine, report)
-        return report
+        proc = cluster.engine.process(coordinator(), name=name)
+        return IndexedJoinRun(
+            qes=self,
+            process=proc,
+            report=report,
+            results=results,
+            caches=caches,
+            stats_before=stats_before,
+            tel=tel,
+            qspan=qspan,
+        )
 
     # -- fault-tolerant transfer ---------------------------------------------------
 
@@ -419,11 +448,13 @@ class IndexedJoinQES:
     # -- synchronous mode (paper-faithful) ----------------------------------------
 
     def _fetch(self, joiner: int, sid: SubTableId, cache: CachingService,
-               pb: PhaseBreakdown, report: ExecutionReport, is_left: bool,
-               tel=None, link_span=None, track: str = "qes"):
+               scope, pb: PhaseBreakdown, report: ExecutionReport,
+               is_left: bool, tel=None, link_span=None, track: str = "qes"):
         """Cache-or-fetch one sub-table; charges transfer (and, for left
         sub-tables, the hash-table build) on a miss.  Generator: yields
-        simulation events; returns (entry, cached_flag)."""
+        simulation events; returns (entry, cached_flag).  Every pin is
+        taken through ``scope`` (the pair's :class:`PinScope`) so a fault
+        delivered at any yield still releases it."""
         cluster = self.cluster
         node = cluster.joiner(joiner)
         with maybe_span(
@@ -434,7 +465,7 @@ class IndexedJoinQES:
             if entry is not None:
                 if fspan is not None:
                     fspan.attrs["hit"] = True
-                cache.pin(sid)
+                scope.pin(sid)
                 return entry, True
             if fspan is not None:
                 fspan.attrs["hit"] = False
@@ -461,7 +492,7 @@ class IndexedJoinQES:
             # left entries are charged double: sub-table + its hash table
             # (this is exactly the 2·c_R term of the memory assumption)
             nbytes = desc.size * 2 if is_left else desc.size
-            cached = cache.put(sid, entry, nbytes, pin=True, source=serving)
+            cached = scope.put(sid, entry, nbytes, pin=True, source=serving)
             return entry, cached
 
     def _joiner(self, j: int, pairs, cache: CachingService,
@@ -484,22 +515,23 @@ class IndexedJoinQES:
                     node=f"compute{j}", track=track,
                     left=str(lid), right=str(rid), pair_seq=seq,
                 ):
-                    left_entry, left_cached = yield from self._fetch(
-                        j, lid, cache, pb, report, is_left=True,
-                        tel=tel, link_span=jspan, track=track,
-                    )
-                    right_entry, right_cached = yield from self._fetch(
-                        j, rid, cache, pb, report, is_left=False,
-                        tel=tel, link_span=jspan, track=track,
-                    )
-                    yield from self._probe_and_emit(
-                        j, seq, left_entry, right_entry, pb, report, results,
-                        tel=tel, track=track,
-                    )
-                    if left_cached:
-                        cache.unpin(lid)
-                    if right_cached:
-                        cache.unpin(rid)
+                    # the scope guarantees paired release: a fault thrown
+                    # into any yield below still unpins on the way out, so
+                    # a dying query cannot leave the (shared) cache
+                    # permanently shrunk by orphaned pins
+                    with cache.pin_scope() as scope:
+                        left_entry, _ = yield from self._fetch(
+                            j, lid, cache, scope, pb, report, is_left=True,
+                            tel=tel, link_span=jspan, track=track,
+                        )
+                        right_entry, _ = yield from self._fetch(
+                            j, rid, cache, scope, pb, report, is_left=False,
+                            tel=tel, link_span=jspan, track=track,
+                        )
+                        yield from self._probe_and_emit(
+                            j, seq, left_entry, right_entry, pb, report,
+                            results, tel=tel, track=track,
+                        )
                 if tel is not None:
                     tel.metrics.histogram("ij.pair_seconds").observe(
                         self.cluster.engine.now - t_pair
@@ -576,22 +608,21 @@ class IndexedJoinQES:
                     pb.stall += cluster.engine.now - t0
                     if upcoming:
                         fetch_next = spawn_prefetch(upcoming[0], seq + 1)
-                    left_entry, left_cached = yield from self._consume(
-                        j, lid, cache, inflight, sources, pb, report,
-                        is_left=True, tel=tel, link_span=jspan, track=track,
-                    )
-                    right_entry, right_cached = yield from self._consume(
-                        j, rid, cache, inflight, sources, pb, report,
-                        is_left=False, tel=tel, link_span=jspan, track=track,
-                    )
-                    yield from self._probe_and_emit(
-                        j, seq, left_entry, right_entry, pb, report, results,
-                        tel=tel, track=track,
-                    )
-                    if left_cached:
-                        cache.unpin(lid)
-                    if right_cached:
-                        cache.unpin(rid)
+                    with cache.pin_scope() as scope:
+                        left_entry, _ = yield from self._consume(
+                            j, lid, cache, scope, inflight, sources, pb,
+                            report, is_left=True, tel=tel, link_span=jspan,
+                            track=track,
+                        )
+                        right_entry, _ = yield from self._consume(
+                            j, rid, cache, scope, inflight, sources, pb,
+                            report, is_left=False, tel=tel, link_span=jspan,
+                            track=track,
+                        )
+                        yield from self._probe_and_emit(
+                            j, seq, left_entry, right_entry, pb, report,
+                            results, tel=tel, track=track,
+                        )
                 if tel is not None:
                     tel.metrics.histogram("ij.pair_seconds").observe(
                         cluster.engine.now - t_pair
@@ -684,7 +715,7 @@ class IndexedJoinQES:
                 del inflight[sid]
 
     def _consume(self, joiner: int, sid: SubTableId, cache: CachingService,
-                 inflight: Dict[SubTableId, Event],
+                 scope, inflight: Dict[SubTableId, Event],
                  sources: Dict[SubTableId, int],
                  pb: PhaseBreakdown, report: ExecutionReport, is_left: bool,
                  tel=None, link_span=None, track: str = "qes"):
@@ -707,7 +738,7 @@ class IndexedJoinQES:
             if entry is not None:
                 if fspan is not None:
                     fspan.attrs["hit"] = True
-                cache.pin(sid)
+                scope.pin(sid)
                 return entry, True
             if fspan is not None:
                 fspan.attrs["hit"] = False
@@ -754,7 +785,7 @@ class IndexedJoinQES:
                         desc.num_records
                     )
             nbytes = desc.size * 2 if is_left else desc.size
-            cached = cache.put(sid, entry, nbytes, pin=True, source=serving)
+            cached = scope.put(sid, entry, nbytes, pin=True, source=serving)
             return entry, cached
 
     # -- shared probe/emit ---------------------------------------------------------
@@ -788,3 +819,57 @@ class IndexedJoinQES:
             report.kernel.matches += ks.matches
             if out.num_records:
                 results[j].append(out)
+
+
+class IndexedJoinRun:
+    """Handle for one in-flight Indexed Join execution.
+
+    Returned by :meth:`IndexedJoinQES.begin`; ``process`` is the
+    supervising driver (an event other processes can wait on) and
+    :meth:`finish` assembles the :class:`ExecutionReport` once the driver
+    has completed.
+    """
+
+    def __init__(self, qes, process, report, results, caches, stats_before,
+                 tel, qspan):
+        self.qes = qes
+        self.process = process
+        self.report = report
+        self._results = results
+        self._caches = caches
+        self._stats_before = stats_before
+        self._tel = tel
+        self._qspan = qspan
+        self._finished = False
+
+    def finish(self) -> ExecutionReport:
+        """Assemble and return the report (driver must have completed)."""
+        if not self.process.triggered:
+            raise RuntimeError(
+                "finish() called before the execution's driver completed"
+            )
+        if self._finished:
+            return self.report
+        self._finished = True
+        qes, report = self.qes, self.report
+        report.pairs_joined = qes.schedule.total_pairs
+        report.results = self._results
+        report.cache_stats = [
+            c.stats.since(before)
+            for c, before in zip(self._caches, self._stats_before)
+        ]
+        report.extras["num_edges"] = float(qes.index.num_edges)
+        report.extras["num_components"] = float(len(qes.index.components()))
+        report.extras["pipeline"] = 1.0 if qes.pipeline else 0.0
+        if self._tel is not None:
+            self._tel.recorder.finish(self._qspan, at=report.total_time)
+            if qes.critical_path:
+                from repro.telemetry.critical_path import compute_critical_path
+
+                report.critical_path = compute_critical_path(
+                    self._tel.recorder, self._qspan
+                )
+            report.telemetry = self._tel
+        if qes.sanitizer is not None:
+            qes.sanitizer.after_run(qes.cluster.engine, report)
+        return report

@@ -23,7 +23,7 @@ Alternative orders exist for the scheduling ablation:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Tuple
 
 from repro.core.rng import deterministic_shuffle
 from repro.datamodel.subtable import SubTableId
@@ -79,22 +79,47 @@ class PairSchedule:
         return refs
 
     def reassign(
-        self, pairs: List[Pair], survivors: List[int]
+        self,
+        pairs: List[Pair],
+        survivors: List[int],
+        busy: "Iterable[int]" = (),
     ) -> "Dict[int, List[Pair]]":
         """Redistribute a dead joiner's unfinished ``pairs`` over
         ``survivors``, round-robin in schedule order.
 
+        ``busy`` names joiners that, while alive, are currently executing
+        *another query's* pair (shared compute pools under a multi-tenant
+        server): they are excluded from the rotation so reassignment never
+        injects pairs behind a foreign query's in-flight work.  When the
+        exclusion would leave nobody eligible, all survivors are used —
+        a busy joiner is merely slower, a lost pair is wrong output.
+
         Pure planning — the schedule itself is not mutated (``per_joiner``
         keeps the original assignment for reference strings and reports);
         the QES launches the returned per-survivor batches as fresh joiner
-        processes.
+        processes.  A caller that instead wants a live joiner to absorb
+        the pairs into its own stream commits the batch with
+        :meth:`extend`.
         """
         if not survivors:
             raise ValueError("no surviving joiners to reassign pairs to")
+        blocked = set(busy)
+        eligible = [s for s in survivors if s not in blocked] or list(survivors)
         out: Dict[int, List[Pair]] = {}
         for i, pair in enumerate(pairs):
-            out.setdefault(survivors[i % len(survivors)], []).append(pair)
+            out.setdefault(eligible[i % len(eligible)], []).append(pair)
         return out
+
+    def extend(self, joiner: int, pairs: List[Pair]) -> None:
+        """Append reassigned ``pairs`` to one joiner's live schedule.
+
+        Append-only by contract: :meth:`iter_lookahead` enumerates the
+        *live* per-joiner list, so an in-progress lookahead iteration over
+        the same joiner sees the appended pairs exactly once (no skips,
+        no duplicates) and its ``upcoming`` windows extend into them —
+        the consistency reassign-during-lookahead requires.
+        """
+        self.per_joiner[joiner].extend(pairs)
 
     def iter_lookahead(
         self, joiner: int, depth: int = 1

@@ -1,0 +1,42 @@
+"""Multi-tenant query serving on the simulated cluster.
+
+* :mod:`~repro.server.admission` — admission-queue policies (FIFO,
+  shortest-predicted-first, per-tenant fair share) over a bounded slot
+  pool.
+* :mod:`~repro.server.queries` — seeded query construction: arrival →
+  concrete scan/join/aggregate → planner → :class:`PlannedQuery`.
+* :mod:`~repro.server.server` — the :class:`QueryServer` itself plus the
+  cold-cache serial baseline it is measured against.
+"""
+
+from repro.server.admission import (
+    AdmissionPolicy,
+    FairShareAdmission,
+    FIFOAdmission,
+    ShortestPredictedFirst,
+    make_admission_policy,
+)
+from repro.server.queries import PlannedQuery, build_query, draw_box
+from repro.server.server import (
+    QueryRecord,
+    QueryServer,
+    SerialBaseline,
+    ServerReport,
+    run_serial_baseline,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "FIFOAdmission",
+    "FairShareAdmission",
+    "PlannedQuery",
+    "QueryRecord",
+    "QueryServer",
+    "SerialBaseline",
+    "ServerReport",
+    "ShortestPredictedFirst",
+    "build_query",
+    "draw_box",
+    "make_admission_policy",
+    "run_serial_baseline",
+]

@@ -27,7 +27,17 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Dict, Generic, Hashable, Iterable, List, Optional, Sequence, TypeVar
+from typing import (
+    Dict,
+    Generic,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 __all__ = [
     "CacheStats",
@@ -37,6 +47,8 @@ __all__ = [
     "FIFOPolicy",
     "LFUPolicy",
     "BeladyPolicy",
+    "PinScope",
+    "QueryCacheView",
     "make_policy",
 ]
 
@@ -93,6 +105,23 @@ class CacheStats:
             bytes_prefetched=self.bytes_prefetched - baseline.bytes_prefetched,
             invalidations=self.invalidations - baseline.invalidations,
         )
+
+    def merge(self, delta: "CacheStats") -> None:
+        """Accumulate ``delta`` into these counters in place.
+
+        :class:`QueryCacheView` uses this to absorb the per-operation
+        deltas of a shared cache into a per-query ledger, which is what
+        keeps ``snapshot``/``since`` attribution exact when several
+        queries interleave on the same :class:`CachingService`.
+        """
+        self.hits += delta.hits
+        self.misses += delta.misses
+        self.evictions += delta.evictions
+        self.bytes_inserted += delta.bytes_inserted
+        self.bytes_evicted += delta.bytes_evicted
+        self.prefetches += delta.prefetches
+        self.bytes_prefetched += delta.bytes_prefetched
+        self.invalidations += delta.invalidations
 
 
 class EvictionPolicy(Generic[K]):
@@ -355,6 +384,17 @@ class CachingService(Generic[K, V]):
     def used_bytes(self) -> int:
         return self._bytes
 
+    @property
+    def pinned_bytes(self) -> int:
+        """Bytes held by entries with at least one outstanding pin.
+
+        A quiesced cache (no query in flight) must report zero here —
+        the sanitizer enforces exactly that at end of run, which is how
+        leaked pins on error/recovery paths become loud failures instead
+        of a shared cache that silently shrinks forever.
+        """
+        return sum(e.nbytes for e in self._entries.values() if e.pins > 0)
+
     def __contains__(self, key: K) -> bool:
         return key in self._entries
 
@@ -469,6 +509,17 @@ class CachingService(Generic[K, V]):
             raise ValueError(f"key {key!r} is not pinned")
         entry.pins -= 1
         self._after_op("unpin")
+
+    def pin_scope(self) -> "PinScope[K, V]":
+        """A pin guard scoping every pin it acquires to a ``with`` block.
+
+        Simulated processes receive faults as exceptions thrown *into*
+        their generators (``gen.throw``), so ``with``/``finally`` blocks
+        run even when a joiner is killed mid-pair — routing pins through
+        a scope is therefore a guaranteed paired release on every error
+        and recovery path.
+        """
+        return PinScope(self)
 
     # -- prefetch staging --------------------------------------------------------------
 
@@ -586,3 +637,204 @@ class CachingService(Generic[K, V]):
         self.stats.bytes_evicted += entry.nbytes
         self.policy.on_remove(victim)
         return True
+
+
+class PinScope(Generic[K, V]):
+    """Context-managed pin guard over one :class:`CachingService`.
+
+    Every pin acquired *through the scope* — :meth:`pin`, or a
+    :meth:`put` with ``pin=True`` that actually inserted — is recorded,
+    and any still-held pin is released when the scope closes, however it
+    closes.  Code may release early with :meth:`release` (the normal
+    after-probe unpin); the exit path then has nothing left to do.
+
+    The scope holds only pins it acquired, so independent queries can
+    each run their own scopes against the same shared cache without
+    stealing each other's pins.
+    """
+
+    __slots__ = ("_cache", "_held", "_closed")
+
+    def __init__(self, cache: CachingService[K, V]) -> None:
+        self._cache = cache
+        self._held: List[K] = []
+        self._closed = False
+
+    def __enter__(self) -> "PinScope[K, V]":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+        return None
+
+    @property
+    def held(self) -> Tuple[K, ...]:
+        return tuple(self._held)
+
+    def pin(self, key: K) -> None:
+        """Pin ``key`` on the underlying cache, tracked by this scope."""
+        self._cache.pin(key)
+        self._held.append(key)
+
+    def put(
+        self,
+        key: K,
+        value: V,
+        nbytes: int,
+        pin: bool = False,
+        source: Optional[int] = None,
+    ) -> bool:
+        """Forwarding :meth:`CachingService.put`; a successful pinned
+        insert is tracked exactly like an explicit :meth:`pin`."""
+        ok = self._cache.put(key, value, nbytes, pin=pin, source=source)
+        if ok and pin:
+            self._held.append(key)
+        return ok
+
+    def release(self, key: K) -> None:
+        """Release one held pin early (raises if the scope never took it)."""
+        try:
+            self._held.remove(key)
+        except ValueError:
+            raise ValueError(f"pin scope does not hold a pin on {key!r}") from None
+        self._cache.unpin(key)
+
+    def close(self) -> None:
+        """Release every pin still held; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        while self._held:
+            self._cache.unpin(self._held.pop())
+
+
+class QueryCacheView(Generic[K, V]):
+    """Per-query facade over a shared :class:`CachingService`.
+
+    Single-query code attributes cache activity with
+    ``stats.snapshot()`` before the run and ``stats.since(before)``
+    after — correct when the cache serves one query, wrong the moment
+    two queries interleave on it (each would absorb the other's hits).
+    A view keeps a private :class:`CacheStats` ledger and, around every
+    forwarded operation, folds the shared cache's counter delta into it,
+    so the snapshot/since idiom keeps working unchanged per query.
+
+    Only stats are virtualised; entries, budgets and pins are the shared
+    cache's own (that sharing is the point of a view server).
+    """
+
+    def __init__(self, shared: CachingService[K, V], name: str = "") -> None:
+        self.shared = shared
+        self.name = name
+        self.stats = CacheStats()
+
+    def _absorb(self, before: CacheStats) -> None:
+        self.stats.merge(self.shared.stats.since(before))
+
+    # -- observers (plain pass-through) ----------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.shared.capacity_bytes
+
+    @property
+    def used_bytes(self) -> int:
+        return self.shared.used_bytes
+
+    @property
+    def pinned_bytes(self) -> int:
+        return self.shared.pinned_bytes
+
+    @property
+    def policy(self) -> EvictionPolicy[K]:
+        return self.shared.policy
+
+    def __contains__(self, key: K) -> bool:
+        return key in self.shared
+
+    def __len__(self) -> int:
+        return len(self.shared)
+
+    def peek(self, key: K) -> Optional[V]:
+        return self.shared.peek(key)
+
+    def has_prefetched(self, key: K) -> bool:
+        return self.shared.has_prefetched(key)
+
+    @property
+    def prefetch_bytes(self) -> int:
+        return self.shared.prefetch_bytes
+
+    def attach_telemetry(self, telemetry, clock, prefix: str = "cache") -> None:
+        """No-op: the *owner* of the shared cache wires telemetry once;
+        per-query views must not re-register or re-prefix instruments."""
+
+    def install_validator(self, fn) -> None:
+        self.shared.install_validator(fn)
+
+    # -- forwarded operations (stat-attributing) -------------------------
+
+    def get(self, key: K) -> Optional[V]:
+        before = self.shared.stats.snapshot()
+        try:
+            return self.shared.get(key)
+        finally:
+            self._absorb(before)
+
+    def put(
+        self,
+        key: K,
+        value: V,
+        nbytes: int,
+        pin: bool = False,
+        source: Optional[int] = None,
+    ) -> bool:
+        before = self.shared.stats.snapshot()
+        try:
+            return self.shared.put(key, value, nbytes, pin=pin, source=source)
+        finally:
+            self._absorb(before)
+
+    def pin(self, key: K) -> None:
+        self.shared.pin(key)
+
+    def unpin(self, key: K) -> None:
+        self.shared.unpin(key)
+
+    def pin_scope(self) -> PinScope[K, V]:
+        return self.shared.pin_scope()
+
+    def prefetch_begin(self, key: K, nbytes: int) -> bool:
+        before = self.shared.stats.snapshot()
+        try:
+            return self.shared.prefetch_begin(key, nbytes)
+        finally:
+            self._absorb(before)
+
+    def prefetch_complete(self, key: K, value: V) -> None:
+        before = self.shared.stats.snapshot()
+        try:
+            self.shared.prefetch_complete(key, value)
+        finally:
+            self._absorb(before)
+
+    def prefetch_cancel(self, key: K) -> None:
+        before = self.shared.stats.snapshot()
+        try:
+            self.shared.prefetch_cancel(key)
+        finally:
+            self._absorb(before)
+
+    def take_prefetched(self, key: K) -> Optional[V]:
+        before = self.shared.stats.snapshot()
+        try:
+            return self.shared.take_prefetched(key)
+        finally:
+            self._absorb(before)
+
+    def remove(self, key: K) -> bool:
+        before = self.shared.stats.snapshot()
+        try:
+            return self.shared.remove(key)
+        finally:
+            self._absorb(before)

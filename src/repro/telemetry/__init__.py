@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.telemetry.latency import LatencyTracker, percentile
 from repro.telemetry.metrics import (
     DEFAULT_BYTE_BUCKETS,
     DEFAULT_SECONDS_BUCKETS,
@@ -36,8 +37,10 @@ __all__ = [
     "Telemetry",
     "Span",
     "SpanRecorder",
+    "LatencyTracker",
     "MetricsRegistry",
     "maybe_span",
+    "percentile",
     "NULL_SPAN",
 ]
 

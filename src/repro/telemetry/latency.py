@@ -1,0 +1,74 @@
+"""Exact latency accounting for the query server.
+
+The metrics registry's histograms bucket observations (fixed bounds), so
+quantiles read from them are bucket upper-bounds, not latencies the
+simulation actually produced.  Per-tenant SLO reporting wants the *exact*
+order statistics — and they must be byte-identical across runs for the
+determinism suite — so the server records raw per-query latencies here
+and computes nearest-rank percentiles over the sorted values.
+
+Nearest-rank (no interpolation) keeps every reported quantile a value
+that actually occurred, which is both the conventional SLO reading and
+immune to float-rounding differences an interpolated estimate could
+introduce.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["percentile", "LatencyTracker"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100]).
+
+    The rank is ``ceil(q/100 * n)`` clamped to ``[1, n]``, so ``q=50``
+    over an even count returns the lower middle value and ``q=100`` the
+    maximum.  Raises on an empty sequence — a tenant with no completed
+    queries has no latency distribution to summarise.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q={q} outside [0, 100]")
+    ordered = sorted(values)
+    # integer ceil of q*n/100 without float division (exact for any n)
+    rank = max(1, -(-(int(q * 100) * len(ordered)) // 10000))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class LatencyTracker:
+    """Raw latency samples grouped by key (tenant, query kind, ...)."""
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, List[float]] = {}
+
+    def record(self, key: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative latency {seconds} for {key!r}")
+        self._samples.setdefault(key, []).append(seconds)
+
+    def keys(self) -> List[str]:
+        return sorted(self._samples)
+
+    def samples(self, key: str) -> List[float]:
+        return list(self._samples.get(key, []))
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-key exact stats: count, mean, p50, p99, max.
+
+        Keys are emitted sorted so the summary serialises identically
+        across runs regardless of completion order.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for key in self.keys():
+            vals = self._samples[key]
+            out[key] = {
+                "count": float(len(vals)),
+                "mean": sum(vals) / len(vals),
+                "p50": percentile(vals, 50),
+                "p99": percentile(vals, 99),
+                "max": max(vals),
+            }
+        return out

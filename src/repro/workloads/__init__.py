@@ -11,8 +11,17 @@
 * :mod:`~repro.workloads.sweeps` — parameter sweeps used by the
   benchmarks: the constant-edge-ratio ``n_e·c_S`` sweep of Figure 4 and
   friends.
+* :mod:`~repro.workloads.arrivals` — seeded multi-tenant query-arrival
+  streams (Poisson and bursty) for the query server.
 """
 
+from repro.workloads.arrivals import (
+    QueryArrival,
+    TenantSpec,
+    bursty_gaps,
+    generate_workload,
+    poisson_gaps,
+)
 from repro.workloads.generator import (
     GridDataset,
     GridSpec,
@@ -34,11 +43,16 @@ __all__ = [
     "GridDataset",
     "GridSpec",
     "OilReservoirDataset",
+    "QueryArrival",
     "SweepPoint",
+    "TenantSpec",
     "build_oil_reservoir_dataset",
+    "bursty_gaps",
     "constant_edge_ratio_sweep",
+    "generate_workload",
     "make_grid_chunk_descriptors",
     "make_grid_partitions",
     "oil_reservoir_schema_full",
+    "poisson_gaps",
     "power_of_two_partitions",
 ]

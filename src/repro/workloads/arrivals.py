@@ -1,0 +1,212 @@
+"""Seeded query-arrival processes for the multi-tenant query server.
+
+A view server is only meaningfully "efficient" under the workloads the
+paper motivates: many clients issuing mixed range scans, joins and
+aggregates against the same registered tables.  This module turns a set
+of per-tenant specifications into one deterministic, time-ordered stream
+of :class:`QueryArrival` records.
+
+Two arrival processes cover the evaluation shapes:
+
+* ``poisson`` — independent arrivals; inter-arrival gaps are exponential
+  with the tenant's mean rate (the classic open-system client).
+* ``bursty`` — heavy-tailed (Pareto) gaps with the *same* mean rate:
+  most gaps are far shorter than the exponential's, interleaved with
+  occasional very long silences, so arrivals clump into bursts that
+  stress the admission queue and the shared cache at once.
+
+Every draw is a counter-based :mod:`repro.core.rng` splitmix64 value —
+no stateful RNG, no wall clock — so a workload is a pure function of
+``(tenants, seed)`` and replays byte-identically everywhere (simlint
+D001 clean by construction).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.rng import splitmix64, uniform
+
+__all__ = [
+    "QueryArrival",
+    "TenantSpec",
+    "poisson_gaps",
+    "bursty_gaps",
+    "generate_workload",
+]
+
+_KINDS = ("scan", "join", "aggregate")
+_PROCESSES = ("poisson", "bursty")
+
+
+@dataclass(frozen=True)
+class QueryArrival:
+    """One query in the stream, before planning.
+
+    ``seed`` is a per-query splitmix64 value the server uses for the
+    query's own parameter draws (range box, join restriction), keeping
+    those independent of how many queries other tenants issued.
+    """
+
+    qid: int
+    tenant: str
+    kind: str
+    at: float
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown query kind {self.kind!r} (know {_KINDS})")
+        if self.at < 0:
+            raise ValueError(f"negative arrival time {self.at}")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's arrival process and query mix.
+
+    ``mix`` maps query kinds to non-negative weights (normalised
+    internally); ``rate`` is the mean arrival rate in queries per
+    simulated second for both processes, so swapping ``poisson`` for
+    ``bursty`` changes the *shape* of the stream, not its volume.
+    ``alpha`` is the Pareto tail index of the bursty process — smaller
+    means heavier bursts; must exceed 1 so the mean gap exists.
+    """
+
+    name: str
+    rate: float
+    num_queries: int
+    mix: Tuple[Tuple[str, float], ...] = (("scan", 1.0),)
+    process: str = "poisson"
+    alpha: float = 1.5
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant needs a name")
+        if self.rate <= 0:
+            raise ValueError(f"tenant {self.name!r}: rate must be positive")
+        if self.num_queries < 0:
+            raise ValueError(f"tenant {self.name!r}: num_queries must be >= 0")
+        if self.process not in _PROCESSES:
+            raise ValueError(
+                f"tenant {self.name!r}: unknown process {self.process!r} "
+                f"(know {_PROCESSES})"
+            )
+        if self.alpha <= 1.0:
+            raise ValueError(
+                f"tenant {self.name!r}: alpha must be > 1 (finite mean gap)"
+            )
+        if not self.mix:
+            raise ValueError(f"tenant {self.name!r}: empty query mix")
+        total = 0.0
+        for kind, weight in self.mix:
+            if kind not in _KINDS:
+                raise ValueError(
+                    f"tenant {self.name!r}: unknown kind {kind!r} (know {_KINDS})"
+                )
+            if weight < 0:
+                raise ValueError(f"tenant {self.name!r}: negative weight on {kind!r}")
+            total += weight
+        if total <= 0:
+            raise ValueError(f"tenant {self.name!r}: mix weights sum to zero")
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "TenantSpec":
+        """Build from a JSON-ish mapping (the CLI's tenant-mix spec).
+
+        A ``mix`` given as a mapping is ordered by kind name so the spec
+        file's key order can never change the workload.
+        """
+        mix = data.get("mix", {"scan": 1.0})
+        if isinstance(mix, Mapping):
+            mix_t = tuple(sorted((str(k), float(v)) for k, v in mix.items()))
+        else:
+            mix_t = tuple((str(k), float(v)) for k, v in mix)
+        return cls(
+            name=str(data["name"]),
+            rate=float(data.get("rate", 1.0)),
+            num_queries=int(data.get("num_queries", 0)),
+            mix=mix_t,
+            process=str(data.get("process", "poisson")),
+            alpha=float(data.get("alpha", 1.5)),
+        )
+
+
+def poisson_gaps(rate: float, n: int, seed: int) -> List[float]:
+    """``n`` exponential inter-arrival gaps with mean ``1/rate``."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    out: List[float] = []
+    for i in range(n):
+        u = uniform(seed, i)
+        # 1-u is in (0, 1]; log is finite for every splitmix64 draw
+        out.append(-math.log(1.0 - u) / rate)
+    return out
+
+
+def bursty_gaps(rate: float, n: int, seed: int, alpha: float = 1.5) -> List[float]:
+    """``n`` Pareto inter-arrival gaps, scaled to mean ``1/rate``.
+
+    Gap = ``x_m * (1-u)^(-1/alpha)`` with ``x_m = (alpha-1)/(alpha*rate)``
+    so the mean matches the Poisson process at the same rate: the typical
+    gap is much shorter (``x_m < 1/rate``), producing bursts, while the
+    heavy tail supplies the compensating long silences.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if alpha <= 1.0:
+        raise ValueError("alpha must be > 1 for a finite mean gap")
+    x_m = (alpha - 1.0) / (alpha * rate)
+    out: List[float] = []
+    for i in range(n):
+        u = uniform(seed, i)
+        out.append(x_m * (1.0 - u) ** (-1.0 / alpha))
+    return out
+
+
+def _choose_kind(mix: Sequence[Tuple[str, float]], u: float) -> str:
+    total = sum(w for _, w in mix)
+    acc = 0.0
+    for kind, weight in mix:
+        acc += weight / total
+        if u < acc:
+            return kind
+    return mix[-1][0]
+
+
+def generate_workload(
+    tenants: Sequence[TenantSpec], seed: int
+) -> List[QueryArrival]:
+    """Merge every tenant's stream into one time-ordered arrival list.
+
+    Each tenant draws from its own derived seed (indexed by the tenant's
+    position in name-sorted order), so adding a tenant or changing one
+    tenant's count never perturbs another tenant's draws.  Ties in
+    arrival time break by tenant name then per-tenant sequence — fully
+    deterministic, independent of dict/iteration order.
+    """
+    names = [t.name for t in tenants]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate tenant names in {sorted(names)}")
+    pending: List[Tuple[float, str, int, str, int]] = []
+    for tseq, tenant in enumerate(sorted(tenants, key=lambda t: t.name)):
+        tseed = splitmix64(seed, tseq)
+        if tenant.process == "poisson":
+            gaps = poisson_gaps(tenant.rate, tenant.num_queries, tseed)
+        else:
+            gaps = bursty_gaps(
+                tenant.rate, tenant.num_queries, tseed, alpha=tenant.alpha
+            )
+        at = 0.0
+        for i, gap in enumerate(gaps):
+            at += gap
+            kind = _choose_kind(tenant.mix, uniform(tseed, 10_000 + i))
+            qseed = splitmix64(tseed, 20_000 + i)
+            pending.append((at, tenant.name, i, kind, qseed))
+    pending.sort(key=lambda row: (row[0], row[1], row[2]))
+    return [
+        QueryArrival(qid=qid, tenant=name, kind=kind, at=at, seed=qseed)
+        for qid, (at, name, _i, kind, qseed) in enumerate(pending)
+    ]

@@ -153,3 +153,54 @@ class TestMaterialize:
         for chunk in cat.all_chunks():
             iv = chunk.bbox.interval("x")
             assert iv.length == 0  # each chunk holds exactly one x plane
+
+
+class TestEmptyViewMaterialization:
+    """Regression: the empty and non-empty registration paths are one
+    path.  An empty view must register with a real schema (from the
+    generated extractor), answer range queries, and be joinable — not
+    crash in the writer or register a schema-less husk."""
+
+    def _empty_result(self, ds):
+        # a region entirely outside the grid: chunk pruning leaves nothing
+        view = JoinView(
+            "Vempty", "T1", "T2", on=("x", "y"),
+            where=BoundingBox({"x": (100.0, 200.0)}),
+        )
+        res = execute_view(ds, view)
+        assert res.table.num_records == 0
+        return res
+
+    def test_empty_view_registers_with_schema(self, dataset_with_t3):
+        ds = dataset_with_t3
+        res = self._empty_result(ds)
+        cat = materialize_table(
+            res.table, "Vem", 11, ds.metadata, ds.stores, ds.registry,
+            chunk_records=16,
+        )
+        assert cat.num_records == 0
+        assert cat.schema.names == ("x", "y", "oilp", "wp")
+        # schema provenance: the catalog serves the generated extractor's
+        # schema object, same as any non-empty materialisation
+        assert cat.schema is ds.registry.get("mat_Vem").schema
+
+    def test_empty_view_range_query_round_trip(self, dataset_with_t3):
+        ds = dataset_with_t3
+        res = self._empty_result(ds)
+        materialize_table(
+            res.table, "Vem", 11, ds.metadata, ds.stores, ds.registry,
+            chunk_records=16,
+        )
+        hits = ds.metadata.find_chunks("Vem", BoundingBox({"x": (0, 15)}))
+        assert hits == []
+
+    def test_empty_view_joins_like_a_base_table(self, dataset_with_t3):
+        ds = dataset_with_t3
+        res = self._empty_result(ds)
+        materialize_table(
+            res.table, "Vem", 11, ds.metadata, ds.stores, ds.registry,
+            chunk_records=16,
+        )
+        joined = execute_view(ds, JoinView("V2", "Vem", "T3", on=("x", "y")))
+        assert joined.table is not None
+        assert joined.table.num_records == 0

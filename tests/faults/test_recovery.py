@@ -233,3 +233,50 @@ class TestZeroFaultIdentity:
         assert faulty.total_time == base.total_time
         assert faulty.bytes_from_storage == base.bytes_from_storage
         assert not faulty.recovery.any_recovery
+
+
+class TestPinLifecycle:
+    """Regression: pins acquired for an in-flight pair must be released on
+    *every* exit path, including a joiner killed mid-pair by a compute
+    crash.  Pre-scope code unpinned manually after the probe, so the
+    interrupt leaked the pair's pins and the cache silently shrank —
+    fatal once caches are shared across queries."""
+
+    def _crashed_ij(self, pipeline=False):
+        ds = build()
+        baseline = run(ds, IndexedJoinQES, pipeline=pipeline)
+        plan = FaultPlan(
+            seed=7,
+            crashes=(
+                NodeCrash("compute", at=0.4 * baseline.total_time, node=1),
+            ),
+        )
+        cluster = paper_cluster(N_S, N_J, spec=SLOW, faults=plan)
+        qes = IndexedJoinQES(
+            cluster, ds.metadata, "T1", "T2", ds.join_attrs, ds.provider,
+            pipeline=pipeline,
+        )
+        return ds, qes, qes.run()
+
+    def test_compute_crash_leaves_no_pinned_bytes(self):
+        ds, qes, rep = self._crashed_ij()
+        assert rep.recovery.reassigned_pairs > 0  # the crash really hit
+        for j, cache in enumerate(qes.caches):
+            assert cache.pinned_bytes == 0, f"joiner {j} leaked pins"
+        assert_matches_oracle(ds, rep)
+
+    def test_compute_crash_pipelined_leaves_no_pinned_bytes(self):
+        ds, qes, rep = self._crashed_ij(pipeline=True)
+        assert rep.recovery.reassigned_pairs > 0
+        for cache in qes.caches:
+            assert cache.pinned_bytes == 0
+
+    def test_fault_free_run_leaves_no_pinned_bytes(self):
+        ds = build()
+        cluster = paper_cluster(N_S, N_J, spec=SLOW)
+        qes = IndexedJoinQES(
+            cluster, ds.metadata, "T1", "T2", ds.join_attrs, ds.provider
+        )
+        qes.run()
+        for cache in qes.caches:
+            assert cache.pinned_bytes == 0

@@ -141,3 +141,76 @@ def test_two_stage_covers_all_pairs(joiners, shape):
         max_comp = max(c.num_edges for c in comps)
         counts = [len(pairs) for pairs in sched.per_joiner]
         assert max(counts) - min(counts) <= max_comp
+
+
+class TestBusyAwareReassign:
+    """Regression: reassignment under a shared compute pool must not hand
+    a dead joiner's pairs to survivors that are busy executing *another
+    query's* pair — unless exclusion would leave nobody at all."""
+
+    def test_busy_survivors_excluded(self):
+        idx = index_for(SPEC)
+        sched = schedule_two_stage(idx, 4)
+        orphans = list(sched.per_joiner[0])
+        out = sched.reassign(orphans, survivors=[1, 2, 3], busy=[2])
+        assert set(out) <= {1, 3}
+        flat = [p for pairs in out.values() for p in pairs]
+        assert sorted(flat) == sorted(orphans)
+
+    def test_all_busy_falls_back_to_all_survivors(self):
+        idx = index_for(SPEC)
+        sched = schedule_two_stage(idx, 4)
+        orphans = list(sched.per_joiner[0])
+        out = sched.reassign(orphans, survivors=[1, 2], busy=[1, 2, 3])
+        # a busy joiner is merely slower; a lost pair is wrong output
+        assert set(out) <= {1, 2}
+        flat = [p for pairs in out.values() for p in pairs]
+        assert sorted(flat) == sorted(orphans)
+
+    def test_foreign_busy_ids_ignored(self):
+        idx = index_for(SPEC)
+        sched = schedule_two_stage(idx, 4)
+        orphans = list(sched.per_joiner[0])
+        out = sched.reassign(orphans, survivors=[1, 2], busy=[7, 9])
+        assert set(out) <= {1, 2}
+
+    def test_reassign_does_not_mutate_schedule(self):
+        idx = index_for(SPEC)
+        sched = schedule_two_stage(idx, 4)
+        before = [list(p) for p in sched.per_joiner]
+        sched.reassign(list(sched.per_joiner[0]), survivors=[1], busy=[])
+        assert [list(p) for p in sched.per_joiner] == before
+
+
+class TestExtendDuringLookahead:
+    """Regression: a live joiner absorbing reassigned pairs via
+    :meth:`extend` must stay consistent with an in-progress
+    :meth:`iter_lookahead` iteration — appended pairs are seen exactly
+    once and upcoming windows extend into them."""
+
+    def test_extend_visible_exactly_once(self):
+        idx = index_for(SPEC)
+        sched = schedule_two_stage(idx, 2)
+        original = list(sched.per_joiner[0])
+        extra = list(sched.per_joiner[1])[:3]
+        seen = []
+        it = sched.iter_lookahead(0, depth=2)
+        for seq, pair, upcoming in it:
+            seen.append(pair)
+            if seq == 0:
+                sched.extend(0, extra)
+        assert seen == original + extra
+
+    def test_window_extends_into_appended_pairs(self):
+        idx = index_for(SPEC)
+        sched = schedule_two_stage(idx, 2)
+        original = list(sched.per_joiner[0])
+        extra = list(sched.per_joiner[1])[:2]
+        windows = {}
+        for seq, pair, upcoming in sched.iter_lookahead(0, depth=2):
+            if seq == 0:
+                sched.extend(0, extra)
+            windows[seq] = upcoming
+        # at the old tail, the window now looks into the appended pairs
+        tail = len(original) - 1
+        assert windows[tail] == tuple(extra[:2])

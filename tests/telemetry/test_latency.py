@@ -1,0 +1,54 @@
+"""Tests for exact (nearest-rank) latency accounting."""
+
+import pytest
+
+from repro.telemetry import LatencyTracker, percentile
+
+
+class TestPercentile:
+    def test_nearest_rank_returns_observed_values(self):
+        vals = [0.3, 0.1, 0.2, 0.4]
+        assert percentile(vals, 50) == 0.2
+        assert percentile(vals, 100) == 0.4
+        assert percentile(vals, 0) == 0.1
+        assert percentile(vals, 99) == 0.4
+
+    def test_single_sample(self):
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_result_is_always_a_sample(self):
+        vals = [float(i) for i in range(17)]
+        for q in (1, 25, 50, 75, 90, 99):
+            assert percentile(vals, q) in vals
+
+    def test_empty_and_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+
+class TestLatencyTracker:
+    def test_summary_sorted_and_exact(self):
+        t = LatencyTracker()
+        t.record("b", 2.0)
+        t.record("a", 1.0)
+        t.record("b", 4.0)
+        summary = t.summary()
+        assert list(summary) == ["a", "b"]
+        assert summary["b"] == {
+            "count": 2.0, "mean": 3.0, "p50": 2.0, "p99": 4.0, "max": 4.0,
+        }
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyTracker().record("t", -0.1)
+
+    def test_samples_are_copies(self):
+        t = LatencyTracker()
+        t.record("a", 1.0)
+        t.samples("a").append(9.0)
+        assert t.samples("a") == [1.0]

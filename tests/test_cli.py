@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -116,3 +118,57 @@ class TestCalibrate:
         assert main(["calibrate", "--tuples", "5000", "--repeats", "1"]) == 0
         out = capsys.readouterr().out
         assert "alpha_build" in out and "alpha_lookup" in out
+
+
+class TestServe:
+    SMALL = ["serve", "--grid", "16,16", "--p", "4,4", "--q", "2,2",
+             "--storage", "2", "--compute", "2", "--seed", "42"]
+
+    def test_serve_reports_stream(self, capsys):
+        assert main(self.SMALL) == 0
+        out = capsys.readouterr().out
+        assert "policy: fifo" in out
+        assert "shared cache:" in out
+        assert "digest:" in out
+        assert "interactive" in out and "batch" in out
+
+    def test_serve_digest_is_deterministic(self, capsys):
+        def digest():
+            assert main(self.SMALL) == 0
+            out = capsys.readouterr().out
+            (line,) = [ln for ln in out.splitlines() if ln.startswith("digest:")]
+            return line.split()[1]
+
+        assert digest() == digest()
+
+    def test_serve_sanitized_with_baseline(self, capsys):
+        assert main(self.SMALL + ["--functional", "--sanitize",
+                                  "--baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "reversed-tie-break shadow serve passed" in out
+        assert "serial cold-cache baseline" in out
+
+    def test_serve_json_out(self, tmp_path, capsys):
+        target = tmp_path / "serve.json"
+        assert main(self.SMALL + ["--policy", "fair", "--json-out",
+                                  str(target)]) == 0
+        capsys.readouterr()
+        payload = json.loads(target.read_text())
+        assert payload["policy"] == "fair"
+        assert payload["num_queries"] == len(payload["queries"])
+        assert "makespan_s" in payload
+
+    def test_serve_tenant_spec_file(self, tmp_path, capsys):
+        spec = tmp_path / "tenants.json"
+        spec.write_text(json.dumps({"tenants": [
+            {"name": "solo", "rate": 1.0, "num_queries": 3,
+             "mix": {"scan": 1.0}},
+        ]}))
+        assert main(self.SMALL + ["--tenants", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "solo" in out
+        assert "queries: 3" in out
+
+    def test_serve_rejects_belady(self, capsys):
+        assert main(self.SMALL + ["--cache-policy", "belady"]) == 2
+        assert "belady" in capsys.readouterr().err

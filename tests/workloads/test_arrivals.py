@@ -1,0 +1,113 @@
+"""Tests for the seeded multi-tenant arrival processes."""
+
+import pytest
+
+from repro.workloads import TenantSpec, bursty_gaps, generate_workload, poisson_gaps
+
+
+class TestGaps:
+    def test_poisson_mean_matches_rate(self):
+        gaps = poisson_gaps(rate=4.0, n=2000, seed=1)
+        mean = sum(gaps) / len(gaps)
+        assert abs(mean - 0.25) / 0.25 < 0.1
+
+    def test_bursty_mean_matches_rate(self):
+        gaps = bursty_gaps(rate=4.0, n=5000, seed=1, alpha=2.5)
+        mean = sum(gaps) / len(gaps)
+        assert abs(mean - 0.25) / 0.25 < 0.25
+
+    def test_bursty_is_burstier_than_poisson(self):
+        # same mean rate, but the heavy tail pulls the typical gap down
+        def median(gaps):
+            s = sorted(gaps)
+            return s[len(s) // 2]
+        bursty = median(bursty_gaps(rate=1.0, n=2000, seed=3, alpha=1.2))
+        exponential = median(poisson_gaps(rate=1.0, n=2000, seed=3))
+        assert bursty < exponential
+
+    def test_all_gaps_positive(self):
+        assert all(g > 0 for g in poisson_gaps(2.0, 500, seed=9))
+        assert all(g > 0 for g in bursty_gaps(2.0, 500, seed=9))
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            poisson_gaps(0.0, 5, seed=1)
+        with pytest.raises(ValueError):
+            bursty_gaps(1.0, 5, seed=1, alpha=1.0)
+
+
+TENANTS = [
+    TenantSpec(
+        name="alice", rate=2.0, num_queries=20,
+        mix=(("scan", 2.0), ("join", 1.0)),
+    ),
+    TenantSpec(
+        name="bob", rate=1.0, num_queries=10,
+        mix=(("aggregate", 1.0),), process="bursty",
+    ),
+]
+
+
+class TestGenerateWorkload:
+    def test_deterministic(self):
+        assert generate_workload(TENANTS, seed=5) == generate_workload(TENANTS, seed=5)
+
+    def test_seed_changes_stream(self):
+        assert generate_workload(TENANTS, seed=5) != generate_workload(TENANTS, seed=6)
+
+    def test_sorted_with_sequential_qids(self):
+        arrivals = generate_workload(TENANTS, seed=5)
+        assert [a.qid for a in arrivals] == list(range(30))
+        assert all(a.at <= b.at for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_mix_respected(self):
+        arrivals = generate_workload(TENANTS, seed=5)
+        assert {a.kind for a in arrivals if a.tenant == "bob"} == {"aggregate"}
+        assert {a.kind for a in arrivals if a.tenant == "alice"} <= {"scan", "join"}
+
+    def test_adding_later_tenant_preserves_earlier_streams(self):
+        # tenant seeds index the name-sorted order, so a tenant sorting
+        # after the existing ones never perturbs their draws
+        before = generate_workload(TENANTS, seed=5)
+        extended = generate_workload(
+            TENANTS + [TenantSpec(name="carol", rate=1.0, num_queries=5)], seed=5
+        )
+        def key(arrivals):
+            return [
+                (a.tenant, a.at, a.kind, a.seed)
+                for a in arrivals
+                if a.tenant in ("alice", "bob")
+            ]
+        assert key(before) == key(extended)
+
+    def test_duplicate_tenant_names_rejected(self):
+        with pytest.raises(ValueError):
+            generate_workload([TENANTS[0], TENANTS[0]], seed=1)
+
+
+class TestTenantSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantSpec(name="", rate=1.0, num_queries=1)
+        with pytest.raises(ValueError):
+            TenantSpec(name="t", rate=-1.0, num_queries=1)
+        with pytest.raises(ValueError):
+            TenantSpec(name="t", rate=1.0, num_queries=1, process="weird")
+        with pytest.raises(ValueError):
+            TenantSpec(name="t", rate=1.0, num_queries=1, mix=(("nope", 1.0),))
+        with pytest.raises(ValueError):
+            TenantSpec(name="t", rate=1.0, num_queries=1, mix=())
+        with pytest.raises(ValueError):
+            TenantSpec(name="t", rate=1.0, num_queries=1, alpha=0.5)
+
+    def test_from_dict_mix_order_insensitive(self):
+        a = TenantSpec.from_dict(
+            {"name": "t", "rate": 2.0, "num_queries": 3,
+             "mix": {"scan": 1.0, "join": 2.0}}
+        )
+        b = TenantSpec.from_dict(
+            {"name": "t", "rate": 2.0, "num_queries": 3,
+             "mix": {"join": 2.0, "scan": 1.0}}
+        )
+        assert a == b
+        assert a.mix == (("join", 2.0), ("scan", 1.0))
