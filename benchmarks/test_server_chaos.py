@@ -1,0 +1,165 @@
+"""Benchmark: serving goodput under injected faults and overload.
+
+Runs one seeded two-tenant stream through the resilient
+:class:`~repro.server.server.QueryServer` across a sweep of chaos
+scenarios — fault-free control, replication-masked storage crash,
+transient storm absorbed by retries, retry-budget pressure, tight
+per-tenant SLOs, and a bounded queue under burst overload — and lands
+the makespan / goodput / tail-latency surface in
+``results/BENCH_server_chaos.json`` for the regression tracker.
+
+The tracker diffs ``makespan_s`` leaves (bigger = regression), so the
+"goodput" leaf is recorded as its inverse — simulated seconds per
+completed query — and the completed-latency p99 rides along the same
+way.  Everything is deterministic simulated time.
+"""
+
+import dataclasses
+
+from benchmarks.harness import fmt, record_json, record_table
+from repro.cluster.nodes import MachineSpec
+from repro.server import (
+    COMPLETED,
+    QueryServer,
+    ResilienceConfig,
+    RetryPolicy,
+)
+from repro.workloads import TenantSpec, generate_workload
+from repro.workloads.generator import GridSpec
+from repro.workloads.oilres import build_oil_reservoir_dataset
+
+SPEC = GridSpec(g=(16, 16), p=(4, 4), q=(2, 2))
+SLOW = MachineSpec(disk_read_bw=1e5, link_bw=5e4)
+SEED = 2006
+TENANTS = (
+    TenantSpec(
+        name="interactive", rate=6.0, num_queries=6,
+        mix=(("scan", 2.0), ("join", 1.0), ("aggregate", 1.0)),
+    ),
+    TenantSpec(
+        name="batch", rate=5.0, num_queries=5, process="bursty",
+        mix=(("scan", 1.0), ("join", 1.0)),
+    ),
+)
+#: arrivals far faster than one slow slot drains — forces a deep queue
+BURST_TENANTS = tuple(
+    dataclasses.replace(t, rate=50.0) for t in TENANTS
+)
+
+SCENARIOS = {
+    "fault_free": {},
+    "storage_crash_masked": {
+        "replication": 2, "faults": "seed=7,storage_crash=0.3",
+    },
+    "transient_storm_masked": {
+        "replication": 2, "faults": "seed=9,transient=0.2",
+    },
+    "retry_pressure": {
+        "faults": "seed=9,transient=0.5,max_attempts=2",
+        "resilience": ResilienceConfig(retry=RetryPolicy(budget=3)),
+    },
+    "tight_slo": {"deadline": 0.02, "machine": SLOW, "slots": 1},
+    "overload_shed": {
+        "machine": SLOW, "slots": 1, "tenants": BURST_TENANTS,
+        "resilience": ResilienceConfig(queue_limit=2),
+    },
+}
+
+
+def run_scenario(cfg):
+    arrivals = generate_workload(cfg.get("tenants", TENANTS), seed=SEED)
+    if cfg.get("deadline") is not None:
+        arrivals = [
+            dataclasses.replace(a, deadline=cfg["deadline"]) for a in arrivals
+        ]
+    ds = build_oil_reservoir_dataset(
+        SPEC, num_storage=2, functional=True, seed=7,
+        replication=cfg.get("replication", 1),
+    )
+    kwargs = {}
+    if cfg.get("machine") is not None:
+        kwargs["machine"] = cfg["machine"]
+    server = QueryServer(
+        ds,
+        num_compute=2,
+        slots=cfg.get("slots", 2),
+        faults=cfg.get("faults"),
+        resilience=cfg.get("resilience", ResilienceConfig()),
+        sanitize=True,
+        **kwargs,
+    )
+    return server.serve(arrivals)
+
+
+def run_bench():
+    return {name: run_scenario(cfg) for name, cfg in SCENARIOS.items()}
+
+
+def test_server_chaos(benchmark):
+    reports = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    total = len(generate_workload(TENANTS, seed=SEED))
+
+    rows, payload = [], {}
+    for name, rep in reports.items():
+        counts = rep.disposition_counts
+        completed = counts[COMPLETED]
+        completed_p99 = max(
+            (s["p99"] for s in rep.tenant_latency.values()), default=0.0
+        )
+        retries = sum(r.retries for r in rep.records)
+        rows.append(
+            [
+                name,
+                fmt(rep.makespan, 3),
+                f"{completed}/{total}",
+                f"{rep.goodput:.2f}",
+                fmt(completed_p99, 3),
+                retries,
+                counts["deadline_exceeded"],
+                counts["shed"],
+                counts["failed"],
+            ]
+        )
+        payload[name] = {
+            "makespan_s": rep.makespan,
+            "dispositions": {k: v for k, v in counts.items()},
+            "retries": retries,
+            "goodput_qps": rep.goodput,
+            # inverse metrics for the makespan-leaf tracker: grows when
+            # goodput drops or the completed tail stretches
+            "seconds_per_completed": {
+                "makespan_s": rep.makespan / completed if completed else 0.0
+            },
+            "completed_p99": {"makespan_s": completed_p99},
+            "digest": rep.digest(),
+        }
+    record_table(
+        "server_chaos",
+        f"Serving under chaos — {total} queries, dataset {SPEC.g}",
+        [
+            "scenario", "makespan (s)", "completed", "goodput (q/s)",
+            "p99 (s)", "retries", "expired", "shed", "failed",
+        ],
+        rows,
+        notes=[
+            "goodput counts completed queries only; p99 is over completed",
+            "latencies — expired/shed/failed queries never pollute the tail.",
+        ],
+    )
+    record_json("server_chaos", payload)
+
+    # masked scenarios lose nothing; recovery costs time, not answers
+    for name in ("fault_free", "storage_crash_masked", "transient_storm_masked"):
+        assert reports[name].disposition_counts[COMPLETED] == total, name
+    ff = reports["fault_free"]
+    assert reports["storage_crash_masked"].makespan >= ff.makespan
+
+    # the pressure scenarios actually exercise the resilience machinery
+    assert sum(r.retries for r in reports["retry_pressure"].records) > 0
+    assert reports["tight_slo"].disposition_counts["deadline_exceeded"] > 0
+    assert reports["overload_shed"].disposition_counts["shed"] > 0
+
+    # degraded modes still make forward progress
+    for name, rep in reports.items():
+        assert rep.disposition_counts[COMPLETED] > 0, name
+        assert rep.goodput > 0, name

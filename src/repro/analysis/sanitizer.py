@@ -76,6 +76,7 @@ class RunSanitizer:
         self._last_now: Optional[float] = None
         self._caches: List[Tuple[str, object]] = []
         self._cluster = None
+        self._underclaim_ok: Optional[str] = None
 
     def _fail(self, message: str) -> None:
         prefix = f"[{self.label}] " if self.label else ""
@@ -188,6 +189,19 @@ class RunSanitizer:
         if tel is not None:
             self._check_telemetry(tel, report)
 
+    def allow_transfer_underclaim(self, reason: str) -> None:
+        """Tolerate successful transfers the report does not claim.
+
+        A caller that aborts executions mid-flight (server deadlines,
+        retry supervision) strands in-flight transfers that complete
+        with nobody left to account them; it declares that here, with a
+        reason, before :meth:`after_run`.  Over-claiming — a report
+        claiming bytes no transfer delivered — is never tolerated.
+        """
+        if not reason:
+            self._fail("allow_transfer_underclaim needs a reason")
+        self._underclaim_ok = reason
+
     def _check_conservation(self, report) -> None:
         claimed = report.bytes_from_storage
         if claimed > self.transferred_ok:
@@ -195,7 +209,11 @@ class RunSanitizer:
                 f"report claims {claimed} bytes from storage but only "
                 f"{self.transferred_ok} bytes of transfers succeeded"
             )
-        if claimed < self.transferred_ok and not self._compute_crashes_planned():
+        if (
+            claimed < self.transferred_ok
+            and self._underclaim_ok is None
+            and not self._compute_crashes_planned()
+        ):
             # without compute crashes every successful transfer has a live
             # waiter, so the ledgers must agree exactly
             self._fail(

@@ -383,7 +383,10 @@ def _load_tenants(path: Optional[str]):
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.server import QueryServer, run_serial_baseline
+    import dataclasses
+
+    from repro.server import QueryServer, ResilienceConfig, RetryPolicy, \
+        run_serial_baseline
     from repro.workloads.arrivals import generate_workload
     from repro.workloads.oilres import build_oil_reservoir_dataset
 
@@ -391,12 +394,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     machine = _machine(args)
     calibration = _drift_calibration(args)
     tenants = _load_tenants(args.tenants)
+    if args.deadline is not None:
+        # a blanket SLO for tenants whose spec does not set its own
+        tenants = [
+            t if t.deadline is not None
+            else dataclasses.replace(t, deadline=args.deadline)
+            for t in tenants
+        ]
     arrivals = generate_workload(tenants, seed=args.seed)
+    resilience = ResilienceConfig(
+        retry=RetryPolicy(budget=args.retry_budget),
+        queue_limit=args.queue_limit,
+        shed_policy=args.shed_policy,
+        breaker_threshold=args.breaker_threshold,
+        on_unrecoverable="raise" if args.fail_mode == "strict" else "fail",
+    )
 
     def build_server(tie_break: str) -> QueryServer:
         dataset = build_oil_reservoir_dataset(
             spec, num_storage=args.storage, functional=args.functional,
-            seed=args.seed,
+            seed=args.seed, replication=args.replication,
         )
         return QueryServer(
             dataset,
@@ -408,10 +425,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             calibration=calibration,
             sanitize=args.sanitize,
             tie_break=tie_break,
+            faults=args.faults,
+            resilience=resilience,
         )
 
+    degraded = args.faults is not None or any(
+        a.deadline is not None for a in arrivals
+    )
     report = build_server("fifo").serve(arrivals)
-    if args.sanitize:
+    if args.sanitize and not degraded:
         # shadow serve with the engine's same-instant tie-break reversed:
         # the semantic outcome (admission order, per-query answers) must
         # not depend on how simultaneous events happened to be ordered
@@ -422,6 +444,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"(digest {report.digest()[:12]} vs {shadow.digest()[:12]} "
                 "under reversed tie-break)"
             )
+    elif args.sanitize:
+        # under faults or deadlines, which dispositions win a race *is*
+        # trace-order-dependent, so the reversed shadow is not comparable;
+        # the replacement guarantee is exact replay: the identical run
+        # must reproduce the full report payload byte for byte
+        replay = build_server("fifo").serve(arrivals)
+        if json.dumps(replay.to_payload(), sort_keys=True) != json.dumps(
+            report.to_payload(), sort_keys=True
+        ):
+            raise SanitizerViolation(
+                "faulted serve did not replay byte-identically"
+            )
 
     print(spec.describe())
     print(f"policy: {report.policy}   slots: {report.slots}   "
@@ -430,6 +464,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"{report.cache_misses:,} misses "
           f"(hit rate {report.cache_hit_rate:.1%}); "
           f"{report.bytes_from_storage:,} B from storage")
+    counts = report.disposition_counts
+    print(f"dispositions: {counts['completed']} completed / "
+          f"{counts['deadline_exceeded']} deadline_exceeded / "
+          f"{counts['shed']} shed / {counts['failed']} failed; "
+          f"goodput {report.goodput:.2f} q/s")
     rows = [
         [
             tenant,
@@ -460,9 +499,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"{base.bytes_from_storage:,} B from storage, "
               f"{base.total_exec_time:.3f}s summed execution")
     print(f"digest: {report.digest()}")
-    if args.sanitize:
+    if args.sanitize and not degraded:
         print("sanitizer: invariant hooks and reversed-tie-break shadow "
               "serve passed")
+    elif args.sanitize:
+        print("sanitizer: invariant hooks and byte-identical faulted "
+              "replay passed")
     if args.json_out:
         with open(args.json_out, "w", encoding="utf-8") as fh:
             json.dump(report.to_payload(), fh, indent=2, sort_keys=True)
@@ -710,10 +752,48 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run under the simulation sanitizer and "
                               "re-serve with the engine's same-instant "
                               "tie-break reversed; a semantic digest "
-                              "mismatch exits 4")
+                              "mismatch exits 4 (with faults or deadlines "
+                              "the shadow is a byte-identical replay "
+                              "instead)")
     p_serve.add_argument("--json-out", type=str, default=None, metavar="FILE",
                          help="write the full deterministic report payload "
                               "as sorted-key JSON")
+    p_serve.add_argument("--faults", type=str, default=None, metavar="SPEC",
+                         help="inject a deterministic fault plan while "
+                              "serving, e.g. 'seed=7,storage_crash=0.5' "
+                              "(see FaultPlan.parse for the grammar)")
+    p_serve.add_argument("--replication", type=int, default=1, metavar="K",
+                         help="write each chunk to K storage nodes so "
+                              "serving can fail reads over (default 1)")
+    p_serve.add_argument("--deadline", type=float, default=None, metavar="S",
+                         help="per-query SLO in simulated seconds applied "
+                              "to every tenant whose spec sets none; an "
+                              "expired query is unwound and recorded "
+                              "deadline_exceeded")
+    p_serve.add_argument("--retry-budget", type=int, default=2, metavar="N",
+                         help="server-level re-executions allowed per "
+                              "fault-killed query (default 2), with seeded "
+                              "exponential backoff between attempts")
+    p_serve.add_argument("--queue-limit", type=int, default=None, metavar="N",
+                         help="bound the admission queue at N waiters and "
+                              "shed on overflow (default unbounded)")
+    p_serve.add_argument("--shed-policy", default="reject-newest",
+                         choices=["reject-newest", "reject-lowest-priority",
+                                  "token-bucket"],
+                         help="load-shedding policy once the queue limit "
+                              "is hit (default reject-newest)")
+    p_serve.add_argument("--breaker-threshold", type=float, default=None,
+                         metavar="S",
+                         help="open a circuit breaker shedding predicted-"
+                              "expensive queries while observed queue-wait "
+                              "p99 exceeds S seconds (default off)")
+    p_serve.add_argument("--fail-mode", choices=["strict", "graceful"],
+                         default="strict",
+                         help="strict (default): a query exhausting its "
+                              "retry budget on an unrecoverable fault "
+                              "aborts the run with a structured error "
+                              "(exit 3); graceful: record it as failed "
+                              "and keep serving")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_sweep = sub.add_parser("sweep", help="regenerate one of the paper's sweeps")

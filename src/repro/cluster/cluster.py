@@ -185,7 +185,7 @@ class ClusterSim:
     def joiner(self, j: int) -> ComputeNode:
         return self.compute_nodes[j]
 
-    def spawn(self, gen, name: str = "") -> Process:
+    def spawn(self, gen, name: str = "", contain: tuple = ()) -> Process:
         """Launch a concurrent simulation process on this cluster.
 
         QES implementations use this for every logical activity they run —
@@ -193,9 +193,11 @@ class ClusterSim:
         the per-joiner background transfer processes that overlap
         communication with computation.  The returned :class:`Process` is
         itself an event: yield it to join, or hold it as a handle to an
-        in-flight activity.
+        in-flight activity.  ``contain`` is forwarded to the engine: an
+        uncaught exception of a contained class fails the process event
+        instead of propagating (see :class:`~repro.cluster.events.Process`).
         """
-        return self.engine.process(gen, name=name)
+        return self.engine.process(gen, name=name, contain=contain)
 
     # -- composite operations ------------------------------------------------------
 

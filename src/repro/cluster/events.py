@@ -179,14 +179,31 @@ class Process(Event):
     :class:`Interrupt` (the process was deliberately killed) *fails* the
     process event instead, so joiners observe the death while the
     simulation carries on.
+
+    ``contain`` widens that carve-out to the given exception classes: an
+    uncaught instance of a contained class also *fails* the process event
+    instead of propagating.  The query server runs executions as contained
+    processes so a fault that exhausts every recovery path kills *that
+    query's* process tree (observed by whoever joins it) without tearing
+    down the whole serving simulation.  Model bugs — anything outside the
+    contained classes — still propagate loudly.
     """
 
-    __slots__ = ("_gen", "name", "_target")
+    __slots__ = ("_gen", "name", "_target", "contain")
 
-    def __init__(self, engine: "SimEngine", gen: Generator[Event, Any, Any], name: str = ""):
+    def __init__(
+        self,
+        engine: "SimEngine",
+        gen: Generator[Event, Any, Any],
+        name: str = "",
+        contain: tuple = (),
+    ):
         super().__init__(engine)
         self._gen = gen
         self.name = name or getattr(gen, "__name__", "process")
+        #: exception classes that fail this process event instead of
+        #: propagating out of the engine when raised uncaught inside it
+        self.contain = tuple(contain)
         #: the event this process is currently waiting on (wait token: a
         #: resumption is only valid while its event is still the target)
         self._target: Optional[Event] = None
@@ -240,6 +257,11 @@ class Process(Event):
             self._finish(False, intr)
             return
         except Exception as exc:
+            if self.contain and isinstance(exc, self.contain):
+                # a tolerated failure class: fail the process event so
+                # joiners observe it, exactly like an uncaught interrupt
+                self._finish(False, exc)
+                return
             # With concurrent background processes (e.g. the pipelined
             # Indexed Join's prefetchers) a raw traceback no longer
             # identifies the failing logical activity — annotate it.
@@ -412,8 +434,13 @@ class SimEngine:
     def timeout(self, delay: float) -> Timeout:
         return Timeout(self, delay)
 
-    def process(self, gen: Generator[Event, Any, Any], name: str = "") -> Process:
-        return Process(self, gen, name=name)
+    def process(
+        self,
+        gen: Generator[Event, Any, Any],
+        name: str = "",
+        contain: tuple = (),
+    ) -> Process:
+        return Process(self, gen, name=name, contain=contain)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)

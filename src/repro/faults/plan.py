@@ -33,6 +33,18 @@ from repro.core.rng import splitmix64
 
 __all__ = ["NodeCrash", "Degradation", "FaultPlan", "splitmix64"]
 
+#: every key :meth:`FaultPlan.parse` understands, in documentation order
+_SPEC_KEYS = (
+    "seed",
+    "transient",
+    "max_attempts",
+    "retry_base",
+    "storage_crash",
+    "compute_crash",
+    "disk_degrade",
+    "nic_degrade",
+)
+
 
 @dataclass(frozen=True)
 class NodeCrash:
@@ -159,7 +171,10 @@ class FaultPlan:
                     )
                 )
             else:
-                raise ValueError(f"unknown fault spec key {key!r}")
+                raise ValueError(
+                    f"unknown fault spec key {key!r} in {item!r} "
+                    f"(valid keys: {', '.join(_SPEC_KEYS)})"
+                )
         return cls(
             crashes=tuple(crashes), degradations=tuple(degradations), **kw
         )
@@ -180,6 +195,12 @@ class FaultPlan:
         if self.retry_base != 0.05:
             parts.append(f"retry_base={self.retry_base:g}")
         return ",".join(parts)
+
+    def __str__(self) -> str:
+        """The canonical spec — ``FaultPlan.parse(str(plan))`` round-trips
+        for every plan whose floats survive ``%g`` formatting (i.e. any
+        plan that itself came from a spec)."""
+        return self.to_spec()
 
     # keep dataclass niceties but define stable draw helpers --------------------
 

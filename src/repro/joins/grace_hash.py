@@ -40,6 +40,8 @@ from repro.datamodel.bounding_box import BoundingBox
 from repro.datamodel.chunk import ChunkDescriptor
 from repro.datamodel.subtable import SubTable, SubTableId, concat_subtables
 from repro.faults.errors import (
+    ComputeNodeDown,
+    FaultError,
     StorageNodeDown,
     TransientTransferFault,
     UnrecoverableFault,
@@ -102,6 +104,7 @@ class GraceHashQES:
         range_constraint: Optional["BoundingBox"] = None,
         sanitizer=None,
         critical_path: bool = True,
+        contain_faults: bool = False,
     ):
         self.cluster = cluster
         self.metadata = metadata
@@ -117,6 +120,10 @@ class GraceHashQES:
         #: disables this for its per-query executions (one global recorder
         #: spans many interleaved queries, so a per-query path is undefined)
         self.critical_path = critical_path
+        #: when True (the query server's mode), every process this QES
+        #: spawns is contained: a fault that exhausts recovery fails the
+        #: driver event instead of propagating out of the shared engine
+        self.contain_faults = contain_faults
         self.num_buckets = (
             num_buckets if num_buckets is not None else self._choose_num_buckets()
         )
@@ -199,6 +206,10 @@ class GraceHashQES:
 
         # ---- phase 1: partition both tables ------------------------------------
         injector = cluster.faults
+        contain = (FaultError, UnrecoverableFault) if self.contain_faults else ()
+        #: every process this run spawns, so a server can abort the whole
+        #: tree (driver first, then workers) when a deadline expires
+        children: list = []
         pending_writes: list = []
         #: chunk ids whose bucket contributions are fully recorded; a chunk
         #: interrupted mid-stream never commits and is redone from a replica
@@ -220,8 +231,10 @@ class GraceHashQES:
                         report, pending_writes, committed, tel=tel, pspan=pspan,
                     ),
                     name=f"gh-storage{s}",
+                    contain=contain,
                 )
             )
+        children.extend(storage_procs)
 
         def barrier_then_join():
             yield cluster.engine.all_of(storage_procs)
@@ -262,9 +275,11 @@ class GraceHashQES:
                             tel=tel, pspan=pspan,
                         ),
                         name=f"gh-storage{node}.r{round_no}",
+                        contain=contain,
                     )
                     for node, descs in sorted(groups.items())
                 ]
+                children.extend(retry_procs)
                 yield cluster.engine.all_of(retry_procs)
             yield cluster.engine.all_of(pending_writes)
             if tel is not None:
@@ -295,19 +310,25 @@ class GraceHashQES:
                         results, tel=tel, qspan=qspan,
                     ),
                     name=f"gh-joiner{j}",
+                    contain=contain,
                 )
                 for j in range(n_j)
             ]
+            children.extend(joiners)
             if injector is not None:
                 for j, proc in enumerate(joiners):
                     injector.register_compute(j, proc)
             try:
                 yield cluster.engine.all_of(joiners)
             except Interrupt as intr:
+                if not isinstance(intr.cause, ComputeNodeDown):
+                    # not a node death (e.g. a server aborting the whole
+                    # query on a deadline): die without relabelling it
+                    raise
                 raise UnrecoverableFault(
                     "grace hash lost partitioned bucket data with its "
                     "compute node",
-                    node=getattr(intr.cause, "node", None),
+                    node=intr.cause.node,
                 ) from intr
             # capture before returning: pending fault timers may advance
             # the clock after the join is already complete
@@ -316,8 +337,10 @@ class GraceHashQES:
         results: Optional[List[List[SubTable]]] = (
             [[] for _ in range(n_j)] if functional else None
         )
-        process = cluster.engine.process(barrier_then_join(), name=name)
-        return GraceHashRun(self, process, report, results, tel, qspan)
+        process = cluster.engine.process(
+            barrier_then_join(), name=name, contain=contain
+        )
+        return GraceHashRun(self, process, report, results, tel, qspan, children)
 
     # -- phase 1: storage-side streaming ----------------------------------------------
 
@@ -663,7 +686,7 @@ class GraceHashRun:
     assembles the :class:`ExecutionReport` once the driver has completed.
     """
 
-    def __init__(self, qes, process, report, results, tel, qspan):
+    def __init__(self, qes, process, report, results, tel, qspan, children=()):
         self.qes = qes
         self.process = process
         self.report = report
@@ -671,6 +694,19 @@ class GraceHashRun:
         self._tel = tel
         self._qspan = qspan
         self._finished = False
+        #: every worker process the driver spawned (streamers, joiners)
+        self.children = children
+
+    def abort(self, cause=None) -> None:
+        """Kill the whole execution tree at the current simulated instant.
+
+        Driver first (so it cannot misread a worker's death as a node
+        crash), then every spawned worker; already-finished processes are
+        unaffected.  The server's deadline path calls this.
+        """
+        self.process.interrupt(cause)
+        for proc in self.children:
+            proc.interrupt(cause)
 
     def finish(self) -> ExecutionReport:
         """Assemble and return the report (driver must have completed)."""

@@ -49,6 +49,7 @@ from repro.cluster.cluster import ClusterSim
 from repro.cluster.events import Event, Interrupt
 from repro.datamodel.subtable import SubTable, SubTableId
 from repro.faults.errors import (
+    ComputeNodeDown,
     FaultError,
     StorageNodeDown,
     TransientTransferFault,
@@ -149,6 +150,7 @@ class IndexedJoinQES:
         sanitizer=None,
         busy_joiners=None,
         critical_path: bool = True,
+        contain_faults: bool = False,
     ):
         self.cluster = cluster
         self.metadata = metadata
@@ -183,6 +185,10 @@ class IndexedJoinQES:
         self.sanitizer = sanitizer
         self.busy_joiners = busy_joiners
         self.critical_path = critical_path
+        #: when True (the query server's mode), every process this QES
+        #: spawns is contained: a fault that exhausts recovery fails the
+        #: driver event instead of propagating out of the shared engine
+        self.contain_faults = contain_faults
 
     # -- execution ---------------------------------------------------------------
 
@@ -269,6 +275,11 @@ class IndexedJoinQES:
             tel.recorder.finish(sched)
 
         injector = cluster.faults
+        contain = (FaultError, UnrecoverableFault) if self.contain_faults else ()
+        #: every process this run spawns, so a server can abort the whole
+        #: tree (driver first, then workers) when a deadline expires
+        children: List = []
+        self._spawned = children
 
         def launch(j: int, pairs, tag: str = ""):
             """Start a joiner over an explicit pair batch; returns the
@@ -284,7 +295,8 @@ class IndexedJoinQES:
                     j, pairs, caches[j], report, results, progress,
                     tel=tel, qspan=qspan, tag=tag,
                 )
-            proc = cluster.spawn(body, name=f"ij-joiner{j}{tag}")
+            proc = cluster.spawn(body, name=f"ij-joiner{j}{tag}", contain=contain)
+            children.append(proc)
             if injector is not None:
                 injector.register_compute(j, proc)
             return (j, pairs, progress, proc)
@@ -309,7 +321,13 @@ class IndexedJoinQES:
                 i += 1
                 try:
                     yield proc
-                except Interrupt:
+                except Interrupt as intr:
+                    if injector is None or not isinstance(
+                        intr.cause, ComputeNodeDown
+                    ):
+                        # not a node death (e.g. a server aborting the whole
+                        # query on a deadline): die, don't reassign
+                        raise
                     remaining = pairs[progress[0] :]
                     if not remaining:
                         continue
@@ -340,7 +358,7 @@ class IndexedJoinQES:
             # clock after the join is already complete
             report.total_time = cluster.engine.now
 
-        proc = cluster.engine.process(coordinator(), name=name)
+        proc = cluster.engine.process(coordinator(), name=name, contain=contain)
         return IndexedJoinRun(
             qes=self,
             process=proc,
@@ -350,6 +368,7 @@ class IndexedJoinQES:
             stats_before=stats_before,
             tel=tel,
             qspan=qspan,
+            children=children,
         )
 
     # -- fault-tolerant transfer ---------------------------------------------------
@@ -577,13 +596,18 @@ class IndexedJoinQES:
         sources: Dict[SubTableId, int] = {}
 
         def spawn_prefetch(pair, label):
+            contain = (
+                (FaultError, UnrecoverableFault) if self.contain_faults else ()
+            )
             proc = cluster.spawn(
                 self._prefetch_pair(
                     j, pair, cache, inflight, sources, pb, report,
                     tel=tel, jspan=jspan, tag=tag, label=label,
                 ),
                 name=f"ij-prefetch{j}{tag}.{label}",
+                contain=contain,
             )
+            self._spawned.append(proc)
             if injector is not None:
                 # prefetchers die with their compute node, like the joiner
                 injector.register_compute(j, proc)
@@ -831,7 +855,7 @@ class IndexedJoinRun:
     """
 
     def __init__(self, qes, process, report, results, caches, stats_before,
-                 tel, qspan):
+                 tel, qspan, children=()):
         self.qes = qes
         self.process = process
         self.report = report
@@ -841,6 +865,21 @@ class IndexedJoinRun:
         self._tel = tel
         self._qspan = qspan
         self._finished = False
+        #: every worker process the driver spawned (joiners, prefetchers)
+        self.children = children
+
+    def abort(self, cause=None) -> None:
+        """Kill the whole execution tree at the current simulated instant.
+
+        Interrupts the driver first (so the coordinator dies before it can
+        observe — and try to reassign — its workers' deaths), then every
+        spawned worker.  Each process unwinds its pin scopes as the
+        interrupt propagates; interrupting already-finished processes is a
+        no-op.  The server's deadline path calls this.
+        """
+        self.process.interrupt(cause)
+        for proc in self.children:
+            proc.interrupt(cause)
 
     def finish(self) -> ExecutionReport:
         """Assemble and return the report (driver must have completed)."""

@@ -5,6 +5,9 @@
   pool.
 * :mod:`~repro.server.queries` — seeded query construction: arrival →
   concrete scan/join/aggregate → planner → :class:`PlannedQuery`.
+* :mod:`~repro.server.resilience` — serving under failure and overload:
+  terminal dispositions, retry backoff, load-shedding policies and the
+  queue-wait circuit breaker.
 * :mod:`~repro.server.server` — the :class:`QueryServer` itself plus the
   cold-cache serial baseline it is measured against.
 """
@@ -17,6 +20,23 @@ from repro.server.admission import (
     make_admission_policy,
 )
 from repro.server.queries import PlannedQuery, build_query, draw_box
+from repro.server.resilience import (
+    COMPLETED,
+    DEADLINE_EXCEEDED,
+    DISPOSITIONS,
+    FAILED,
+    SHED,
+    CircuitBreaker,
+    QueryAborted,
+    QueryShed,
+    RejectLowestPriority,
+    RejectNewest,
+    ResilienceConfig,
+    RetryPolicy,
+    ShedPolicy,
+    TokenBucketShedder,
+    make_shed_policy,
+)
 from repro.server.server import (
     QueryRecord,
     QueryServer,
@@ -27,16 +47,31 @@ from repro.server.server import (
 
 __all__ = [
     "AdmissionPolicy",
+    "COMPLETED",
+    "CircuitBreaker",
+    "DEADLINE_EXCEEDED",
+    "DISPOSITIONS",
+    "FAILED",
     "FIFOAdmission",
     "FairShareAdmission",
     "PlannedQuery",
+    "QueryAborted",
     "QueryRecord",
     "QueryServer",
+    "QueryShed",
+    "RejectLowestPriority",
+    "RejectNewest",
+    "ResilienceConfig",
+    "RetryPolicy",
+    "SHED",
     "SerialBaseline",
     "ServerReport",
+    "ShedPolicy",
     "ShortestPredictedFirst",
+    "TokenBucketShedder",
     "build_query",
     "draw_box",
     "make_admission_policy",
+    "make_shed_policy",
     "run_serial_baseline",
 ]

@@ -50,6 +50,22 @@ class AdmissionPolicy:
     def pop(self):
         raise NotImplementedError
 
+    def remove(self, entry) -> bool:
+        """Withdraw a waiting entry (deadline expiry, load shedding).
+
+        Returns ``True`` if the entry was queued and has been removed,
+        ``False`` if it was not in the queue (e.g. already admitted).
+        """
+        raise NotImplementedError
+
+    def entries(self) -> List:
+        """Snapshot of the waiting entries in a deterministic order.
+
+        The shedding policies enumerate this to pick a victim; the order
+        is a pure function of the queue contents, never of hash order.
+        """
+        raise NotImplementedError
+
     def __len__(self) -> int:
         raise NotImplementedError
 
@@ -67,6 +83,16 @@ class FIFOAdmission(AdmissionPolicy):
 
     def pop(self):
         return self._queue.popleft() if self._queue else None
+
+    def remove(self, entry) -> bool:
+        try:
+            self._queue.remove(entry)
+        except ValueError:
+            return False
+        return True
+
+    def entries(self) -> List:
+        return list(self._queue)
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -93,6 +119,14 @@ class ShortestPredictedFirst(AdmissionPolicy):
         if not self._queue:
             return None
         return self._queue.pop(0)[2]
+
+    def remove(self, entry) -> bool:
+        before = len(self._queue)
+        self._queue = [item for item in self._queue if item[1] != entry.qid]
+        return len(self._queue) < before
+
+    def entries(self) -> List:
+        return [item[2] for item in self._queue]
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -128,6 +162,22 @@ class FairShareAdmission(AdmissionPolicy):
         entry = self._queues[tenant].popleft()
         self._served[tenant] += entry.predicted_time
         return entry
+
+    def remove(self, entry) -> bool:
+        queue = self._queues.get(entry.tenant)
+        if queue is None:
+            return False
+        try:
+            queue.remove(entry)
+        except ValueError:
+            return False
+        return True
+
+    def entries(self) -> List:
+        out: List = []
+        for tenant in sorted(self._queues):
+            out.extend(self._queues[tenant])
+        return out
 
     def __len__(self) -> int:
         return sum(len(q) for q in self._queues.values())

@@ -1,0 +1,385 @@
+"""Resilience policies for the query server: dispositions, retries,
+load shedding and the overload circuit breaker.
+
+The server promises that **every submitted query reaches exactly one
+terminal disposition**:
+
+* ``completed`` — executed and answered;
+* ``deadline_exceeded`` — its tenant SLO expired (while queued or while
+  executing); the query's process tree was aborted and unwound;
+* ``shed`` — refused at submission (or evicted from the queue) by
+  overload protection, without ever holding a slot;
+* ``failed`` — killed by injected faults and not salvaged within its
+  retry budget.
+
+Everything here is deterministic: backoff jitter comes from the
+counter-based splitmix64 stream of the *query's own seed* (never a
+stateful RNG), token buckets refill from the simulated clock, and victim
+selection is a pure function of queue contents with explicit
+``(predicted_time, qid)`` tie-breaks — the chaos suite replays whole
+faulted workloads byte-for-byte on top of these policies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.core.rng import uniform
+from repro.faults.errors import FaultError, UnrecoverableFault
+from repro.telemetry.latency import percentile
+
+__all__ = [
+    "COMPLETED",
+    "DEADLINE_EXCEEDED",
+    "SHED",
+    "FAILED",
+    "DISPOSITIONS",
+    "QueryAborted",
+    "QueryShed",
+    "RetryPolicy",
+    "ShedPolicy",
+    "RejectNewest",
+    "RejectLowestPriority",
+    "TokenBucketShedder",
+    "CircuitBreaker",
+    "ResilienceConfig",
+    "make_shed_policy",
+    "is_retryable",
+]
+
+COMPLETED = "completed"
+DEADLINE_EXCEEDED = "deadline_exceeded"
+SHED = "shed"
+FAILED = "failed"
+#: every terminal disposition a submitted query can reach
+DISPOSITIONS = (COMPLETED, DEADLINE_EXCEEDED, SHED, FAILED)
+
+#: splitmix64 counter base for backoff jitter draws, disjoint from the
+#: planner's per-query draws (small counters in ``server/queries.py``)
+_BACKOFF_DRAW_BASE = 1 << 16
+
+
+class QueryAborted(Exception):
+    """Interrupt *cause* used when the server kills a query's process
+    tree (deadline expiry, or draining a beaten attempt before a retry).
+
+    Distinct from the fault-injector causes on purpose: the QES recovery
+    paths only mask :class:`~repro.faults.ComputeNodeDown` interrupts —
+    an abort must kill the execution, not trigger pair reassignment.
+    """
+
+    def __init__(self, qid: int, reason: str):
+        super().__init__(f"q{qid} aborted: {reason}")
+        self.qid = qid
+        self.reason = reason
+
+
+class QueryShed(Exception):
+    """Thrown into a *queued* query's lifecycle when shedding evicts it
+    (the reject-lowest-priority policy can pick an already-queued victim,
+    not just the incoming query)."""
+
+    def __init__(self, qid: int, reason: str):
+        super().__init__(f"q{qid} shed: {reason}")
+        self.qid = qid
+        self.reason = reason
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Whether a server-level retry may salvage a killed attempt.
+
+    Injected faults (``FaultError`` subclasses) and exhausted-recovery
+    terminations (``UnrecoverableFault``) are retryable: a fresh attempt
+    re-draws its transient faults and re-places work on surviving nodes.
+    Anything else is a model bug and must stay loud.
+    """
+    return isinstance(exc, (FaultError, UnrecoverableFault))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Seeded exponential backoff with jitter.
+
+    ``budget`` is the number of *retries* (attempts beyond the first);
+    ``backoff(seed, attempt)`` is the delay before retry ``attempt``
+    (1-based): ``base * 2**(attempt-1)`` capped at ``cap``, scaled by a
+    jitter factor in ``[0.5, 1.0)`` drawn from the query seed's
+    counter stream — deterministic per (seed, attempt), decorrelated
+    across queries so synchronized retry storms cannot form.
+    """
+
+    budget: int = 2
+    base: float = 0.05
+    cap: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.budget < 0:
+            raise ValueError(f"retry budget must be >= 0, got {self.budget}")
+        if self.base <= 0:
+            raise ValueError(f"retry base must be positive, got {self.base}")
+        if self.cap < self.base:
+            raise ValueError(f"retry cap {self.cap} below base {self.base}")
+
+    def backoff(self, seed: int, attempt: int) -> float:
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        raw = min(self.cap, self.base * (2 ** (attempt - 1)))
+        jitter = 0.5 + 0.5 * uniform(seed, _BACKOFF_DRAW_BASE + attempt)
+        return raw * jitter
+
+
+class ShedPolicy:
+    """Submission-time load shedding over the admission queue.
+
+    :meth:`victim` is consulted once per submitted query, *before* it is
+    enqueued.  It returns ``None`` to admit, or ``(victim_entry, reason)``
+    to shed — where the victim is either the incoming entry itself or an
+    already-queued entry that must be evicted to make room.
+    """
+
+    name: str = ""
+
+    def victim(self, entry, queue, now: float) -> Optional[Tuple[object, str]]:
+        raise NotImplementedError
+
+
+class RejectNewest(ShedPolicy):
+    """Bounded queue, drop-tail: a full queue rejects the incoming query."""
+
+    name = "reject-newest"
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise ValueError(f"queue limit must be >= 1, got {limit}")
+        self.limit = limit
+
+    def victim(self, entry, queue, now: float):
+        if len(queue) >= self.limit:
+            return entry, "queue-full"
+        return None
+
+
+class RejectLowestPriority(ShedPolicy):
+    """Bounded queue that evicts the least valuable waiter.
+
+    Priority is the planner's cost estimate: when the queue is full the
+    query with the *largest* ``predicted_time`` among the waiters and the
+    incoming query is shed (ties break on the larger ``qid`` — newest
+    goes first).  A cheap incoming query can therefore displace an
+    expensive queued one.
+    """
+
+    name = "reject-lowest-priority"
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise ValueError(f"queue limit must be >= 1, got {limit}")
+        self.limit = limit
+
+    def victim(self, entry, queue, now: float):
+        if len(queue) < self.limit:
+            return None
+        candidates = list(queue.entries())
+        candidates.append(entry)
+        chosen = max(candidates, key=lambda e: (e.predicted_time, e.qid))
+        return chosen, "lowest-priority"
+
+
+class TokenBucketShedder(ShedPolicy):
+    """Per-tenant token bucket: each admission costs one token; buckets
+    refill at ``rate`` tokens per simulated second up to ``burst``.
+
+    A tenant that outruns its refill rate has its excess queries shed
+    while other tenants are untouched — per-tenant isolation that a
+    single shared queue bound cannot give.  ``limit`` (optional) adds a
+    drop-tail bound on the shared queue as a backstop.
+    """
+
+    name = "token-bucket"
+
+    def __init__(self, rate: float, burst: float, limit: Optional[int] = None):
+        if rate <= 0:
+            raise ValueError(f"token rate must be positive, got {rate}")
+        if burst < 1:
+            raise ValueError(f"token burst must be >= 1, got {burst}")
+        if limit is not None and limit < 1:
+            raise ValueError(f"queue limit must be >= 1, got {limit}")
+        self.rate = rate
+        self.burst = burst
+        self.limit = limit
+        self._tokens: Dict[str, float] = {}
+        self._refilled_at: Dict[str, float] = {}
+
+    def _refill(self, tenant: str, now: float) -> float:
+        tokens = self._tokens.get(tenant, self.burst)
+        last = self._refilled_at.get(tenant, 0.0)
+        tokens = min(self.burst, tokens + (now - last) * self.rate)
+        self._tokens[tenant] = tokens
+        self._refilled_at[tenant] = now
+        return tokens
+
+    def victim(self, entry, queue, now: float):
+        if self.limit is not None and len(queue) >= self.limit:
+            return entry, "queue-full"
+        tokens = self._refill(entry.tenant, now)
+        if tokens < 1.0:
+            return entry, "token-bucket"
+        self._tokens[entry.tenant] = tokens - 1.0
+        return None
+
+
+class CircuitBreaker:
+    """Cost-model-driven overload breaker.
+
+    Watches the p99 of recently *observed* queue waits (a sliding window
+    fed at each admission); while that p99 exceeds ``threshold`` the
+    breaker is open and queries the planner predicts to cost at least
+    ``cost_cutoff`` seconds are shed.  Cheap queries keep flowing — the
+    point is to stop predicted-expensive work from compounding an
+    already-backed-up queue, not to close the door.  The breaker closes
+    by itself once enough fast admissions age the slow waits out of the
+    window.
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        cost_cutoff: float,
+        window: int = 32,
+        min_samples: int = 4,
+    ):
+        if threshold <= 0:
+            raise ValueError(f"breaker threshold must be positive, got {threshold}")
+        if cost_cutoff < 0:
+            raise ValueError(f"cost cutoff must be >= 0, got {cost_cutoff}")
+        if window < min_samples:
+            raise ValueError(
+                f"window {window} smaller than min_samples {min_samples}"
+            )
+        self.threshold = threshold
+        self.cost_cutoff = cost_cutoff
+        self.window = window
+        self.min_samples = min_samples
+        self._waits: Deque[float] = deque(maxlen=window)
+        #: queries shed while open (diagnostic, reported by the server)
+        self.tripped = 0
+
+    def observe_wait(self, wait: float) -> None:
+        if wait < 0:
+            raise ValueError(f"negative queue wait {wait}")
+        self._waits.append(wait)
+
+    def is_open(self) -> bool:
+        if len(self._waits) < self.min_samples:
+            return False
+        return percentile(list(self._waits), 99) > self.threshold
+
+    def should_shed(self, predicted_time: float) -> bool:
+        if predicted_time < self.cost_cutoff:
+            return False
+        if not self.is_open():
+            return False
+        self.tripped += 1
+        return True
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Bundle of the server's resilience knobs.
+
+    The default configuration is maximally permissive — unbounded queue,
+    no breaker, two retries — so a server constructed without explicit
+    resilience behaves exactly like the pre-resilience server on
+    fault-free, deadline-free workloads.
+
+    ``on_unrecoverable`` picks the terminal behaviour when a query
+    exhausts its retry budget on an :class:`UnrecoverableFault`:
+    ``"fail"`` records the ``failed`` disposition and keeps serving
+    (graceful degradation); ``"raise"`` propagates the fault out of
+    ``serve()`` as a structured error (the CLI's strict default — a
+    fault plan the deployment cannot mask should fail the run loudly,
+    never hang it).
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    queue_limit: Optional[int] = None
+    shed_policy: str = "reject-newest"
+    bucket_rate: float = 1.0
+    bucket_burst: float = 4.0
+    breaker_threshold: Optional[float] = None
+    breaker_cost_cutoff: float = 0.0
+    breaker_window: int = 32
+    on_unrecoverable: str = "fail"
+
+    def __post_init__(self) -> None:
+        if self.shed_policy not in _SHED_POLICIES:
+            raise ValueError(
+                f"unknown shed policy {self.shed_policy!r} "
+                f"(know {sorted(_SHED_POLICIES)})"
+            )
+        if self.on_unrecoverable not in ("fail", "raise"):
+            raise ValueError(
+                f"on_unrecoverable must be 'fail' or 'raise', "
+                f"got {self.on_unrecoverable!r}"
+            )
+        if self.queue_limit is not None and self.queue_limit < 1:
+            raise ValueError(
+                f"queue limit must be >= 1, got {self.queue_limit}"
+            )
+
+    def build_shedder(self) -> Optional[ShedPolicy]:
+        """Instantiate the configured shed policy (``None`` = no shedding).
+
+        The token bucket is active whenever selected; the queue-bound
+        policies need ``queue_limit`` set to mean anything.
+        """
+        if self.shed_policy == "token-bucket":
+            return TokenBucketShedder(
+                self.bucket_rate, self.bucket_burst, limit=self.queue_limit
+            )
+        if self.queue_limit is None:
+            return None
+        return make_shed_policy(
+            self.shed_policy,
+            limit=self.queue_limit,
+            rate=self.bucket_rate,
+            burst=self.bucket_burst,
+        )
+
+    def build_breaker(self) -> Optional[CircuitBreaker]:
+        if self.breaker_threshold is None:
+            return None
+        return CircuitBreaker(
+            self.breaker_threshold,
+            self.breaker_cost_cutoff,
+            window=self.breaker_window,
+        )
+
+
+_SHED_POLICIES = ("reject-newest", "reject-lowest-priority", "token-bucket")
+
+
+def make_shed_policy(
+    name: str,
+    limit: Optional[int] = None,
+    rate: float = 1.0,
+    burst: float = 4.0,
+) -> ShedPolicy:
+    """Factory: ``reject-newest`` / ``reject-lowest-priority`` /
+    ``token-bucket``."""
+    key = name.lower()
+    if key == "reject-newest":
+        if limit is None:
+            raise ValueError("reject-newest needs a queue limit")
+        return RejectNewest(limit)
+    if key == "reject-lowest-priority":
+        if limit is None:
+            raise ValueError("reject-lowest-priority needs a queue limit")
+        return RejectLowestPriority(limit)
+    if key == "token-bucket":
+        return TokenBucketShedder(rate, burst, limit=limit)
+    raise ValueError(
+        f"unknown shed policy {name!r} (know {sorted(_SHED_POLICIES)})"
+    )

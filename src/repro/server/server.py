@@ -23,6 +23,15 @@ arrival stream (:mod:`repro.workloads.arrivals`) inside a single
   attribution), so a sub-table one query transferred is a hit for the
   next — the cross-query role Section 4 assigns the Caching Service.
 
+Serving is *resilient* (:mod:`repro.server.resilience`): a fault plan
+can crash nodes mid-stream (``faults=``), tenants can carry per-query
+SLO deadlines, the admission queue can be bounded with load shedding and
+a queue-wait circuit breaker, and queries killed by faults are retried
+with seeded backoff — every submitted query reaches exactly one terminal
+disposition (``completed | deadline_exceeded | shed | failed``), and the
+server quiesces with zero leaked slots or cache pins no matter what the
+fault plan did.
+
 Determinism: the workload is a pure function of ``(tenants, seed)``, all
 query parameters are counter-based draws on per-query seeds, and the
 admission policies are deterministic — so a served workload replays
@@ -38,17 +47,33 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.cluster.cluster import ClusterSim, ClusterTopology
-from repro.cluster.events import Event, SimulationError
+from repro.cluster.events import Event, Interrupt, SimulationError
 from repro.cluster.nodes import MachineSpec, PAPER_MACHINE
 from repro.core.engine import assemble_result, bbox_mask
 from repro.core.planner import QueryPlanningService
+from repro.faults.errors import (
+    FaultError,
+    StorageNodeDown,
+    TransientTransferFault,
+    UnrecoverableFault,
+)
 from repro.joins.grace_hash import GraceHashQES
 from repro.joins.indexed_join import IndexedJoinQES
 from repro.joins.report import ExecutionReport
 from repro.server.admission import make_admission_policy
 from repro.server.queries import PlannedQuery, build_query
+from repro.server.resilience import (
+    COMPLETED,
+    DEADLINE_EXCEEDED,
+    DISPOSITIONS,
+    FAILED,
+    SHED,
+    QueryAborted,
+    QueryShed,
+    ResilienceConfig,
+)
 from repro.services.cache import CachingService, QueryCacheView, make_policy
-from repro.telemetry.latency import LatencyTracker
+from repro.telemetry.latency import LatencyTracker, goodput
 from repro.telemetry.spans import maybe_span
 from repro.workloads.arrivals import QueryArrival
 from repro.workloads.oilres import OilReservoirDataset
@@ -70,7 +95,8 @@ class QueuedQuery:
     def __init__(self, planned: PlannedQuery, submitted_at: float, admitted: Event):
         self.planned = planned
         self.submitted_at = submitted_at
-        #: signalled by the dispatcher when a slot is granted
+        #: signalled by the dispatcher when a slot is granted (or *failed*
+        #: with :class:`QueryShed` when shedding evicts the waiting entry)
         self.admitted = admitted
         self.admitted_at: Optional[float] = None
 
@@ -89,14 +115,21 @@ class QueuedQuery:
 
 @dataclass(frozen=True)
 class QueryRecord:
-    """One completed query, as the server reports it."""
+    """One terminal query, as the server reports it.
+
+    ``disposition`` says how the query ended (``completed`` /
+    ``deadline_exceeded`` / ``shed`` / ``failed``); ``admitted_at`` is
+    ``None`` for queries that never held a slot (shed, or expired while
+    queued).  ``bytes_from_storage`` counts every byte the query pulled,
+    including bytes wasted by attempts a fault killed.
+    """
 
     qid: int
     tenant: str
     kind: str
     algorithm: str
     arrival_at: float
-    admitted_at: float
+    admitted_at: Optional[float]
     finished_at: float
     predicted_time: float
     bytes_from_storage: int
@@ -104,14 +137,26 @@ class QueryRecord:
     cache_hits: int
     cache_misses: int
     #: record count of the assembled answer; ``None`` on model-only runs
+    #: and on every non-completed disposition
     result_records: Optional[int]
+    disposition: str = COMPLETED
+    #: server-level re-executions after fault kills (not QES-internal
+    #: transfer retries, which the recovery telemetry counts)
+    retries: int = 0
+    #: terse reason for a non-completed disposition, ``None`` otherwise
+    failure: Optional[str] = None
 
     @property
     def queue_wait(self) -> float:
+        if self.admitted_at is None:
+            # never admitted: it waited from arrival to its terminal point
+            return self.finished_at - self.arrival_at
         return self.admitted_at - self.arrival_at
 
     @property
     def exec_time(self) -> float:
+        if self.admitted_at is None:
+            return 0.0
         return self.finished_at - self.admitted_at
 
     @property
@@ -136,6 +181,9 @@ class QueryRecord:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "result_records": self.result_records,
+            "disposition": self.disposition,
+            "retries": self.retries,
+            "failure": self.failure,
         }
 
 
@@ -149,13 +197,19 @@ class ServerReport:
     records: List[QueryRecord]
     #: qids in the order the dispatcher granted slots
     admission_order: List[int]
-    #: per-tenant exact latency stats (count/mean/p50/p99/max)
+    #: per-tenant exact latency stats over *completed* queries only —
+    #: shed/failed/expired queries never poison the percentiles
     tenant_latency: Dict[str, Dict[str, float]]
-    #: per-tenant exact queue-wait stats
+    #: per-tenant exact queue-wait stats (completed queries)
     tenant_queue_wait: Dict[str, Dict[str, float]]
     #: lifetime counters of each compute node's shared cache
     cache_per_node: List[Dict[str, float]]
     bytes_from_storage: int = 0
+    #: per-tenant terminal disposition counts
+    tenant_dispositions: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: latency stats keyed ``tenant/disposition`` (every disposition, so
+    #: "how long did shed queries sit before eviction" is answerable)
+    disposition_latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def cache_hits(self) -> int:
@@ -170,6 +224,24 @@ class ServerReport:
         accesses = self.cache_hits + self.cache_misses
         return self.cache_hits / accesses if accesses else 0.0
 
+    @property
+    def disposition_counts(self) -> Dict[str, int]:
+        """Workload-wide disposition totals (every disposition a key)."""
+        totals = {d: 0 for d in DISPOSITIONS}
+        for tenant in sorted(self.tenant_dispositions):
+            for disp, n in sorted(self.tenant_dispositions[tenant].items()):
+                totals[disp] = totals.get(disp, 0) + n
+        return totals
+
+    @property
+    def completed_queries(self) -> int:
+        return self.disposition_counts[COMPLETED]
+
+    @property
+    def goodput(self) -> float:
+        """Completed queries per simulated second of the served makespan."""
+        return goodput(self.completed_queries, self.makespan)
+
     def to_payload(self) -> Dict[str, object]:
         """Deterministic JSON-ready dump (records sorted by qid)."""
         return {
@@ -179,6 +251,11 @@ class ServerReport:
             "num_queries": len(self.records),
             "admission_order": list(self.admission_order),
             "bytes_from_storage": self.bytes_from_storage,
+            "goodput_qps": self.goodput,
+            "dispositions": {
+                "totals": self.disposition_counts,
+                "per_tenant": self.tenant_dispositions,
+            },
             "cache": {
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
@@ -188,6 +265,7 @@ class ServerReport:
             "tenants": {
                 "latency": self.tenant_latency,
                 "queue_wait": self.tenant_queue_wait,
+                "disposition_latency": self.disposition_latency,
             },
             "queries": [r.to_payload() for r in self.records],
         }
@@ -198,8 +276,8 @@ class ServerReport:
         Timing, byte counts and cache hit/miss splits legitimately move
         when same-instant events reorder (two queries racing on one
         cache key); what may not move is the logical outcome: which
-        queries ran, what each answered, and the order the admission
-        policy granted slots in.
+        queries ran, what each answered, how each ended, and the order
+        the admission policy granted slots in.
         """
         semantic = {
             "admission_order": list(self.admission_order),
@@ -211,6 +289,7 @@ class ServerReport:
                     "algorithm": r.algorithm,
                     "pairs_joined": r.pairs_joined,
                     "result_records": r.result_records,
+                    "disposition": r.disposition,
                 }
                 for r in self.records
             ],
@@ -230,12 +309,32 @@ class _Outcome:
     result_records: Optional[int] = None
 
 
+class _ExecContext:
+    """Mutable cell the execution generator populates so the lifecycle
+    can reach into an attempt that died mid-flight: the QES run handle
+    (to abort its process tree and read partial byte counts) and the
+    per-query cache views (whose stats freeze at unwind)."""
+
+    __slots__ = ("handle", "views")
+
+    def __init__(self) -> None:
+        self.handle = None
+        self.views: Optional[List[QueryCacheView]] = None
+
+
 class QueryServer:
     """Serve one arrival stream on one simulated cluster.
 
     A server is single-shot: :meth:`serve` consumes the engine and the
     shared caches, so observing a different workload needs a fresh
     server (exactly like a fresh :class:`ClusterSim`).
+
+    ``faults`` threads a :class:`~repro.faults.FaultPlan` (or its spec
+    string) into the shared cluster: nodes crash and links flake while
+    the stream is in flight, and the QES recovery paths run under
+    concurrency.  ``resilience`` bundles the serving-side knobs —
+    deadline enforcement needs nothing here (SLOs ride on the arrivals),
+    retry/shedding/breaker come from :class:`ResilienceConfig`.
     """
 
     def __init__(
@@ -253,6 +352,8 @@ class QueryServer:
         telemetry: bool = False,
         tie_break: str = "fifo",
         aggregate_mode: str = "central",
+        faults=None,
+        resilience: Optional[ResilienceConfig] = None,
     ):
         if slots <= 0:
             raise ValueError("need at least one execution slot")
@@ -264,11 +365,13 @@ class QueryServer:
         self.kernel = kernel
         self.aggregate_mode = aggregate_mode
         self.slots = slots
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
         self.cluster = ClusterSim(
             ClusterTopology(dataset.num_storage, num_compute),
             spec=machine,
             tie_break=tie_break,
             telemetry=telemetry,
+            faults=faults,
         )
         self.planner = QueryPlanningService(
             dataset.metadata,
@@ -283,6 +386,8 @@ class QueryServer:
             for _ in range(num_compute)
         ]
         self._policy = make_admission_policy(policy)
+        self._shedder = self.resilience.build_shedder()
+        self._breaker = self.resilience.build_breaker()
         self.sanitizer = None
         if sanitize:
             from repro.analysis.sanitizer import RunSanitizer
@@ -305,6 +410,8 @@ class QueryServer:
         self._arrivals_done = False
         self._total = 0
         self._completed = 0
+        self._terminal = 0
+        self._last_terminal_at = 0.0
         self._wake: Optional[Event] = None
         self._admission_order: List[int] = []
         self._records: Dict[int, QueryRecord] = {}
@@ -314,11 +421,22 @@ class QueryServer:
         self._bytes_from_storage = 0
         self._latency = LatencyTracker()
         self._queue_wait = LatencyTracker()
+        self._disposition_latency = LatencyTracker()
+        self._dispositions: Dict[int, Dict[str, int]] = {}
 
     # -- public API ----------------------------------------------------
 
     def serve(self, arrivals: Sequence[QueryArrival]) -> ServerReport:
-        """Run the whole stream to quiescence and report."""
+        """Run the whole stream to quiescence and report.
+
+        Every submitted query reaches exactly one terminal disposition;
+        the stream quiesces even when the fault plan killed nodes or the
+        shedding policies turned queries away.  With
+        ``resilience.on_unrecoverable == "raise"``, the first query to
+        exhaust its retry budget on an :class:`UnrecoverableFault`
+        propagates it out of here instead (a structured error — the run
+        terminates, never hangs).
+        """
         if self._served:
             raise RuntimeError("QueryServer.serve is single-shot; build a "
                                "fresh server for another workload")
@@ -331,15 +449,19 @@ class QueryServer:
         engine.process(self._arrival_source(ordered), name="server-arrivals")
         engine.process(self._dispatcher(), name="server-dispatcher")
         engine.run()
-        if self._completed != self._total:
+        if self._terminal != self._total:
             raise SimulationError(
-                f"server quiesced with {self._completed}/{self._total} "
-                "queries completed"
+                f"server quiesced with {self._terminal}/{self._total} "
+                "queries at a terminal disposition"
             )
+        # pending fault timers or stranded in-flight transfers may tick
+        # past the last disposition; the served makespan ends at the
+        # final terminal query, like the QES reports
+        makespan = self._last_terminal_at if self._records else engine.now
         report = ServerReport(
             policy=self._policy.name,
             slots=self.slots,
-            makespan=engine.now,
+            makespan=makespan,
             records=[self._records[qid] for qid in sorted(self._records)],
             admission_order=self._admission_order,
             tenant_latency=self._latency.summary(),
@@ -354,12 +476,27 @@ class QueryServer:
                 for c in self.caches
             ],
             bytes_from_storage=self._bytes_from_storage,
+            tenant_dispositions={
+                tenant: dict(sorted(counts.items()))
+                for tenant, counts in sorted(self._dispositions.items())
+            },
+            disposition_latency=self._disposition_latency.summary(),
         )
         if self.sanitizer is not None:
             # one pseudo-report covering the whole serving run: the byte
             # ledger is the sum over every query (scans included), so
             # conservation still checks exactly; no critical path — the
             # recorder spans many interleaved queries
+            degraded = any(
+                r.disposition != COMPLETED or r.retries for r in report.records
+            )
+            if degraded:
+                # an aborted attempt's in-flight transfers complete with
+                # nobody left to claim their bytes — successful transfer
+                # bytes may exceed the claimed ledger (never the reverse)
+                self.sanitizer.allow_transfer_underclaim(
+                    "aborted/retried queries strand completed transfers"
+                )
             pseudo = ExecutionReport(
                 algorithm="server",
                 functional=self.dataset.functional,
@@ -381,7 +518,10 @@ class QueryServer:
 
         Planning happens at submission, driver-side (zero simulated
         cost): the paper's QPS is metadata arithmetic, negligible next
-        to the transfers it predicts.
+        to the transfers it predicts.  Overload protection runs here
+        too — a shed query is refused before it ever queues (or evicts
+        a lower-priority waiter), reaching its terminal disposition
+        without consuming a slot.
         """
         engine = self.cluster.engine
         for arrival in arrivals:
@@ -389,11 +529,43 @@ class QueryServer:
                 yield engine.timeout(arrival.at - engine.now)
             planned = build_query(self.dataset, self.planner, arrival)
             entry = QueuedQuery(planned, engine.now, engine.event())
+            if self._shed_on_submit(entry):
+                continue
             self._policy.submit(entry)
             engine.process(self._lifecycle(entry), name=f"server-q{entry.qid}")
             self._kick()
         self._arrivals_done = True
         self._kick()
+
+    def _shed_on_submit(self, entry: QueuedQuery) -> bool:
+        """Overload protection at submission time.
+
+        Returns ``True`` when the *incoming* query was shed (caller must
+        not enqueue it).  The reject-lowest-priority policy may instead
+        evict an already-queued victim: its parked lifecycle is failed
+        with :class:`QueryShed` and records the disposition itself.
+        """
+        engine = self.cluster.engine
+        if self._breaker is not None and self._breaker.should_shed(
+            entry.predicted_time
+        ):
+            self._finalize(entry, SHED, _Outcome(), note="circuit-breaker")
+            return True
+        if self._shedder is None:
+            return False
+        verdict = self._shedder.victim(entry, self._policy, engine.now)
+        if verdict is None:
+            return False
+        victim, reason = verdict
+        note = f"{self._shedder.name}: {reason}"
+        if victim is entry:
+            self._finalize(entry, SHED, _Outcome(), note=note)
+            return True
+        if not self._policy.remove(victim):
+            # the victim was admitted at this very instant; nobody sheds
+            return False
+        victim.admitted.fail(QueryShed(victim.qid, note))
+        return False
 
     def _dispatcher(self):
         """Grant free slots to the policy's next picks; park otherwise.
@@ -402,7 +574,9 @@ class QueryServer:
         settled queue state: every kick re-evaluates the full condition,
         so coalesced kicks (several submissions at one instant) are
         harmless, and a kick can never double-trigger the park event
-        (:meth:`_kick` checks ``triggered``).
+        (:meth:`_kick` checks ``triggered``).  Termination counts
+        *terminal* queries — shed and expired queries retire the stream
+        exactly like completed ones.
         """
         engine = self.cluster.engine
         while True:
@@ -411,10 +585,12 @@ class QueryServer:
                 self._slots_free -= 1
                 entry.admitted_at = engine.now
                 self._admission_order.append(entry.qid)
+                if self._breaker is not None:
+                    self._breaker.observe_wait(engine.now - entry.submitted_at)
                 entry.admitted.succeed()
             if (
                 self._arrivals_done
-                and self._completed == self._total
+                and self._terminal == self._total
                 and len(self._policy) == 0
             ):
                 return
@@ -423,12 +599,73 @@ class QueryServer:
             yield wake
             self._wake = None
 
+    def _finalize(
+        self,
+        entry: QueuedQuery,
+        disposition: str,
+        outcome: _Outcome,
+        retries: int = 0,
+        note: Optional[str] = None,
+        release_slot: bool = False,
+    ) -> None:
+        """Record the query's one terminal disposition and retire it.
+
+        Exactly one call per submitted query, on every path out of the
+        lifecycle (and directly from the arrival source for queries shed
+        at submission, which never had a lifecycle slot to release).
+        """
+        engine = self.cluster.engine
+        planned = entry.planned
+        record = QueryRecord(
+            qid=entry.qid,
+            tenant=entry.tenant,
+            kind=planned.kind,
+            algorithm=planned.algorithm,
+            arrival_at=planned.arrival.at,
+            admitted_at=entry.admitted_at,
+            finished_at=engine.now,
+            predicted_time=planned.predicted_time,
+            bytes_from_storage=outcome.bytes_from_storage,
+            pairs_joined=outcome.pairs_joined,
+            cache_hits=outcome.cache_hits,
+            cache_misses=outcome.cache_misses,
+            result_records=outcome.result_records,
+            disposition=disposition,
+            retries=retries,
+            failure=note,
+        )
+        self._records[entry.qid] = record
+        tenant_counts = self._dispositions.setdefault(entry.tenant, {})
+        tenant_counts[disposition] = tenant_counts.get(disposition, 0) + 1
+        self._disposition_latency.record(
+            f"{entry.tenant}/{disposition}", record.latency
+        )
+        if disposition == COMPLETED:
+            self._latency.record(entry.tenant, record.latency)
+            self._queue_wait.record(entry.tenant, record.queue_wait)
+            self._completed += 1
+        self._bytes_from_storage += outcome.bytes_from_storage
+        if release_slot:
+            self._slots_free += 1
+        self._terminal += 1
+        self._last_terminal_at = engine.now
+        self._kick()
+
     def _lifecycle(self, entry: QueuedQuery):
-        """One query, cradle to grave: wait for a slot, execute, record."""
+        """One query, cradle to grave: wait for a slot, execute, record.
+
+        With a deadline on the arrival, the SLO clock starts at
+        submission and races both the admission wait and every execution
+        attempt; with a fault plan installed, killed attempts are
+        retried with seeded backoff up to the budget.  Every path ends
+        in exactly one :meth:`_finalize`.
+        """
         engine = self.cluster.engine
         tel = self.cluster.telemetry
         planned = entry.planned
-        arrival = planned.arrival
+        deadline_ev: Optional[Event] = None
+        if planned.arrival.deadline is not None:
+            deadline_ev = engine.timeout(planned.arrival.deadline)
         with maybe_span(
             tel,
             f"q{entry.qid}",
@@ -444,45 +681,261 @@ class QueryServer:
                 tel, "queue-wait", category="wait", node="global",
                 track=f"tenant.{entry.tenant}",
             ):
+                admitted = yield from self._await_admission(entry, deadline_ev)
+            if not admitted:
+                return
+            if self.cluster.faults is None and deadline_ev is None:
+                # fast path: no faults to survive, no deadline to race —
+                # execute inline, event-for-event the pre-resilience server
+                outcome = _Outcome()
+                yield from self._execute(planned, outcome, _ExecContext())
+                self._finalize(entry, COMPLETED, outcome, release_slot=True)
+                return
+            yield from self._run_resilient(entry, deadline_ev)
+
+    def _await_admission(self, entry: QueuedQuery, deadline_ev: Optional[Event]):
+        """Wait for a slot; handle shedding evictions and queued expiry.
+
+        Returns ``True`` once the query holds a slot.  On a terminal
+        outcome while still queued (shed by an eviction, or deadline
+        expired first) the disposition is recorded here and ``False``
+        returned.
+        """
+        try:
+            if deadline_ev is None:
                 yield entry.admitted
-            if planned.kind == "scan":
-                outcome = yield from self._execute_scan(planned)
+                return True
+            race = self.cluster.engine.any_of([entry.admitted, deadline_ev])
+            yield race
+            if race.first_index != 1:
+                return True
+            if entry.admitted.triggered:
+                # the dispatcher granted the slot at this same instant
+                # but the deadline won the race: hand the slot straight
+                # back (it was never used)
+                self._slots_free += 1
+                self._kick()
             else:
-                outcome = yield from self._execute_join(planned)
-        assert entry.admitted_at is not None
-        record = QueryRecord(
-            qid=entry.qid,
-            tenant=entry.tenant,
-            kind=planned.kind,
-            algorithm=planned.algorithm,
-            arrival_at=arrival.at,
-            admitted_at=entry.admitted_at,
-            finished_at=engine.now,
-            predicted_time=planned.predicted_time,
-            bytes_from_storage=outcome.bytes_from_storage,
-            pairs_joined=outcome.pairs_joined,
-            cache_hits=outcome.cache_hits,
-            cache_misses=outcome.cache_misses,
-            result_records=outcome.result_records,
-        )
-        self._records[entry.qid] = record
-        self._latency.record(entry.tenant, record.latency)
-        self._queue_wait.record(entry.tenant, record.queue_wait)
-        self._bytes_from_storage += outcome.bytes_from_storage
-        self._slots_free += 1
-        self._completed += 1
-        self._kick()
+                self._policy.remove(entry)
+            self._finalize(
+                entry, DEADLINE_EXCEEDED, _Outcome(), note="deadline while queued"
+            )
+            return False
+        except QueryShed as shed:
+            self._finalize(entry, SHED, _Outcome(), note=shed.reason)
+            return False
+
+    def _run_resilient(self, entry: QueuedQuery, deadline_ev: Optional[Event]):
+        """Execute with deadline races and fault retries.
+
+        Each attempt runs as a *contained* child process: a fault that
+        exhausts QES recovery fails the child instead of tearing down
+        the engine, and this supervisor decides — retry after seeded
+        backoff, or record the terminal ``failed`` disposition.  A
+        deadline win aborts the attempt's whole process tree and waits
+        for it to unwind (releasing its cache pins) before recording
+        ``deadline_exceeded``.
+        """
+        engine = self.cluster.engine
+        planned = entry.planned
+        retry = self.resilience.retry
+        attempt = 0
+        wasted = 0
+        while True:
+            attempt += 1
+            if deadline_ev is not None and deadline_ev.triggered:
+                self._finalize(
+                    entry, DEADLINE_EXCEEDED, _Outcome(bytes_from_storage=wasted),
+                    retries=attempt - 1, note="deadline", release_slot=True,
+                )
+                return
+            outcome = _Outcome()
+            ctx = _ExecContext()
+            exec_proc = engine.process(
+                self._execute(planned, outcome, ctx),
+                name=f"server-q{entry.qid}.x{attempt}",
+                contain=(FaultError, UnrecoverableFault),
+            )
+            failure: Optional[BaseException] = None
+            deadline_hit = False
+            try:
+                if deadline_ev is None:
+                    yield exec_proc
+                else:
+                    race = engine.any_of([exec_proc, deadline_ev])
+                    yield race
+                    deadline_hit = race.first_index == 1
+            except Interrupt as intr:
+                failure = self._fault_cause(intr)
+            except (FaultError, UnrecoverableFault) as exc:
+                failure = exc
+            if deadline_hit:
+                yield from self._abort_attempt(entry, exec_proc, ctx)
+                self._salvage(outcome, ctx)
+                outcome.bytes_from_storage += wasted
+                self._finalize(
+                    entry, DEADLINE_EXCEEDED, outcome,
+                    retries=attempt - 1, note="deadline", release_slot=True,
+                )
+                return
+            if failure is None:
+                outcome.bytes_from_storage += wasted
+                self._finalize(
+                    entry, COMPLETED, outcome, retries=attempt - 1,
+                    release_slot=True,
+                )
+                return
+            # the attempt died on a fault: kill its leftovers (surviving
+            # joiners of a half-dead execution) and decide its fate
+            self._salvage(outcome, ctx)
+            if ctx.handle is not None:
+                ctx.handle.abort(QueryAborted(entry.qid, "attempt failed"))
+            if attempt > retry.budget:
+                if (
+                    isinstance(failure, UnrecoverableFault)
+                    and self.resilience.on_unrecoverable == "raise"
+                ):
+                    raise failure
+                outcome.bytes_from_storage += wasted
+                self._finalize(
+                    entry, FAILED, outcome, retries=attempt - 1,
+                    note=f"{type(failure).__name__}: {failure}",
+                    release_slot=True,
+                )
+                return
+            wasted += outcome.bytes_from_storage
+            delay = retry.backoff(planned.arrival.seed, attempt)
+            timer = engine.timeout(delay)
+            if deadline_ev is None:
+                yield timer
+            else:
+                brace = engine.any_of([timer, deadline_ev])
+                yield brace
+                if brace.first_index == 1:
+                    self._finalize(
+                        entry, DEADLINE_EXCEEDED,
+                        _Outcome(bytes_from_storage=wasted),
+                        retries=attempt - 1, note="deadline during backoff",
+                        release_slot=True,
+                    )
+                    return
+
+    def _fault_cause(self, intr: Interrupt) -> BaseException:
+        """Map an execution killed by interrupt to its fault cause.
+
+        A contained execution only dies by interrupt when the fault
+        injector killed its compute placement; anything else is a model
+        bug and stays loud.
+        """
+        if isinstance(intr.cause, FaultError):
+            return intr.cause
+        raise intr
+
+    def _abort_attempt(self, entry: QueuedQuery, exec_proc, ctx: _ExecContext):
+        """Kill an in-flight attempt's whole process tree and wait for
+        the attempt process itself to unwind (pins release as the
+        interrupt propagates through its scopes)."""
+        cause = QueryAborted(entry.qid, "deadline")
+        if ctx.handle is not None:
+            ctx.handle.abort(cause)
+        if exec_proc.interrupt(cause) or not exec_proc.triggered:
+            try:
+                yield exec_proc
+            except Interrupt:
+                pass
+            except (FaultError, UnrecoverableFault):
+                pass
+
+    def _salvage(self, outcome: _Outcome, ctx: _ExecContext) -> None:
+        """Freeze what a dead attempt really did into its outcome.
+
+        Scans accumulate bytes incrementally; joins claim the partial
+        byte count off the QES report.  Cache stats freeze at whatever
+        the per-query views had attributed when the unwind hit.  An
+        unfinished attempt answered nothing.
+        """
+        if ctx.handle is not None:
+            outcome.bytes_from_storage = ctx.handle.report.bytes_from_storage
+        if ctx.views:
+            outcome.cache_hits = sum(v.stats.hits for v in ctx.views)
+            outcome.cache_misses = sum(v.stats.misses for v in ctx.views)
+        outcome.pairs_joined = 0
+        outcome.result_records = None
 
     # -- execution backends --------------------------------------------
 
-    def _execute_scan(self, planned: PlannedQuery):
+    def _execute(self, planned: PlannedQuery, outcome: _Outcome, ctx: _ExecContext):
+        """Run one attempt of one query, writing into ``outcome``."""
+        if planned.kind == "scan":
+            yield from self._execute_scan(planned, outcome, ctx)
+        else:
+            yield from self._execute_join(planned, outcome, ctx)
+
+    def _scan_target(self, qid: int) -> int:
+        """Compute node a scan streams to: ``qid % num_compute``, failing
+        over to the next surviving node when the fault plan killed it."""
+        n = self.cluster.num_compute
+        base = qid % n
+        injector = self.cluster.faults
+        if injector is None:
+            return base
+        for k in range(n):
+            j = (base + k) % n
+            if not injector.compute_is_dead(j):
+                return j
+        raise UnrecoverableFault("no surviving compute node for scan", node=base)
+
+    def _scan_transfer(self, compute: int, desc, cache: QueryCacheView):
+        """Move one chunk to ``compute``, surviving transient faults and
+        storage crashes; returns the storage node that served the bytes.
+
+        The replica-failover / backoff structure mirrors the Indexed
+        Join's ``_transfer_with_recovery``; fault-free it collapses to
+        the single primary transfer, same events, same accounting.
+        Raises :class:`UnrecoverableFault` when no replica survives.
+        """
+        cluster = self.cluster
+        injector = cluster.faults
+        last_node = desc.ref.storage_node
+        for ref in desc.all_refs:
+            node = last_node = ref.storage_node
+            attempt = 0
+            while True:
+                attempt += 1
+                transfer = cluster.read_and_send(node, compute, desc.size)
+                try:
+                    yield transfer
+                except TransientTransferFault:
+                    plan = injector.plan
+                    if attempt >= plan.max_attempts:
+                        break
+                    backoff = plan.retry_base * (2 ** (attempt - 1))
+                    if backoff > 0:
+                        yield cluster.engine.timeout(backoff)
+                    continue
+                except StorageNodeDown:
+                    # drop cached entries sourced from the dead node and
+                    # fail over to the next replica
+                    cache.invalidate_from(node)
+                    break
+                return node
+        raise UnrecoverableFault(
+            "no surviving replica for scanned chunk",
+            chunk=desc.id,
+            node=last_node,
+        )
+
+    def _execute_scan(self, planned: PlannedQuery, outcome: _Outcome,
+                      ctx: _ExecContext):
         """Range scan through the shared cache of one compute node.
 
         Chunks stream to ``qid % num_compute`` (cheap deterministic
-        placement); each miss is a real simulated transfer and the
-        fetched sub-table is inserted into that node's shared cache, so
-        overlapping scans — and joins touching the same chunks — hit.
-        Pins are scope-guarded for the duration of the scan.
+        placement, failing over off dead nodes); each miss is a real
+        simulated transfer and the fetched sub-table is inserted into
+        that node's shared cache, so overlapping scans — and joins
+        touching the same chunks — hit.  Pins are scope-guarded for the
+        duration of the scan, so an abort mid-scan releases them as it
+        unwinds.
         """
         cluster = self.cluster
         provider = self.dataset.provider
@@ -493,12 +946,16 @@ class QueryServer:
         else:
             chunks = list(catalog.all_chunks())
         chunks.sort(key=lambda c: (c.id.table_id, c.id.chunk_id))
-        compute = planned.qid % cluster.num_compute
+        compute = self._scan_target(planned.qid)
+        injector = cluster.faults
+        if injector is not None and cluster.engine.current_process is not None:
+            # the scan dies with its compute node, like a joiner would
+            injector.register_compute(compute, cluster.engine.current_process)
         cache: QueryCacheView = QueryCacheView(
             self.caches[compute], name=f"q{planned.qid}"
         )
+        ctx.views = [cache]
         tel = cluster.telemetry
-        nbytes = 0
         records = 0
         with cache.pin_scope() as scope:
             for desc in chunks:
@@ -509,25 +966,21 @@ class QueryServer:
                         node=f"storage{desc.ref.storage_node}",
                         track=f"scan{compute}", bytes=desc.size,
                     ):
-                        yield cluster.read_and_send(
-                            desc.ref.storage_node, compute, desc.size
+                        node = yield from self._scan_transfer(
+                            compute, desc, cache
                         )
-                    value = provider.fetch(desc, node=desc.ref.storage_node)
+                    value = provider.fetch(desc, node=node)
                     scope.put(
-                        desc.id, value, desc.size,
-                        pin=True, source=desc.ref.storage_node,
+                        desc.id, value, desc.size, pin=True, source=node,
                     )
-                    nbytes += desc.size
+                    outcome.bytes_from_storage += desc.size
                 else:
                     scope.pin(desc.id)
                 if functional:
                     records += int(bbox_mask(value, planned.where).sum())
-        return _Outcome(
-            bytes_from_storage=nbytes,
-            cache_hits=cache.stats.hits,
-            cache_misses=cache.stats.misses,
-            result_records=records if functional else None,
-        )
+        outcome.cache_hits = cache.stats.hits
+        outcome.cache_misses = cache.stats.misses
+        outcome.result_records = records if functional else None
 
     def _busy_for(self, qid: int) -> Callable[[], List[int]]:
         """Compute nodes another in-flight query is currently joining on.
@@ -547,23 +1000,30 @@ class QueryServer:
 
         return busy
 
-    def _execute_join(self, planned: PlannedQuery):
+    def _execute_join(self, planned: PlannedQuery, outcome: _Outcome,
+                      ctx: _ExecContext):
         """Run a join/aggregate query through the real QES machinery.
 
         The QES ``begin``/``finish`` split is what makes this possible
         on a shared engine: the driver is an ordinary process this
-        lifecycle waits on, and per-node :class:`QueryCacheView` facades
+        attempt waits on, and per-node :class:`QueryCacheView` facades
         give the execution report exact per-query cache attribution
-        while entries land in (and hit from) the shared caches.
+        while entries land in (and hit from) the shared caches.  The run
+        handle is parked in ``ctx`` so the supervisor can abort the
+        whole process tree on a deadline.
         """
         cluster = self.cluster
         view = planned.view
         join_view = view.source if hasattr(view, "source") else view
-        caches = [
-            QueryCacheView(shared, name=f"q{planned.qid}.j{j}")
-            for j, shared in enumerate(self.caches)
-        ]
+        contained = self.cluster.faults is not None or (
+            planned.arrival.deadline is not None
+        )
         if planned.algorithm == "indexed-join":
+            caches = [
+                QueryCacheView(shared, name=f"q{planned.qid}.j{j}")
+                for j, shared in enumerate(self.caches)
+            ]
+            ctx.views = caches
             qes = IndexedJoinQES(
                 cluster,
                 self.dataset.metadata,
@@ -576,6 +1036,7 @@ class QueryServer:
                 caches=caches,
                 busy_joiners=self._busy_for(planned.qid),
                 critical_path=False,
+                contain_faults=contained,
             )
             handle = qes.begin(name=f"q{planned.qid}-ij")
         else:
@@ -589,8 +1050,10 @@ class QueryServer:
                 kernel=self.kernel,
                 range_constraint=join_view.where,
                 critical_path=False,
+                contain_faults=contained,
             )
             handle = qes.begin(name=f"q{planned.qid}-gh")
+        ctx.handle = handle
         self._joiners_in_use[planned.qid] = set(range(cluster.num_compute))
         try:
             yield handle.process
@@ -600,13 +1063,11 @@ class QueryServer:
         table = assemble_result(
             report, view, self.dataset.metadata, aggregate_mode=self.aggregate_mode
         )
-        return _Outcome(
-            bytes_from_storage=report.bytes_from_storage,
-            pairs_joined=report.pairs_joined,
-            cache_hits=sum(cs.hits for cs in report.cache_stats),
-            cache_misses=sum(cs.misses for cs in report.cache_stats),
-            result_records=table.num_records if table is not None else None,
-        )
+        outcome.bytes_from_storage = report.bytes_from_storage
+        outcome.pairs_joined = report.pairs_joined
+        outcome.cache_hits = sum(cs.hits for cs in report.cache_stats)
+        outcome.cache_misses = sum(cs.misses for cs in report.cache_stats)
+        outcome.result_records = table.num_records if table is not None else None
 
 
 # -- serial baseline -------------------------------------------------------
@@ -639,8 +1100,10 @@ def run_serial_baseline(
     """Execute every arrival standalone: fresh cluster, cold caches.
 
     The single-query era in miniature — each query pays its own
-    transfers.  The server's acceptance bar is that its shared-cache hit
-    rate strictly beats this baseline on cache-friendly workloads.
+    transfers, with no faults, no queueing and no deadline (SLOs are a
+    serving concern; the baseline wants the reference answer).  The
+    server's acceptance bar is that its shared-cache hit rate strictly
+    beats this baseline on cache-friendly workloads.
     """
     records: List[QueryRecord] = []
     hits = misses = nbytes = 0
@@ -650,7 +1113,7 @@ def run_serial_baseline(
             dataset, num_compute, machine=machine, policy="fifo", slots=1,
             **server_kwargs,
         )
-        rep = server.serve([replace(arrival, at=0.0)])
+        rep = server.serve([replace(arrival, at=0.0, deadline=None)])
         (record,) = rep.records
         records.append(record)
         hits += record.cache_hits

@@ -838,3 +838,10 @@ class QueryCacheView(Generic[K, V]):
             return self.shared.remove(key)
         finally:
             self._absorb(before)
+
+    def invalidate_from(self, source: int) -> int:
+        before = self.shared.stats.snapshot()
+        try:
+            return self.shared.invalidate_from(source)
+        finally:
+            self._absorb(before)

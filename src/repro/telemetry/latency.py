@@ -17,7 +17,19 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-__all__ = ["percentile", "LatencyTracker"]
+__all__ = ["percentile", "goodput", "LatencyTracker"]
+
+
+def goodput(completed: int, makespan: float) -> float:
+    """Completed queries per simulated second (0 for an empty makespan).
+
+    The server's throughput measure under failure and overload: shed,
+    failed and deadline-expired queries contribute nothing, so goodput
+    is what the shedding policies trade latency against.
+    """
+    if completed < 0:
+        raise ValueError(f"negative completed count {completed}")
+    return completed / makespan if makespan > 0 else 0.0
 
 
 def percentile(values: Sequence[float], q: float) -> float:

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.rng import splitmix64, uniform
 
@@ -48,6 +48,11 @@ class QueryArrival:
     ``seed`` is a per-query splitmix64 value the server uses for the
     query's own parameter draws (range box, join restriction), keeping
     those independent of how many queries other tenants issued.
+
+    ``deadline`` is the tenant's per-query SLO in simulated seconds from
+    submission (``None`` = no deadline): the server races it against the
+    admission wait and the execution, and a query that loses the race is
+    unwound and recorded ``deadline_exceeded``.
     """
 
     qid: int
@@ -55,12 +60,15 @@ class QueryArrival:
     kind: str
     at: float
     seed: int
+    deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
             raise ValueError(f"unknown query kind {self.kind!r} (know {_KINDS})")
         if self.at < 0:
             raise ValueError(f"negative arrival time {self.at}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
 
 
 @dataclass(frozen=True)
@@ -73,6 +81,8 @@ class TenantSpec:
     ``bursty`` changes the *shape* of the stream, not its volume.
     ``alpha`` is the Pareto tail index of the bursty process — smaller
     means heavier bursts; must exceed 1 so the mean gap exists.
+    ``deadline`` is an optional per-query SLO (simulated seconds from
+    submission) stamped on every arrival the tenant issues.
     """
 
     name: str
@@ -81,6 +91,7 @@ class TenantSpec:
     mix: Tuple[Tuple[str, float], ...] = (("scan", 1.0),)
     process: str = "poisson"
     alpha: float = 1.5
+    deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -97,6 +108,10 @@ class TenantSpec:
         if self.alpha <= 1.0:
             raise ValueError(
                 f"tenant {self.name!r}: alpha must be > 1 (finite mean gap)"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(
+                f"tenant {self.name!r}: deadline must be positive"
             )
         if not self.mix:
             raise ValueError(f"tenant {self.name!r}: empty query mix")
@@ -124,6 +139,7 @@ class TenantSpec:
             mix_t = tuple(sorted((str(k), float(v)) for k, v in mix.items()))
         else:
             mix_t = tuple((str(k), float(v)) for k, v in mix)
+        raw_deadline = data.get("deadline")
         return cls(
             name=str(data["name"]),
             rate=float(data.get("rate", 1.0)),
@@ -131,6 +147,7 @@ class TenantSpec:
             mix=mix_t,
             process=str(data.get("process", "poisson")),
             alpha=float(data.get("alpha", 1.5)),
+            deadline=None if raw_deadline is None else float(raw_deadline),
         )
 
 
@@ -190,7 +207,7 @@ def generate_workload(
     names = [t.name for t in tenants]
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate tenant names in {sorted(names)}")
-    pending: List[Tuple[float, str, int, str, int]] = []
+    pending: List[Tuple[float, str, int, str, int, Optional[float]]] = []
     for tseq, tenant in enumerate(sorted(tenants, key=lambda t: t.name)):
         tseed = splitmix64(seed, tseq)
         if tenant.process == "poisson":
@@ -204,9 +221,11 @@ def generate_workload(
             at += gap
             kind = _choose_kind(tenant.mix, uniform(tseed, 10_000 + i))
             qseed = splitmix64(tseed, 20_000 + i)
-            pending.append((at, tenant.name, i, kind, qseed))
+            pending.append((at, tenant.name, i, kind, qseed, tenant.deadline))
     pending.sort(key=lambda row: (row[0], row[1], row[2]))
     return [
-        QueryArrival(qid=qid, tenant=name, kind=kind, at=at, seed=qseed)
-        for qid, (at, name, _i, kind, qseed) in enumerate(pending)
+        QueryArrival(
+            qid=qid, tenant=name, kind=kind, at=at, seed=qseed, deadline=slo
+        )
+        for qid, (at, name, _i, kind, qseed, slo) in enumerate(pending)
     ]

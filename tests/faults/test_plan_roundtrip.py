@@ -1,0 +1,122 @@
+"""Property tests for the fault-spec mini-language.
+
+``FaultPlan.to_spec`` documents itself as the inverse of ``parse``; this
+suite makes that contract executable with a seeded generator of random
+plans (counter-based splitmix64, same determinism discipline as the rest
+of the repo — no ``random`` module, no hypothesis).  Floats are drawn
+already canonical under ``%g`` formatting so the round-trip is exact.
+"""
+
+import pytest
+
+from repro.core.rng import splitmix64
+from repro.faults.plan import Degradation, FaultPlan, NodeCrash, _SPEC_KEYS
+
+
+def _u(seed, counter):
+    """Uniform [0, 1) draw ``counter`` from stream ``seed``."""
+    return splitmix64(seed, counter) / 2.0**64
+
+
+def _gfloat(seed, counter, lo, hi):
+    """A float in [lo, hi) that survives ``%g`` formatting exactly."""
+    return float(f"{lo + (hi - lo) * _u(seed, counter):g}")
+
+
+def random_plan(seed):
+    """A seeded random FaultPlan exercising every spec feature."""
+    c = iter(range(1000))
+    crashes = []
+    for _ in range(int(_u(seed, next(c)) * 3)):
+        kind = ("storage", "compute")[splitmix64(seed, next(c)) % 2]
+        node = None
+        if _u(seed, next(c)) < 0.5:
+            node = splitmix64(seed, next(c)) % 8
+        crashes.append(
+            NodeCrash(kind=kind, at=_gfloat(seed, next(c), 0.0, 5.0), node=node)
+        )
+    degradations = []
+    for _ in range(int(_u(seed, next(c)) * 3)):
+        kind = ("disk", "nic")[splitmix64(seed, next(c)) % 2]
+        node = None
+        if _u(seed, next(c)) < 0.5:
+            node = splitmix64(seed, next(c)) % 8
+        degradations.append(
+            Degradation(
+                kind=kind,
+                at=_gfloat(seed, next(c), 0.0, 5.0),
+                factor=_gfloat(seed, next(c), 0.01, 0.99),
+                node=node,
+            )
+        )
+    transient = 0.0
+    if _u(seed, next(c)) < 0.6:
+        transient = _gfloat(seed, next(c), 0.0, 0.9)
+    max_attempts = 8
+    if _u(seed, next(c)) < 0.4:
+        max_attempts = 1 + splitmix64(seed, next(c)) % 12
+    retry_base = 0.05
+    if _u(seed, next(c)) < 0.4:
+        retry_base = _gfloat(seed, next(c), 0.001, 1.0)
+    return FaultPlan(
+        seed=splitmix64(seed, next(c)) % 10_000,
+        crashes=tuple(crashes),
+        transfer_failure_rate=transient,
+        degradations=tuple(degradations),
+        max_attempts=max_attempts,
+        retry_base=retry_base,
+    )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(200))
+    def test_parse_str_round_trips(self, seed):
+        plan = random_plan(seed)
+        assert FaultPlan.parse(str(plan)) == plan
+
+    def test_str_is_to_spec(self):
+        plan = random_plan(3)
+        assert str(plan) == plan.to_spec()
+
+    def test_trivial_plan_round_trips(self):
+        plan = FaultPlan()
+        assert plan.is_trivial
+        assert FaultPlan.parse(str(plan)) == plan
+
+    def test_spec_is_canonical_fixed_point(self):
+        # parse → str → parse → str is stable after one normalisation
+        for seed in range(50):
+            spec = str(random_plan(seed))
+            assert str(FaultPlan.parse(spec)) == spec
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "seed=7,storage_crash=0.5",
+            "transient=0.1,max_attempts=3",
+            "storage_crash=0.5@2,compute_crash=1.0,disk_degrade=0.8:0.25",
+            "nic_degrade=1.5:0.5@3,retry_base=0.1",
+        ],
+    )
+    def test_documented_examples_round_trip(self, spec):
+        plan = FaultPlan.parse(spec)
+        assert FaultPlan.parse(str(plan)) == plan
+
+
+class TestErrors:
+    def test_unknown_key_names_token_and_lists_valid_keys(self):
+        with pytest.raises(ValueError) as err:
+            FaultPlan.parse("seed=1,strage_crash=0.5")
+        msg = str(err.value)
+        assert "'strage_crash'" in msg
+        assert "'strage_crash=0.5'" in msg
+        for key in _SPEC_KEYS:
+            assert key in msg
+
+    def test_missing_equals_names_item(self):
+        with pytest.raises(ValueError, match="'transient'"):
+            FaultPlan.parse("transient")
+
+    def test_degradation_needs_factor(self):
+        with pytest.raises(ValueError, match="t:factor"):
+            FaultPlan.parse("disk_degrade=0.8")

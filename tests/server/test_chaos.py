@@ -1,0 +1,479 @@
+"""Chaos harness: the query server under injected faults, deadlines and
+overload.
+
+Every scenario asserts the serving contract of DESIGN.md §12:
+
+* the stream never deadlocks — ``serve()`` returns (or raises a
+  structured error in strict mode), it never hangs;
+* every submitted query reaches **exactly one** terminal disposition
+  (``completed | deadline_exceeded | shed | failed``);
+* at quiescence no execution slot is leaked and no cache pin survives
+  (``pinned_bytes == 0`` on every shared cache);
+* the byte ledger is conserved (the report total is the sum over the
+  per-query records, wasted attempts included);
+* the whole faulted run replays byte-identically;
+* every *completed* answer is identical to the fault-free serial
+  baseline — recovery may cost time, never correctness.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cluster.events import SimEngine
+from repro.cluster.nodes import MachineSpec
+from repro.faults.errors import UnrecoverableFault
+from repro.server import (
+    COMPLETED,
+    DEADLINE_EXCEEDED,
+    DISPOSITIONS,
+    FAILED,
+    SHED,
+    QueryServer,
+    ResilienceConfig,
+    RetryPolicy,
+    run_serial_baseline,
+)
+from repro.services.cache import CachingService, QueryCacheView, make_policy
+from repro.workloads import TenantSpec, generate_workload
+from repro.workloads.arrivals import QueryArrival
+from repro.workloads.generator import GridSpec
+from repro.workloads.oilres import build_oil_reservoir_dataset
+
+SPEC = GridSpec(g=(16, 16), p=(4, 4), q=(2, 2))
+#: slow fabric so queries overlap, queue and get caught mid-flight
+SLOW = MachineSpec(disk_read_bw=1e5, link_bw=5e4)
+TENANTS = (
+    TenantSpec(
+        name="alice", rate=6.0, num_queries=6,
+        mix=(("scan", 2.0), ("join", 1.0), ("aggregate", 1.0)),
+    ),
+    TenantSpec(
+        name="bob", rate=5.0, num_queries=5, process="bursty",
+        mix=(("scan", 1.0), ("join", 1.0)),
+    ),
+)
+NUM_QUERIES = 11
+#: arrivals far faster than the slot can drain — forces a deep queue
+BURSTY = (
+    TenantSpec(
+        name="alice", rate=50.0, num_queries=6,
+        mix=(("scan", 2.0), ("join", 1.0), ("aggregate", 1.0)),
+    ),
+    TenantSpec(
+        name="bob", rate=50.0, num_queries=5, process="bursty",
+        mix=(("scan", 1.0), ("join", 1.0)),
+    ),
+)
+
+
+def make_dataset(replication=1, functional=True):
+    return build_oil_reservoir_dataset(
+        SPEC, num_storage=2, functional=functional, seed=7,
+        replication=replication,
+    )
+
+
+def arrivals(seed=42, deadline=None, tenants=TENANTS):
+    out = generate_workload(tenants, seed=seed)
+    if deadline is not None:
+        out = [dataclasses.replace(a, deadline=deadline) for a in out]
+    return out
+
+
+def check_quiescence(server, report, stream):
+    """The invariants every chaos scenario must satisfy at quiescence."""
+    # exactly one terminal disposition per submitted query
+    assert sorted(r.qid for r in report.records) == sorted(a.qid for a in stream)
+    assert all(r.disposition in DISPOSITIONS for r in report.records)
+    assert sum(report.disposition_counts.values()) == len(stream)
+    # zero slot leaks, zero surviving pins
+    assert server._slots_free == server.slots
+    assert all(c.pinned_bytes == 0 for c in server.caches)
+    # byte-ledger conservation across the records
+    assert report.bytes_from_storage == sum(
+        r.bytes_from_storage for r in report.records
+    )
+    # non-completed queries never report an answer
+    for r in report.records:
+        if r.disposition != COMPLETED:
+            assert r.result_records is None and r.pairs_joined == 0
+
+
+def payload(report):
+    return json.dumps(report.to_payload(), sort_keys=True)
+
+
+class TestMaskedFaults:
+    """Fault plans the deployment can absorb: everything still completes
+    and every answer matches the fault-free serial baseline."""
+
+    def test_storage_crash_masked_by_replication(self):
+        stream = arrivals()
+        server = QueryServer(
+            make_dataset(replication=2), num_compute=2, sanitize=True,
+            faults="seed=7,storage_crash=0.3",
+            resilience=ResilienceConfig(on_unrecoverable="raise"),
+        )
+        rep = server.serve(stream)
+        check_quiescence(server, rep, stream)
+        assert rep.disposition_counts[COMPLETED] == NUM_QUERIES
+        base = run_serial_baseline(make_dataset(replication=2), stream, num_compute=2)
+        by_qid = {r.qid: r for r in base.records}
+        for r in rep.records:
+            assert r.result_records == by_qid[r.qid].result_records
+            assert r.pairs_joined == by_qid[r.qid].pairs_joined
+
+    def test_compute_crash_recovery_under_concurrency(self):
+        stream = arrivals()
+        server = QueryServer(
+            make_dataset(replication=2), num_compute=3, sanitize=True,
+            faults="seed=3,compute_crash=0.3",
+        )
+        rep = server.serve(stream)
+        check_quiescence(server, rep, stream)
+        base = run_serial_baseline(make_dataset(replication=2), stream, num_compute=3)
+        by_qid = {r.qid: r for r in base.records}
+        for r in rep.records:
+            if r.disposition == COMPLETED:
+                assert r.result_records == by_qid[r.qid].result_records
+
+    @pytest.mark.parametrize("rate", [0.05, 0.2, 0.4])
+    def test_transient_storms_fully_masked(self, rate):
+        # default max_attempts=8 masks every storm inside the QES layer
+        stream = arrivals()
+        server = QueryServer(
+            make_dataset(replication=2), num_compute=2, sanitize=True,
+            faults=f"seed=9,transient={rate}",
+            resilience=ResilienceConfig(on_unrecoverable="raise"),
+        )
+        rep = server.serve(stream)
+        check_quiescence(server, rep, stream)
+        assert rep.disposition_counts[COMPLETED] == NUM_QUERIES
+
+
+class TestRetries:
+    def test_scan_killed_by_compute_crash_retries_on_survivor(self):
+        stream = [QueryArrival(qid=0, tenant="a", kind="scan", at=0.0, seed=1)]
+        server = QueryServer(
+            make_dataset(), num_compute=2, machine=SLOW, sanitize=True,
+            faults="compute_crash=0.002@0",
+        )
+        rep = server.serve(stream)
+        check_quiescence(server, rep, stream)
+        (r,) = rep.records
+        assert r.disposition == COMPLETED and r.retries == 1
+
+    def test_retry_budget_exhaustion_is_terminal_failed(self):
+        # transients with max_attempts=2 leak through QES recovery as
+        # unrecoverable; the server retries each kill with fresh fault
+        # draws — some queries are salvaged, the rest fail at the budget
+        stream = arrivals()
+        cfg = ResilienceConfig(retry=RetryPolicy(budget=3))
+        server = QueryServer(
+            make_dataset(), num_compute=2, sanitize=True,
+            faults="seed=9,transient=0.5,max_attempts=2", resilience=cfg,
+        )
+        rep = server.serve(stream)
+        check_quiescence(server, rep, stream)
+        failed = [r for r in rep.records if r.disposition == FAILED]
+        salvaged = [
+            r for r in rep.records if r.disposition == COMPLETED and r.retries
+        ]
+        assert failed and salvaged
+        for r in failed:
+            assert r.retries == cfg.retry.budget
+            assert r.failure  # names the killing fault
+
+    def test_backoff_is_seeded_and_staggered(self):
+        cfg = ResilienceConfig(retry=RetryPolicy(budget=3))
+
+        def run():
+            server = QueryServer(
+                make_dataset(), num_compute=2, sanitize=True,
+                faults="seed=9,transient=0.5,max_attempts=2", resilience=cfg,
+            )
+            return server.serve(arrivals())
+
+        assert payload(run()) == payload(run())
+
+
+class TestUnrecoverable:
+    def test_graceful_mode_records_failed_and_keeps_serving(self):
+        stream = arrivals()
+        server = QueryServer(
+            make_dataset(replication=1), num_compute=2, sanitize=True,
+            faults="seed=7,storage_crash=0.3",
+            resilience=ResilienceConfig(on_unrecoverable="fail"),
+        )
+        rep = server.serve(stream)
+        check_quiescence(server, rep, stream)
+        assert rep.disposition_counts[FAILED] > 0
+
+    def test_strict_mode_raises_structured_error(self):
+        with pytest.raises(UnrecoverableFault):
+            QueryServer(
+                make_dataset(replication=1), num_compute=2,
+                faults="seed=7,storage_crash=0.3",
+                resilience=ResilienceConfig(on_unrecoverable="raise"),
+            ).serve(arrivals())
+
+
+class TestDeadlines:
+    def test_tight_slo_expires_queries_cleanly(self):
+        stream = arrivals(deadline=0.02)
+        server = QueryServer(
+            make_dataset(), num_compute=2, machine=SLOW, slots=1,
+            sanitize=True,
+        )
+        rep = server.serve(stream)
+        check_quiescence(server, rep, stream)
+        expired = [r for r in rep.records if r.disposition == DEADLINE_EXCEEDED]
+        assert expired
+        for r in expired:
+            # the terminal point is the deadline instant itself (the
+            # abort unwinds within the same simulated instant)
+            assert r.latency == pytest.approx(0.02)
+
+    def test_deadline_while_queued_never_holds_a_slot(self):
+        # q0 occupies the only slot with a join; q1's SLO expires long
+        # before the slot frees
+        stream = [
+            QueryArrival(qid=0, tenant="a", kind="join", at=0.0, seed=1),
+            QueryArrival(
+                qid=1, tenant="b", kind="scan", at=0.0, seed=2, deadline=0.001
+            ),
+        ]
+        server = QueryServer(
+            make_dataset(), num_compute=2, machine=SLOW, slots=1,
+            sanitize=True,
+        )
+        rep = server.serve(stream)
+        check_quiescence(server, rep, stream)
+        by_qid = {r.qid: r for r in rep.records}
+        assert by_qid[0].disposition == COMPLETED
+        assert by_qid[1].disposition == DEADLINE_EXCEEDED
+        assert by_qid[1].admitted_at is None  # expired while queued
+        assert by_qid[1].exec_time == 0.0
+
+    def test_mid_execution_abort_freezes_partial_stats(self):
+        # one join alone, with an SLO that lands mid-execution: the abort
+        # tears down the QES process tree, the record freezes the bytes
+        # the attempt had claimed, and no pin survives
+        probe = [QueryArrival(qid=0, tenant="a", kind="join", at=0.0, seed=1)]
+        full = QueryServer(
+            make_dataset(), num_compute=2, machine=SLOW
+        ).serve(probe).records[0]
+        assert full.exec_time > 0
+        cut = full.exec_time / 2
+        stream = [dataclasses.replace(probe[0], deadline=cut)]
+        server = QueryServer(
+            make_dataset(), num_compute=2, machine=SLOW, sanitize=True
+        )
+        rep = server.serve(stream)
+        check_quiescence(server, rep, stream)
+        (r,) = rep.records
+        assert r.disposition == DEADLINE_EXCEEDED
+        assert r.admitted_at is not None
+        # partial work is accounted but bounded by the full execution
+        assert 0 <= r.bytes_from_storage <= full.bytes_from_storage
+        assert r.result_records is None
+
+    def test_deadlines_and_faults_compose(self):
+        stream = arrivals(deadline=0.5)
+        server = QueryServer(
+            make_dataset(replication=2), num_compute=2, machine=SLOW,
+            sanitize=True, faults="seed=5,transient=0.3,storage_crash=0.1",
+        )
+        rep = server.serve(stream)
+        check_quiescence(server, rep, stream)
+
+
+class TestOverload:
+    def test_bounded_queue_sheds_reject_newest(self):
+        stream = arrivals(tenants=BURSTY)
+        server = QueryServer(
+            make_dataset(), num_compute=2, machine=SLOW, slots=1,
+            sanitize=True, resilience=ResilienceConfig(queue_limit=2),
+        )
+        rep = server.serve(stream)
+        check_quiescence(server, rep, stream)
+        shed = [r for r in rep.records if r.disposition == SHED]
+        assert shed
+        for r in shed:
+            assert r.admitted_at is None  # never held a slot
+            assert r.latency == 0.0  # rejected at its own arrival instant
+            assert "queue-full" in r.failure
+
+    def test_reject_lowest_priority_evicts_expensive_waiter(self):
+        stream = arrivals(tenants=BURSTY)
+        server = QueryServer(
+            make_dataset(), num_compute=2, machine=SLOW, slots=1,
+            sanitize=True,
+            resilience=ResilienceConfig(
+                queue_limit=2, shed_policy="reject-lowest-priority"
+            ),
+        )
+        rep = server.serve(stream)
+        check_quiescence(server, rep, stream)
+        shed = [r for r in rep.records if r.disposition == SHED]
+        assert shed
+        assert all("lowest-priority" in r.failure for r in shed)
+        # the shed set is the predicted-expensive tail, not the newest:
+        # it must differ from what drop-tail would have shed
+        drop_tail = QueryServer(
+            make_dataset(), num_compute=2, machine=SLOW, slots=1,
+            resilience=ResilienceConfig(queue_limit=2),
+        ).serve(stream)
+        newest = {r.qid for r in drop_tail.records if r.disposition == SHED}
+        assert {r.qid for r in shed} != newest
+
+    def test_token_bucket_isolates_the_bursty_tenant(self):
+        stream = arrivals(tenants=BURSTY)
+        server = QueryServer(
+            make_dataset(), num_compute=2, sanitize=True,
+            resilience=ResilienceConfig(
+                shed_policy="token-bucket", bucket_rate=2.0, bucket_burst=2.0
+            ),
+        )
+        rep = server.serve(stream)
+        check_quiescence(server, rep, stream)
+        per_tenant = rep.tenant_dispositions
+        # bob is the bursty over-submitter; alice's own bucket only
+        # throttles alice — shedding one tenant never charges another
+        assert per_tenant["bob"].get(SHED, 0) > 0
+
+    def test_circuit_breaker_sheds_predicted_expensive_work(self):
+        stream = arrivals(tenants=BURSTY)
+        server = QueryServer(
+            make_dataset(), num_compute=2, machine=SLOW, slots=1,
+            sanitize=True,
+            resilience=ResilienceConfig(
+                breaker_threshold=0.01, breaker_window=8
+            ),
+        )
+        rep = server.serve(stream)
+        check_quiescence(server, rep, stream)
+        assert rep.disposition_counts[SHED] > 0
+        assert server._breaker.tripped == rep.disposition_counts[SHED]
+        assert all(
+            "circuit-breaker" in r.failure
+            for r in rep.records
+            if r.disposition == SHED
+        )
+
+
+class TestReplayAndReporting:
+    SCENARIOS = [
+        dict(faults="seed=7,storage_crash=0.3", replication=2),
+        dict(faults="seed=9,transient=0.5,max_attempts=2", replication=1),
+        dict(faults="seed=3,compute_crash=0.3", replication=2, num_compute=3),
+        dict(deadline=0.02, machine=SLOW, slots=1),
+        dict(resilience=ResilienceConfig(queue_limit=2), machine=SLOW, slots=1),
+        dict(
+            faults="seed=5,transient=0.3,storage_crash=0.1",
+            replication=2, deadline=0.5, machine=SLOW,
+        ),
+    ]
+
+    def _run(self, scenario):
+        stream = arrivals(deadline=scenario.get("deadline"))
+        server = QueryServer(
+            make_dataset(replication=scenario.get("replication", 1)),
+            num_compute=scenario.get("num_compute", 2),
+            machine=scenario.get("machine", SLOW),
+            slots=scenario.get("slots", 2),
+            sanitize=True,
+            faults=scenario.get("faults"),
+            resilience=scenario.get("resilience", ResilienceConfig()),
+        )
+        return server, server.serve(stream), stream
+
+    @pytest.mark.parametrize("idx", range(len(SCENARIOS)))
+    def test_chaos_scenarios_quiesce_and_replay(self, idx):
+        scenario = self.SCENARIOS[idx]
+        server, rep, stream = self._run(scenario)
+        check_quiescence(server, rep, stream)
+        _, rep2, _ = self._run(scenario)
+        assert payload(rep) == payload(rep2)
+
+    def test_latency_percentiles_exclude_non_completed(self):
+        stream = arrivals(deadline=0.02)
+        server = QueryServer(
+            make_dataset(), num_compute=2, machine=SLOW, slots=1,
+        )
+        rep = server.serve(stream)
+        completed = [r for r in rep.records if r.disposition == COMPLETED]
+        assert 0 < len(completed) < len(rep.records)
+        counted = sum(
+            int(stats["count"]) for stats in rep.tenant_latency.values()
+        )
+        assert counted == len(completed)
+        # the expired queries all pinned latency to the deadline; were
+        # they counted, every max would be >= 0.02
+        for stats in rep.tenant_latency.values():
+            assert stats["max"] < 0.02
+        # ...but they are visible in the per-disposition breakdown
+        keys = set()
+        for tenant in rep.disposition_latency:
+            keys.add(tenant.split("/", 1)[1])
+        assert DEADLINE_EXCEEDED in keys
+
+    def test_goodput_and_disposition_counts_reported(self):
+        stream = arrivals(tenants=BURSTY)
+        server = QueryServer(
+            make_dataset(), num_compute=2, machine=SLOW, slots=1,
+            resilience=ResilienceConfig(queue_limit=2),
+        )
+        rep = server.serve(stream)
+        counts = rep.disposition_counts
+        assert counts[COMPLETED] + counts[SHED] == NUM_QUERIES
+        assert rep.goodput == pytest.approx(counts[COMPLETED] / rep.makespan)
+        data = rep.to_payload()
+        assert data["goodput_qps"] == rep.goodput
+        assert data["dispositions"]["totals"] == counts
+        assert set(data["dispositions"]["per_tenant"]) == {"alice", "bob"}
+
+
+class TestCacheViewUnwind:
+    """Per-query stat attribution when a query dies mid-flight: its pins
+    release, its private ledger freezes at the unwind point, and the
+    shared cache's totals stay the exact sum of the per-query views."""
+
+    def test_interrupted_view_freezes_and_releases(self):
+        engine = SimEngine()
+        shared = CachingService(10_000, make_policy("lru"))
+        view_a = QueryCacheView(shared, name="qa")
+        view_b = QueryCacheView(shared, name="qb")
+
+        def query_a():
+            with view_a.pin_scope() as scope:
+                assert view_a.get("k0") is None  # miss
+                scope.put("k0", "v0", 100, pin=True)
+                yield engine.timeout(1.0)  # killed here at t=0.6
+                view_a.get("k1")  # never reached
+                scope.put("k1", "v1", 100, pin=True)
+
+        def query_b():
+            yield engine.timeout(0.5)
+            assert view_b.get("k0") == "v0"  # hit on qa's insertion
+            assert view_b.get("k2") is None  # miss
+
+        proc_a = engine.process(query_a(), name="qa")
+        engine.process(query_b(), name="qb")
+
+        def killer():
+            yield engine.timeout(0.6)
+            proc_a.interrupt(RuntimeError("deadline"))
+
+        engine.process(killer(), name="killer")
+        engine.run()
+        # pins released by the unwinding scope
+        assert shared.pinned_bytes == 0
+        # qa's ledger froze at the interrupt: one miss, nothing after
+        assert (view_a.stats.hits, view_a.stats.misses) == (0, 1)
+        assert (view_b.stats.hits, view_b.stats.misses) == (1, 1)
+        # shared totals are exactly the sum of the per-query views
+        assert shared.stats.hits == view_a.stats.hits + view_b.stats.hits
+        assert shared.stats.misses == view_a.stats.misses + view_b.stats.misses
