@@ -1,0 +1,508 @@
+"""Per-function control-flow graphs for the simlint dataflow rules.
+
+:func:`build_cfg` lowers one ``ast.FunctionDef`` / ``ast.AsyncFunctionDef``
+into a statement-level :class:`CFG`: one node per simple statement plus
+synthetic entry/exit nodes, with edges labelled by how control moves —
+``normal`` fall-through, ``back`` for loop back-edges, and ``unwind`` for
+exceptional propagation out of a *suspension point* or an explicit
+``raise``.
+
+The unwind model is the engine's, not CPython's.  Simulated processes
+receive faults as exceptions thrown *into* their generators at a yield
+(``gen.throw`` — the interrupt/fault-injection mechanism documented on
+:meth:`CachingService.pin_scope`), so the analysis treats ``yield`` /
+``yield from`` / ``await`` and explicit ``raise`` statements as the points
+where control may leave a function exceptionally; a plain call is assumed
+not to unwind.  This is deliberately the precision the R-series rules
+need: a resource held across *zero* suspension points is atomic in
+simulated time, while one held across a yield needs a ``finally`` or a
+context manager to survive an interrupt.
+
+Structured statements:
+
+* ``if`` — condition node with a successor per arm (absent else falls
+  through), joining after;
+* ``while`` / ``for`` — header node with a body edge and an exit edge
+  (``while True`` has no exit edge; ``for`` always has a zero-iteration
+  exit edge); the latch and ``continue`` return to the header as ``back``
+  edges; ``break`` exits forward through any enclosing ``finally``;
+* ``try`` — body statements unwind to the except dispatch: one edge per
+  handler plus, unless some handler is a catch-all (bare ``except``,
+  ``except BaseException`` or ``except Exception`` — ``Interrupt``
+  subclasses ``Exception`` here), a continuation that keeps unwinding
+  through the ``finally`` to the outer context;
+* ``finally`` — its statements are *re-built per continuation* (normal
+  completion, unwind, return, break, continue), so a bare ``return``
+  inside a ``finally`` correctly swallows an in-flight exception and
+  routes that path to the normal exit;
+* ``with`` — an entry node per item (context managers in this codebase
+  release scoped resources on unwind, which the rules model through
+  :attr:`CFG.scope_bindings`, not through extra edges);
+* ``return`` — routes through enclosing ``finally`` blocks to
+  ``exit_normal``; falling off the end does the same.
+
+Nested function definitions are opaque single statements (they execute by
+*defining*, not running); lambdas likewise.  The graph is deterministic:
+node ids are allocated in construction order, which follows source order.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+__all__ = ["CFG", "CFGNode", "Edge", "build_cfg", "contains_suspension"]
+
+#: edge kinds
+NORMAL = "normal"
+BACK = "back"
+UNWIND = "unwind"
+
+#: exception names treated as catching *everything* the engine can throw
+#: into a process (Interrupt subclasses Exception in cluster/events.py)
+_CATCH_ALL = {"BaseException", "Exception"}
+
+
+@dataclass
+class Edge:
+    src: int
+    dst: int
+    kind: str  # NORMAL | BACK | UNWIND
+
+
+@dataclass
+class CFGNode:
+    """One statement (or synthetic point) in the graph."""
+
+    id: int
+    #: the AST statement, or None for synthetic nodes
+    stmt: Optional[ast.stmt]
+    #: "entry" / "exit" / "exit_unwind" / "stmt" / "join" / "assume"
+    kind: str = "stmt"
+    #: the AST the node *executes*: for a compound statement used as a
+    #: header (if/while/for/with) only the header expressions; for a
+    #: simple statement, the statement itself.  Rules walk these, never
+    #: ``stmt`` directly, so an ``if`` header is not charged with its body
+    parts: List[ast.AST] = field(default_factory=list)
+    #: for kind="assume": (test_expr, polarity) — control reaches this
+    #: node only when the test evaluated to the polarity
+    assume: Optional[Tuple[ast.expr, bool]] = None
+    #: whether the statement contains a yield / yield from / await
+    suspends: bool = False
+    #: whether the statement is inside a ``finally`` or ``except`` body
+    #: (an "unwind guard": compensation code that runs while an
+    #: exception is being handled or guaranteed-on-exit cleanup)
+    in_unwind_guard: bool = False
+    succs: List[Edge] = field(default_factory=list)
+    preds: List[Edge] = field(default_factory=list)
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+
+class CFG:
+    """Control-flow graph of one function."""
+
+    def __init__(self, func: ast.AST):
+        self.func = func
+        self.nodes: List[CFGNode] = []
+        self.entry = self._new(None, kind="entry")
+        self.exit_normal = self._new(None, kind="exit")
+        self.exit_unwind = self._new(None, kind="exit_unwind")
+        #: names bound by ``with <expr> as NAME`` → the with-item call
+        #: expression, for scope-managed resource recognition
+        self.scope_bindings: Dict[str, ast.expr] = {}
+
+    def _new(self, stmt: Optional[ast.stmt], kind: str = "stmt") -> CFGNode:
+        node = CFGNode(id=len(self.nodes), stmt=stmt, kind=kind)
+        self.nodes.append(node)
+        return node
+
+    def _edge(self, src: CFGNode, dst: CFGNode, kind: str = NORMAL) -> None:
+        edge = Edge(src.id, dst.id, kind)
+        src.succs.append(edge)
+        dst.preds.append(edge)
+
+    # -- queries used by the rules ------------------------------------------------
+
+    def statements(self) -> Iterator[CFGNode]:
+        for node in self.nodes:
+            if node.stmt is not None:
+                yield node
+
+    def forward_reachable(self, start: int) -> Set[int]:
+        """Node ids reachable from ``start`` along acyclic (non-back,
+        non-unwind) edges — "later this activation, barring unwind"."""
+        seen: Set[int] = set()
+        stack = [start]
+        while stack:
+            nid = stack.pop()
+            for edge in self.nodes[nid].succs:
+                if edge.kind == NORMAL and edge.dst not in seen:
+                    seen.add(edge.dst)
+                    stack.append(edge.dst)
+        return seen
+
+
+class _Builder:
+    """Recursive-descent lowering with continuation stacks.
+
+    ``finally`` bodies are rebuilt once per continuation that enters them
+    (normal / unwind / return / break / continue), which is what makes a
+    ``return`` inside a ``finally`` route every mode to ``exit_normal``.
+    """
+
+    def __init__(self, func: ast.AST):
+        self.cfg = CFG(func)
+        #: stack of (break_target_builder, continue_target_builder)
+        self._loops: List[Tuple] = []
+        #: stack of pending finally bodies (innermost last); each entry is
+        #: (finalbody, loops_depth) so a finally is rebuilt with the loop
+        #: context it lexically sits in
+        self._finals: List[Tuple[List[ast.stmt], int]] = []
+        #: current unwind destination factory (callable returning node)
+        self._unwind: List = []
+        self._guard_depth = 0
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def build(self) -> CFG:
+        body = self.cfg.func.body
+        self._unwind.append(lambda: self.cfg.exit_unwind)
+        last = self._body(body, self.cfg.entry)
+        if last is not None:
+            self.cfg._edge(last, self.cfg.exit_normal)
+        return self.cfg
+
+    def _unwind_target(self) -> CFGNode:
+        return self._unwind[-1]()
+
+    def _body(self, stmts: List[ast.stmt], pred: Optional[CFGNode]) -> Optional[CFGNode]:
+        """Lower a statement list; returns the fall-through node (None when
+        every path has already left — return/raise/break/continue)."""
+        current = pred
+        for stmt in stmts:
+            if current is None:
+                break  # unreachable code after a jump
+            current = self._stmt(stmt, current)
+        return current
+
+    # -- statement dispatch ---------------------------------------------------------
+
+    def _stmt(self, stmt: ast.stmt, pred: CFGNode) -> Optional[CFGNode]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, pred)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt, pred)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, pred)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, pred)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, pred)
+        if isinstance(stmt, ast.Return):
+            node = self._simple(stmt, pred)
+            self._through_finals(node, lambda: self.cfg.exit_normal)
+            return None
+        if isinstance(stmt, ast.Raise):
+            node = self._simple(stmt, pred, suspends_only=False)
+            self.cfg._edge(node, self._unwind_target(), UNWIND)
+            return None
+        if isinstance(stmt, ast.Break):
+            node = self._simple(stmt, pred)
+            if self._loops:
+                self._through_finals(
+                    node, self._loops[-1][0], upto=self._loop_final_depth()
+                )
+            return None
+        if isinstance(stmt, ast.Continue):
+            node = self._simple(stmt, pred)
+            if self._loops:
+                self._through_finals(
+                    node, self._loops[-1][1], upto=self._loop_final_depth(),
+                    kind=BACK,
+                )
+            return None
+        # everything else (Assign, Expr, FunctionDef, ...) is one node
+        return self._simple(stmt, pred)
+
+    def _loop_final_depth(self) -> int:
+        """How many pending finallys were opened inside the current loop."""
+        if not self._loops:
+            return 0
+        return self._loops[-1][2]
+
+    def _simple(self, stmt: ast.stmt, pred: CFGNode, suspends_only: bool = True) -> CFGNode:
+        node = self.cfg._new(stmt)
+        node.parts = header_parts(stmt)
+        node.in_unwind_guard = self._guard_depth > 0
+        self.cfg._edge(pred, node)
+        if any(contains_suspension(part) for part in node.parts):
+            node.suspends = True
+            self.cfg._edge(node, self._unwind_target(), UNWIND)
+        return node
+
+    def _through_finals(self, node: CFGNode, target_fn, upto: int = 0,
+                        kind: str = NORMAL) -> None:
+        """Route a jump (return/break/continue) through every pending
+        ``finally`` deeper than ``upto``, then to the target.
+
+        While one finally copy is being built, the pending stack is
+        truncated to the finals *outer* than it, so a jump inside a
+        ``finally`` body routes through enclosing finals only (and cannot
+        re-enter its own).
+        """
+        current: Optional[CFGNode] = node
+        for i in range(len(self._finals) - 1, upto - 1, -1):
+            if current is None:
+                return
+            finalbody, _ = self._finals[i]
+            saved = self._finals
+            self._finals = self._finals[:i]
+            try:
+                current = self._final_copy(finalbody, current)
+            finally:
+                self._finals = saved
+        if current is not None:
+            self.cfg._edge(current, target_fn(), kind)
+
+    def _final_copy(self, finalbody: List[ast.stmt], pred: CFGNode) -> Optional[CFGNode]:
+        """Build one fresh copy of a finally body (one continuation)."""
+        self._guard_depth += 1
+        try:
+            return self._body(finalbody, pred)
+        finally:
+            self._guard_depth -= 1
+
+    # -- structured statements --------------------------------------------------------
+
+    def _if(self, stmt: ast.If, pred: CFGNode) -> Optional[CFGNode]:
+        cond = self._simple(stmt, pred)
+        join = self.cfg._new(None, kind="join")
+        then_assume = self.cfg._new(None, kind="assume")
+        then_assume.assume = (stmt.test, True)
+        self.cfg._edge(cond, then_assume)
+        then_end = self._body(stmt.body, then_assume)
+        if then_end is not None:
+            self.cfg._edge(then_end, join)
+        else_assume = self.cfg._new(None, kind="assume")
+        else_assume.assume = (stmt.test, False)
+        self.cfg._edge(cond, else_assume)
+        if stmt.orelse:
+            else_end = self._body(stmt.orelse, else_assume)
+            if else_end is not None:
+                self.cfg._edge(else_end, join)
+        else:
+            self.cfg._edge(else_assume, join)  # condition false falls through
+        if not join.preds:
+            return None
+        return join
+
+    @staticmethod
+    def _is_while_true(stmt: ast.While) -> bool:
+        return isinstance(stmt.test, ast.Constant) and bool(stmt.test.value)
+
+    def _while(self, stmt: ast.While, pred: CFGNode) -> Optional[CFGNode]:
+        header = self._simple(stmt, pred)
+        after = self.cfg._new(None, kind="join")
+        self._loops.append((lambda: after, lambda: header, len(self._finals)))
+        body_end = self._body(stmt.body, header)
+        self._loops.pop()
+        if body_end is not None:
+            self.cfg._edge(body_end, header, BACK)
+        if not self._is_while_true(stmt):
+            # normal exhaustion runs the else clause (when present), then
+            # falls through to the join; break jumps to the join directly
+            if stmt.orelse:
+                else_end = self._body(stmt.orelse, header)
+                if else_end is not None:
+                    self.cfg._edge(else_end, after)
+            else:
+                self.cfg._edge(header, after)
+        if not after.preds:
+            return None
+        return after
+
+    def _for(self, stmt: ast.stmt, pred: CFGNode) -> Optional[CFGNode]:
+        header = self._simple(stmt, pred)
+        after = self.cfg._new(None, kind="join")
+        self._loops.append((lambda: after, lambda: header, len(self._finals)))
+        body_end = self._body(stmt.body, header)
+        self._loops.pop()
+        if body_end is not None:
+            self.cfg._edge(body_end, header, BACK)
+        # zero-iteration / exhausted edge, via the else clause if present
+        if stmt.orelse:
+            else_end = self._body(stmt.orelse, header)
+            if else_end is not None:
+                self.cfg._edge(else_end, after)
+        else:
+            self.cfg._edge(header, after)
+        return after
+
+    def _with(self, stmt: ast.stmt, pred: CFGNode) -> Optional[CFGNode]:
+        node = self._simple(stmt, pred)
+        for item in stmt.items:
+            if item.optional_vars is not None and isinstance(
+                item.optional_vars, ast.Name
+            ):
+                self.cfg.scope_bindings[item.optional_vars.id] = item.context_expr
+        return self._body(stmt.body, node)
+
+    def _try(self, stmt: ast.Try, pred: CFGNode) -> Optional[CFGNode]:
+        after = self.cfg._new(None, kind="join")
+        finalbody = stmt.finalbody or []
+        # dispatch point exceptions inside the body unwind to; shared by
+        # every unwind edge out of the body
+        dispatch = self.cfg._new(None, kind="join")
+        if finalbody:
+            self._finals.append((finalbody, len(self._loops)))
+        self._unwind.append(lambda: dispatch)
+        body_end = self._body(stmt.body, pred)
+        self._unwind.pop()
+        if stmt.orelse and body_end is not None:
+            body_end = self._body(stmt.orelse, body_end)
+
+        # unwind continuation for exceptions leaving a handler (or hitting
+        # no handler): one shared finally copy chained to the enclosing
+        # unwind target, built on first demand.  The copy is built with
+        # this try's finally off the pending stack, so jumps inside the
+        # finally body route through enclosing finals only.
+        outer_fn = self._unwind[-1]
+        memo: Dict[int, CFGNode] = {}
+
+        def unwind_out() -> CFGNode:
+            if not finalbody:
+                return outer_fn()
+            if 0 not in memo:
+                entry = self.cfg._new(None, kind="join")
+                memo[0] = entry
+                top = self._finals.pop()
+                try:
+                    end = self._final_copy(finalbody, entry)
+                finally:
+                    self._finals.append(top)
+                if end is not None:
+                    self.cfg._edge(end, outer_fn(), UNWIND)
+            return memo[0]
+
+        # handler bodies: exceptions inside them keep unwinding outward,
+        # through this try's finally
+        catch_all = False
+        handler_ends: List[CFGNode] = []
+        self._unwind.append(unwind_out)
+        for handler in stmt.handlers:
+            catch_all = catch_all or self._handler_is_catch_all(handler)
+            hnode = self.cfg._new(handler, kind="stmt")
+            hnode.parts = [handler.type] if handler.type is not None else []
+            hnode.in_unwind_guard = True
+            self.cfg._edge(dispatch, hnode, UNWIND)
+            self._guard_depth += 1
+            hend = self._body(handler.body, hnode)
+            self._guard_depth -= 1
+            if hend is not None:
+                handler_ends.append(hend)
+
+        # no handler matched (or none exist): keep unwinding
+        if not catch_all:
+            self.cfg._edge(dispatch, unwind_out(), UNWIND)
+        self._unwind.pop()
+        if finalbody:
+            self._finals.pop()
+
+        # normal completion (body/else fell through, or a handler did)
+        normal_ends = handler_ends + ([body_end] if body_end is not None else [])
+        for end in normal_ends:
+            if finalbody:
+                cont = self._final_copy(finalbody, end)
+                if cont is not None:
+                    self.cfg._edge(cont, after)
+            else:
+                self.cfg._edge(end, after)
+        if not after.preds:
+            return None
+        return after
+
+    @staticmethod
+    def _handler_is_catch_all(handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True
+        types = (
+            handler.type.elts
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        for t in types:
+            name = t
+            while isinstance(name, ast.Attribute):
+                name = name.value  # pragma: no cover - dotted exception names
+            tail = t.attr if isinstance(t, ast.Attribute) else getattr(t, "id", None)
+            if tail in _CATCH_ALL:
+                return True
+        return False
+
+
+def header_parts(stmt: ast.stmt) -> List[ast.AST]:
+    """The AST a CFG node for ``stmt`` actually executes.
+
+    Compound statements appear in the graph as *header* nodes — their
+    bodies get nodes of their own — so the header node carries only the
+    header expressions.  Simple statements carry themselves.
+    """
+    if isinstance(stmt, ast.If):
+        return [stmt.test]
+    if isinstance(stmt, ast.While):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.target, stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        parts: List[ast.AST] = []
+        for item in stmt.items:
+            parts.append(item.context_expr)
+            if item.optional_vars is not None:
+                parts.append(item.optional_vars)
+        return parts
+    return [stmt]
+
+
+def contains_suspension(stmt: ast.AST) -> bool:
+    """Whether a statement contains a yield/await outside nested defs."""
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # ast.walk descends anyway; filter by re-walking top-level only
+            continue
+        if isinstance(node, (ast.Yield, ast.YieldFrom, ast.Await)):
+            if not _inside_nested_def(stmt, node):
+                return True
+    return False
+
+
+def _inside_nested_def(root: ast.stmt, target: ast.AST) -> bool:
+    """Whether ``target`` sits under a nested function/lambda of ``root``."""
+    # parent-map on demand; statements are small
+    stack: List[Tuple[ast.AST, bool]] = [(root, False)]
+    while stack:
+        node, nested = stack.pop()
+        if node is target:
+            return nested
+        for child in ast.iter_child_nodes(node):
+            stack.append(
+                (
+                    child,
+                    nested
+                    or isinstance(
+                        node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                    )
+                    and node is not root,
+                )
+            )
+    return False
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Build the statement-level CFG of one (async) function definition."""
+    if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        raise TypeError(f"build_cfg needs a function def, got {type(func).__name__}")
+    return _Builder(func).build()

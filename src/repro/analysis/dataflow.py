@@ -1,0 +1,122 @@
+"""Forward dataflow over the simlint CFG.
+
+A small worklist engine specialised to the typestate shape the R-series
+rules need: the lattice is the powerset of a token set (``frozenset`` of
+strings, join = union — "may" analysis), and each rule supplies a
+*transfer function* mapping (statement, in-state) → out-state.
+
+Unwind edges out of a **suspension** propagate the pre-transfer state:
+when an interrupt is thrown into a generator at a yield, the statement's
+effect has not happened yet — a pin acquired *by* the suspended statement
+is not yet held, but one acquired before it is.  All other edges —
+normal, back, and the unwind edges that merely chain a fault onward
+through a completed ``finally`` body — propagate the post-transfer
+state.  The fixpoint exists because transfer functions used by the rules
+are monotone over a finite lattice.
+
+:func:`solve` returns per-node ``in`` states; callers inspect the states
+reaching ``exit_normal`` / ``exit_unwind`` or any interior node.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, FrozenSet, List, Optional
+
+from .cfg import BACK, CFG, NORMAL, UNWIND, CFGNode
+
+__all__ = ["State", "Transfer", "solve", "states_at"]
+
+#: a typestate fact set; join is union
+State = FrozenSet[str]
+
+#: (node, in_state) -> out_state.  Must be monotone in in_state.
+Transfer = Callable[[CFGNode, State], State]
+
+EMPTY: State = frozenset()
+
+
+def solve(cfg: CFG, transfer: Transfer, entry_state: State = EMPTY) -> Dict[int, State]:
+    """Run the forward may-analysis to fixpoint.
+
+    Returns ``in`` states keyed by node id.  Unreachable nodes keep the
+    bottom state (empty frozenset).
+    """
+    n = len(cfg.nodes)
+    in_states: List[State] = [EMPTY] * n
+    in_states[cfg.entry.id] = entry_state
+    # seed the worklist with every node (id order, for determinism): a
+    # node whose transfer *gens* facts must run even though its in-state
+    # never changes from bottom
+    work: List[int] = list(range(n))
+    queued = [True] * n
+    while work:
+        nid = work.pop(0)
+        queued[nid] = False
+        node = cfg.nodes[nid]
+        pre = in_states[nid]
+        # assume/synthetic nodes go through the transfer too: rules use
+        # assume nodes to introduce facts on the branch where a guarded
+        # acquire actually succeeded
+        post = transfer(node, pre)
+        for edge in node.succs:
+            # pre-state only for the fault edge out of a suspension: the
+            # interrupted statement's effect never happened.  Unwind
+            # edges that merely *chain* the fault onward (end of a
+            # finally copy, uncaught-dispatch) leave nodes whose effects
+            # did run, so they carry post-state like any other edge.
+            out = pre if edge.kind == UNWIND and node.suspends else post
+            merged = in_states[edge.dst] | out
+            if merged != in_states[edge.dst]:
+                in_states[edge.dst] = merged
+                if not queued[edge.dst]:
+                    queued[edge.dst] = True
+                    work.append(edge.dst)
+    return {i: s for i, s in enumerate(in_states)}
+
+
+def states_at(
+    cfg: CFG,
+    transfer: Transfer,
+    entry_state: State = EMPTY,
+) -> Dict[int, State]:
+    """Alias of :func:`solve` kept for call-site readability in rules."""
+    return solve(cfg, transfer, entry_state)
+
+
+def assigned_names(stmt: ast.stmt) -> List[str]:
+    """Simple-name targets bound by an assignment statement (in order)."""
+    names: List[str] = []
+    targets: List[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets = [stmt.target]
+    for tgt in targets:
+        if isinstance(tgt, ast.Name):
+            names.append(tgt.id)
+        elif isinstance(tgt, (ast.Tuple, ast.List)):
+            for elt in tgt.elts:
+                if isinstance(elt, ast.Name):
+                    names.append(elt.id)
+    return names
+
+
+def call_of(stmt: ast.stmt) -> Optional[ast.Call]:
+    """The sole top-level call of an Expr/Assign statement, if any."""
+    value: Optional[ast.expr] = None
+    if isinstance(stmt, ast.Expr):
+        value = stmt.value
+    elif isinstance(stmt, ast.Assign):
+        value = stmt.value
+    elif isinstance(stmt, ast.Return):
+        value = stmt.value
+    if isinstance(value, (ast.Yield, ast.YieldFrom, ast.Await)):
+        value = value.value
+    if isinstance(value, ast.Call):
+        return value
+    return None
+
+
+# re-export edge kinds so rule modules import one place
+__edge_kinds__ = (NORMAL, BACK, UNWIND)

@@ -19,7 +19,8 @@ from typing import Dict, FrozenSet, List
 
 __all__ = ["Diagnostic", "suppressions", "SUPPRESS_RE"]
 
-#: matches ``# simlint: disable=D001`` / ``# simlint: disable=D001,P002``
+#: matches a ``simlint:`` comment directive naming one rule or a
+#: comma-separated list (``disable=`` then ``D001`` or ``D001,P002``)
 SUPPRESS_RE = re.compile(r"#\s*simlint:\s*disable=([A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)")
 
 

@@ -18,6 +18,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence
 # importing the rule modules populates the registry
 import repro.analysis.determinism  # noqa: F401
 import repro.analysis.protocol  # noqa: F401
+import repro.analysis.resources  # noqa: F401
 from repro.analysis.diagnostics import Diagnostic, filter_suppressed, suppressions
 from repro.analysis.rules import RULES, FileContext, iter_rules
 
@@ -106,6 +107,49 @@ def lint_paths(
     return out
 
 
+def find_suppressions(paths: Sequence[str]) -> List[tuple]:
+    """Every ``# simlint: disable=`` directive under ``paths``.
+
+    Returns ``(path, line, rules)`` triples in deterministic file order —
+    the mechanical teeth of the zero-suppression policy: CI runs with
+    ``--no-suppressions`` and fails on any directive, so a suppression
+    cannot land without the policy itself being changed.
+    """
+    out: List[tuple] = []
+    for file in iter_python_files(paths):
+        source = file.read_text(encoding="utf-8")
+        for line, rules in sorted(suppressions(source).items()):
+            out.append((str(file), line, tuple(sorted(rules))))
+    return out
+
+
+def _format_json(diags: List[Diagnostic]) -> str:
+    import json
+
+    return json.dumps(
+        [
+            {
+                "rule": d.rule,
+                "path": d.path,
+                "line": d.line,
+                "col": d.col,
+                "message": d.message,
+            }
+            for d in diags
+        ],
+        indent=2,
+    )
+
+
+def _format_github(d: Diagnostic) -> str:
+    # GitHub annotation: newlines in the message would break the command
+    message = d.message.replace("\n", " ")
+    return (
+        f"::error file={d.path},line={d.line},col={d.col},"
+        f"title=simlint {d.rule}::{message}"
+    )
+
+
 def _list_rules() -> str:
     width = max(len(r.id) for r in RULES.values())
     lines = [
@@ -144,6 +188,24 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
     parser.add_argument(
         "--explain", metavar="RULE", help="print one rule's full documentation and exit"
     )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json", "github"],
+        default="text",
+        help=(
+            "diagnostic output format: text (default), json (machine-"
+            "readable report), github (::error workflow annotations)"
+        ),
+    )
+    parser.add_argument(
+        "--no-suppressions",
+        action="store_true",
+        help=(
+            "also fail on any `# simlint: disable=` directive under the "
+            "linted paths (the zero-suppression policy, enforced "
+            "mechanically in CI)"
+        ),
+    )
     args = parser.parse_args(list(argv) if argv is not None else None)
 
     if args.list_rules:
@@ -159,10 +221,37 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
     except (FileNotFoundError, ValueError) as exc:
         print(f"simlint: error: {exc}", file=sys.stderr)
         return 2
-    for d in diags:
-        print(d.format())
+    if args.format == "json":
+        print(_format_json(diags))
+    else:
+        for d in diags:
+            print(_format_github(d) if args.format == "github" else d.format())
+    failed = bool(diags)
     if diags:
         n = len(diags)
         print(f"simlint: {n} violation{'s' if n != 1 else ''} found", file=sys.stderr)
-        return 1
-    return 0
+    if args.no_suppressions:
+        try:
+            found = find_suppressions(args.paths)
+        except FileNotFoundError as exc:
+            print(f"simlint: error: {exc}", file=sys.stderr)
+            return 2
+        for path, line, rules in found:
+            joined = ",".join(rules)
+            if args.format == "github":
+                print(
+                    f"::error file={path},line={line},title=simlint "
+                    f"suppression::suppression of {joined} violates the "
+                    "zero-suppression policy"
+                )
+            else:
+                print(f"{path}:{line}: suppression of {joined} (policy: none allowed)")
+        if found:
+            n = len(found)
+            print(
+                f"simlint: {n} suppression{'s' if n != 1 else ''} found "
+                "(zero-suppression policy)",
+                file=sys.stderr,
+            )
+            failed = True
+    return 1 if failed else 0

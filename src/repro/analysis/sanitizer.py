@@ -184,6 +184,15 @@ class RunSanitizer:
                     f"at quiesce (leaked pins on {held!r}); every pin must "
                     "be released by end of run"
                 )
+            staged = cache.prefetch_bytes
+            if staged:
+                keys = sorted(cache._staged, key=repr)
+                self._fail(
+                    f"cache {name or '?'} still holds {staged} staged "
+                    f"prefetch bytes at quiesce (leaked reservations on "
+                    f"{keys!r}); every prefetch must be taken or cancelled "
+                    "by end of run"
+                )
         self._check_conservation(report)
         tel = getattr(engine, "telemetry", None)
         if tel is not None:

@@ -653,6 +653,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         argv.append("--list-rules")
     if args.explain:
         argv += ["--explain", args.explain]
+    if args.format != "text":
+        argv += ["--format", args.format]
+    if args.no_suppressions:
+        argv.append("--no-suppressions")
     return lint_main(argv)
 
 
@@ -833,6 +837,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the rule catalogue and exit")
     p_lint.add_argument("--explain", metavar="RULE",
                         help="print one rule's documentation and exit")
+    p_lint.add_argument("--format", choices=["text", "json", "github"],
+                        default="text",
+                        help="diagnostic output format (json for reports, "
+                             "github for inline ::error annotations)")
+    p_lint.add_argument("--no-suppressions", action="store_true",
+                        help="also fail on any `# simlint: disable=` "
+                             "directive (zero-suppression policy)")
     p_lint.set_defaults(fn=_cmd_lint)
 
     p_drift = sub.add_parser(

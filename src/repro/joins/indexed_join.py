@@ -328,6 +328,10 @@ class IndexedJoinQES:
                         # not a node death (e.g. a server aborting the whole
                         # query on a deadline): die, don't reassign
                         raise
+                    # staged entries the dead joiner prefetched but never
+                    # consumed would hold staging budget until quiesce;
+                    # reassigned pairs re-fetch through the survivor's cache
+                    caches[j].cancel_staged()
                     remaining = pairs[progress[0] :]
                     if not remaining:
                         continue
@@ -725,6 +729,13 @@ class IndexedJoinQES:
                     cache.prefetch_cancel(sid)
                     inflight.pop(sid, None)
                     continue
+                except BaseException:
+                    # an Interrupt (node death, server abort) unwinding
+                    # through the transfer must hand the staging budget
+                    # back — reservations don't survive their prefetcher
+                    cache.prefetch_cancel(sid)
+                    inflight.pop(sid, None)
+                    raise
                 finally:
                     if tspan is not None and tspan.end is None:
                         tel.recorder.finish(tspan)

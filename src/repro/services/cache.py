@@ -587,6 +587,22 @@ class CachingService(Generic[K, V]):
         self._after_op("take_prefetched")
         return staged.value
 
+    def cancel_staged(self) -> int:
+        """Drop every staged prefetch — in flight or ready — returning the
+        staging budget; returns how many entries were dropped.
+
+        Recovery code calls this when the prefetching consumer dies: a
+        ready staged entry with no consumer left to ``take`` it would
+        otherwise hold staging budget until the run ends, which the
+        sanitizer reports as a staging leak at quiesce.
+        """
+        dropped = len(self._staged)
+        if dropped:
+            self._staged.clear()
+            self._staged_bytes = 0
+            self._after_op("cancel_staged")
+        return dropped
+
     def invalidate_from(self, source: int) -> int:
         """Drop every unpinned entry whose bytes came from storage node
         ``source``; returns how many were dropped.
@@ -829,6 +845,13 @@ class QueryCacheView(Generic[K, V]):
         before = self.shared.stats.snapshot()
         try:
             return self.shared.take_prefetched(key)
+        finally:
+            self._absorb(before)
+
+    def cancel_staged(self) -> int:
+        before = self.shared.stats.snapshot()
+        try:
+            return self.shared.cancel_staged()
         finally:
             self._absorb(before)
 

@@ -1,0 +1,38 @@
+"""Fixture: R002 — admission slots released or granted on every path.
+
+``self._slots_free -= 1`` admits; the obligation discharges through
+``+= 1``, through granting the waiter (``entry.admitted.succeed()``), or
+through a summarized helper called with ``release_slot=True``.
+"""
+
+
+class AdmissionPool:
+    def grant_after_delay(self, engine, entry):
+        self._slots_free -= 1  # expect: R002
+        yield engine.timeout(0.5)
+        entry.admitted.succeed()
+
+    def never_handed_back(self, entry):
+        self._slots_free -= 1  # expect: R002
+        entry.started = True
+
+    def atomic_grant_ok(self, entry):
+        # no yield between admit and grant: atomic in simulated time
+        self._slots_free -= 1
+        entry.admitted.succeed()
+
+    def finally_release_ok(self, engine):
+        self._slots_free -= 1
+        try:
+            yield engine.timeout(0.5)
+        finally:
+            self._slots_free += 1
+
+    def helper_release_ok(self, entry):
+        self._slots_free -= 1
+        self._finalize(entry, release_slot=True)
+
+    def _finalize(self, entry, release_slot=False):
+        if release_slot:
+            self._slots_free += 1
+        entry.done = True

@@ -1,0 +1,46 @@
+"""Fixture: R003 — a local event reaches exactly one terminal, or escapes.
+
+Events the function never reads after creation are P001's finding and
+deliberately absent here; every event below is used on some path.
+"""
+
+
+def orphan_on_slow_path(engine, fast):
+    ev = engine.event()  # expect: R003
+    if fast:
+        ev.succeed()
+
+
+def double_trigger(engine, value):
+    ev = engine.event()
+    ev.succeed(value)
+    ev.fail(RuntimeError("twice"))  # expect: R003
+
+
+def rebound_while_live(engine, items):
+    for _ in items:
+        ev = engine.event()  # expect: R003
+        if not items:
+            ev.succeed()
+
+
+def both_branches_ok(engine, ok, value):
+    ev = engine.event()
+    if ok:
+        ev.succeed(value)
+    else:
+        ev.fail(RuntimeError("no"))
+    return ev
+
+
+def escapes_to_waker_ok(engine, sink):
+    # registration transfers completion ownership to the waker
+    ev = engine.event()
+    sink.register(ev)
+    yield ev
+
+
+def closure_escape_ok(engine, value):
+    ev = engine.event()
+    engine.schedule(1.0, lambda: ev.succeed(value))
+    yield ev

@@ -1,0 +1,42 @@
+"""Fixture: R004 — ledger bytes claimed only after the transfer completes."""
+
+
+def claim_before_transfer(cluster, report, node, j, size):
+    transfer = cluster.read_and_send(node, j, size)
+    report.bytes_from_storage += size  # expect: R004
+    yield transfer
+
+
+def claim_before_helper_transfer(cluster, report, node, j, size):
+    report.bytes_from_storage += size  # expect: R004
+    yield from _send(cluster, node, j, size)
+
+
+def _send(cluster, node, j, size):
+    yield cluster.read_and_send(node, j, size)
+
+
+def claim_after_transfer_ok(cluster, report, node, j, size):
+    transfer = cluster.read_and_send(node, j, size)
+    yield transfer
+    report.bytes_from_storage += size
+
+
+def claim_per_iteration_ok(cluster, report, node, j, sizes):
+    # each claim covers the iteration's own completed transfer; the next
+    # transfer is ahead only through the loop back edge, which is a new
+    # accounting period, not this claim's transfer
+    for size in sizes:
+        transfer = cluster.read_and_send(node, j, size)
+        yield transfer
+        report.bytes_from_storage += size
+
+
+def claim_in_unwind_guard_ok(cluster, report, node, j, size):
+    # inside the guard the failure path is already owned: the handler
+    # decides what actually moved
+    transfer = cluster.read_and_send(node, j, size)
+    try:
+        yield transfer
+    finally:
+        report.bytes_scratch_written += size

@@ -1,0 +1,343 @@
+"""CFG builder and dataflow engine corner cases.
+
+The builder's contract (module docstring of :mod:`repro.analysis.cfg`)
+has a handful of load-bearing subtleties — finally bodies rebuilt per
+continuation, unwind edges only out of suspensions and raises, header
+nodes not charged with their bodies — each pinned here against small
+functions where the right graph is checkable by hand.
+"""
+
+import ast
+
+import pytest
+
+from repro.analysis.cfg import BACK, NORMAL, UNWIND, build_cfg, contains_suspension
+from repro.analysis.dataflow import solve
+
+
+def cfg_of(source):
+    func = ast.parse(source).body[0]
+    return build_cfg(func)
+
+
+def edges(cfg, kind=None):
+    out = set()
+    for node in cfg.nodes:
+        for e in node.succs:
+            if kind is None or e.kind == kind:
+                out.add((e.src, e.dst, e.kind))
+    return out
+
+
+def node_for(cfg, needle):
+    """The unique node whose *executed* AST (``parts``) mentions ``needle``."""
+    hits = [
+        n
+        for n in cfg.nodes
+        if n.stmt is not None
+        and any(needle in ast.dump(p) for p in n.parts if p is not None)
+    ]
+    assert len(hits) == 1, f"{needle!r} matched {len(hits)} nodes"
+    return hits[0]
+
+
+# -- unwind edges come only from suspensions and raises ------------------------------
+
+
+def test_plain_calls_do_not_unwind():
+    cfg = cfg_of("def f(a):\n    a.work()\n    a.more()\n")
+    assert not edges(cfg, UNWIND)
+    assert not cfg.exit_unwind.preds
+
+
+def test_yield_unwinds_and_falls_through():
+    cfg = cfg_of("def f(engine):\n    yield engine.timeout(1.0)\n")
+    ynode = node_for(cfg, "Yield")
+    assert ynode.suspends
+    kinds = {e.kind for e in ynode.succs}
+    assert kinds == {NORMAL, UNWIND}
+    assert any(e.dst == cfg.exit_unwind.id for e in ynode.succs)
+
+
+def test_raise_unwinds():
+    cfg = cfg_of("def f():\n    raise ValueError('x')\n")
+    rnode = node_for(cfg, "Raise")
+    assert not rnode.suspends
+    assert [e.kind for e in rnode.succs] == [UNWIND]
+
+
+def test_yield_in_nested_def_is_not_a_suspension():
+    src = "def f(xs):\n    g = lambda: (yield 1)\n    return [x for x in xs]\n"
+    cfg = cfg_of(src)
+    assert not edges(cfg, UNWIND)
+    assert not contains_suspension(ast.parse(src).body[0].body[0])
+
+
+# -- header nodes carry only header expressions --------------------------------------
+
+
+def test_if_header_not_charged_with_body_suspension():
+    cfg = cfg_of(
+        "def f(engine, flag):\n"
+        "    if flag:\n"
+        "        yield engine.timeout(1.0)\n"
+    )
+    header = node_for(cfg, "Name(id='flag'")
+    assert not header.suspends
+    assert node_for(cfg, "Yield").suspends
+
+
+def test_if_has_assume_nodes_for_both_polarities():
+    cfg = cfg_of("def f(flag):\n    if flag:\n        flag = 2\n")
+    header = node_for(cfg, "Name(id='flag', ctx=Load())")
+    polarities = {
+        cfg.nodes[e.dst].assume[1]
+        for e in header.succs
+        if cfg.nodes[e.dst].kind == "assume"
+    }
+    assert polarities == {True, False}
+
+
+# -- with ----------------------------------------------------------------------------
+
+
+def test_with_multiple_resources_binds_every_scope():
+    cfg = cfg_of(
+        "def f(cache, other, engine):\n"
+        "    with cache.pin_scope() as a, other.pin_scope() as b:\n"
+        "        yield engine.timeout(1.0)\n"
+    )
+    assert set(cfg.scope_bindings) == {"a", "b"}
+    for expr in cfg.scope_bindings.values():
+        assert isinstance(expr, ast.Call)
+
+
+def test_with_header_suspension_comes_from_context_expr_only():
+    cfg = cfg_of(
+        "def f(cache, engine):\n"
+        "    with cache.scope() as s:\n"
+        "        yield engine.timeout(1.0)\n"
+    )
+    header = node_for(cfg, "attr='scope'")
+    assert not header.suspends
+
+
+# -- loops ---------------------------------------------------------------------------
+
+
+def test_while_loop_has_back_edge_and_exit():
+    cfg = cfg_of("def f(n):\n    while n:\n        n -= 1\n")
+    header = node_for(cfg, "Name(id='n', ctx=Load())")
+    assert any(
+        e.dst == header.id and e.kind == BACK
+        for n in cfg.nodes
+        for e in n.succs
+    )
+    # the exhaustion edge leaves the header forward
+    assert any(e.kind == NORMAL for e in header.succs)
+
+
+def test_while_true_has_no_exhaustion_edge():
+    cfg = cfg_of(
+        "def f(engine):\n"
+        "    while True:\n"
+        "        yield engine.timeout(1.0)\n"
+    )
+    header = node_for(cfg, "Constant(value=True)")
+    # only path out of the loop is the suspension's unwind edge
+    assert all(e.kind != NORMAL or e.dst != cfg.exit_normal.id
+               for e in header.succs)
+    assert not cfg.exit_normal.preds
+
+
+def test_continue_returns_to_header_as_back_edge():
+    cfg = cfg_of(
+        "def f(xs):\n"
+        "    for x in xs:\n"
+        "        if x:\n"
+        "            continue\n"
+        "        x.use()\n"
+    )
+    header = node_for(cfg, "Name(id='xs'")
+    cnode = node_for(cfg, "Continue")
+    assert any(
+        e.dst == header.id and e.kind == BACK for e in cnode.succs
+    )
+
+
+# -- finally continuations -----------------------------------------------------------
+
+
+def test_bare_return_in_finally_swallows_unwind():
+    cfg = cfg_of(
+        "def f(engine):\n"
+        "    try:\n"
+        "        yield engine.timeout(1.0)\n"
+        "    finally:\n"
+        "        return\n"
+    )
+    # the interrupt thrown at the yield enters the finally, whose return
+    # routes to the normal exit: nothing ever reaches exit_unwind
+    assert not cfg.exit_unwind.preds
+    assert cfg.exit_normal.preds
+
+
+def test_finally_runs_on_the_unwind_path():
+    cfg = cfg_of(
+        "def f(engine, cache, sid):\n"
+        "    try:\n"
+        "        yield engine.timeout(1.0)\n"
+        "    finally:\n"
+        "        cache.unpin(sid)\n"
+    )
+    # two copies of the finally body: one per continuation (normal, unwind)
+    unpins = [
+        n
+        for n in cfg.nodes
+        if n.stmt is not None and "unpin" in ast.dump(n.stmt)
+    ]
+    assert len(unpins) == 2
+    assert all(n.in_unwind_guard for n in unpins)
+    # exactly one copy chains onward to the unwind exit
+    chained = [
+        n
+        for n in unpins
+        if any(e.dst == cfg.exit_unwind.id for e in n.succs)
+    ]
+    assert len(chained) == 1
+
+
+def test_handler_raise_routes_through_finally():
+    cfg = cfg_of(
+        "def f(engine, cache, sid):\n"
+        "    try:\n"
+        "        yield engine.timeout(1.0)\n"
+        "    except ValueError:\n"
+        "        raise\n"
+        "    finally:\n"
+        "        cache.unpin(sid)\n"
+    )
+    rnode = node_for(cfg, "Raise")
+    # the re-raise must not bypass the pending finally on its way out
+    assert all(e.dst != cfg.exit_unwind.id for e in rnode.succs)
+    assert cfg.exit_unwind.preds
+
+
+def test_catch_all_handler_stops_the_unwind():
+    cfg = cfg_of(
+        "def f(engine):\n"
+        "    try:\n"
+        "        yield engine.timeout(1.0)\n"
+        "    except Exception:\n"
+        "        pass\n"
+    )
+    # Interrupt subclasses Exception: nothing escapes to exit_unwind
+    assert not cfg.exit_unwind.preds
+
+
+def test_forward_reachable_ignores_back_and_unwind_edges():
+    cfg = cfg_of(
+        "def f(engine, xs):\n"
+        "    for x in xs:\n"
+        "        yield engine.timeout(1.0)\n"
+        "        x.use()\n"
+        "    xs.done()\n"
+    )
+    ynode = node_for(cfg, "Yield")
+    reach = cfg.forward_reachable(ynode.id)
+    header = node_for(cfg, "Name(id='x', ctx=Store())")
+    assert node_for(cfg, "use").id in reach  # same-iteration successor
+    assert header.id not in reach  # back edge not followed
+    assert cfg.exit_unwind.id not in reach
+    # post-loop code is only reachable *through* the back edge, so it is
+    # outside "later this activation" — the deliberate conservative cut
+    assert node_for(cfg, "done").id not in reach
+
+
+def test_build_cfg_rejects_non_functions():
+    with pytest.raises(TypeError):
+        build_cfg(ast.parse("x = 1").body[0])
+
+
+# -- dataflow engine -----------------------------------------------------------------
+
+
+def gen_kill_transfer(gen, kill):
+    def transfer(node, state):
+        out = set(state)
+        out -= kill.get(node.id, set())
+        out |= gen.get(node.id, set())
+        return frozenset(out)
+
+    return transfer
+
+
+def test_facts_flow_even_when_states_start_empty():
+    # regression: a worklist seeded only with the entry node never runs
+    # the transfer of downstream nodes (their in-state stays bottom and
+    # never *changes*), so generated facts vanished
+    cfg = cfg_of("def f(a):\n    a.acquire()\n    a.release()\n")
+    acq = node_for(cfg, "acquire")
+    states = solve(cfg, gen_kill_transfer({acq.id: {"t"}}, {}))
+    assert "t" in states[cfg.exit_normal.id]
+
+
+def test_unwind_edge_from_suspension_carries_pre_state():
+    # the interrupted statement's own effect has not happened yet
+    cfg = cfg_of("def f(engine):\n    yield engine.acquire()\n")
+    ynode = node_for(cfg, "Yield")
+    states = solve(cfg, gen_kill_transfer({ynode.id: {"t"}}, {}))
+    assert "t" not in states[cfg.exit_unwind.id]
+    assert "t" in states[cfg.exit_normal.id]
+
+
+def test_unwind_chain_through_finally_carries_post_state():
+    # regression: the edge from the end of a finally copy to the outer
+    # unwind target is an unwind edge, but the finally body *did* run —
+    # its kill must reach exit_unwind or every finally release is a
+    # false-positive leak
+    cfg = cfg_of(
+        "def f(engine, cache, sid):\n"
+        "    cache.pin(sid)\n"
+        "    try:\n"
+        "        yield engine.timeout(1.0)\n"
+        "    finally:\n"
+        "        cache.unpin(sid)\n"
+    )
+    pin = node_for(cfg, "'pin'")
+    kills = {
+        n.id: {"t"}
+        for n in cfg.nodes
+        if n.stmt is not None and "unpin" in ast.dump(n.stmt)
+    }
+    states = solve(cfg, gen_kill_transfer({pin.id: {"t"}}, kills))
+    assert "t" not in states[cfg.exit_unwind.id]
+    assert "t" not in states[cfg.exit_normal.id]
+    # but the fact does reach the yield itself
+    assert "t" in states[node_for(cfg, "Yield").id]
+
+
+def test_join_is_union_across_branches():
+    cfg = cfg_of(
+        "def f(a, flag):\n"
+        "    if flag:\n"
+        "        a.acquire()\n"
+        "    a.wait()\n"
+    )
+    acq = node_for(cfg, "acquire")
+    states = solve(cfg, gen_kill_transfer({acq.id: {"t"}}, {}))
+    assert "t" in states[node_for(cfg, "wait").id]  # may-analysis
+
+
+def test_loop_reaches_fixpoint_with_back_edge_facts():
+    cfg = cfg_of(
+        "def f(a, xs):\n"
+        "    for x in xs:\n"
+        "        a.acquire()\n"
+        "    a.wait()\n"
+    )
+    acq = node_for(cfg, "acquire")
+    states = solve(cfg, gen_kill_transfer({acq.id: {"t"}}, {}))
+    # fact survives the back edge into the next iteration and the exit
+    assert "t" in states[acq.id]
+    assert "t" in states[node_for(cfg, "wait").id]

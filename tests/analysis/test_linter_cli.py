@@ -94,3 +94,97 @@ def test_seeded_wallclock_read_is_named_with_line(tmp_path):
     assert "D001" in proc.stdout
     assert f"{target}:{lineno}:" in proc.stdout
     assert "1 violation found" in proc.stderr
+
+
+# -- catalogue covers the R series ---------------------------------------------------
+
+
+def test_r_rules_listed_in_catalogue():
+    proc = run_linter("--list-rules")
+    assert proc.returncode == 0
+    for rule_id in ("R001", "R002", "R003", "R004"):
+        assert rule_id in proc.stdout
+
+
+def test_explain_r001_shows_bad_and_good():
+    proc = run_linter("--explain", "R001")
+    assert proc.returncode == 0
+    assert "Bad::" in proc.stdout
+    assert "Good::" in proc.stdout
+
+
+# -- output formats ------------------------------------------------------------------
+
+
+def bad_file(tmp_path):
+    target = tmp_path / "repro" / "probe.py"
+    target.parent.mkdir()
+    target.write_text(
+        "def probe(engine, sid, make_cache):\n"
+        "    cache = make_cache()\n"
+        "    cache.pin(sid)\n"
+        "    yield engine.timeout(1.0)\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+def test_json_format_is_machine_readable(tmp_path):
+    import json
+
+    target = bad_file(tmp_path)
+    proc = run_linter("--format", "json", str(target))
+    assert proc.returncode == 1
+    report = json.loads(proc.stdout)
+    assert [d["rule"] for d in report] == ["R001"]
+    assert report[0]["path"] == str(target)
+    assert report[0]["line"] == 3
+    assert "unwind" in report[0]["message"]
+
+
+def test_json_format_clean_tree_is_empty_list():
+    proc = run_linter("--format", "json", "src")
+    assert proc.returncode == 0
+    import json
+
+    assert json.loads(proc.stdout) == []
+
+
+def test_github_format_emits_error_annotations(tmp_path):
+    target = bad_file(tmp_path)
+    proc = run_linter("--format", "github", str(target))
+    assert proc.returncode == 1
+    line = proc.stdout.splitlines()[0]
+    assert line.startswith(f"::error file={target},line=3,col=")
+    assert "title=simlint R001" in line
+
+
+# -- the zero-suppression policy -----------------------------------------------------
+
+
+def test_no_suppressions_fails_on_any_directive(tmp_path):
+    target = tmp_path / "repro" / "quiet.py"
+    target.parent.mkdir()
+    target.write_text(
+        "import time\n"
+        "stamp = time.time()  # simlint: disable=D001\n",
+        encoding="utf-8",
+    )
+    proc = run_linter("--no-suppressions", str(target))
+    assert proc.returncode == 1
+    assert "suppression of D001" in proc.stdout
+    assert "zero-suppression policy" in proc.stderr
+
+
+def test_no_suppressions_passes_on_directive_free_tree(tmp_path):
+    target = tmp_path / "repro" / "ok.py"
+    target.parent.mkdir()
+    target.write_text("VALUE = 1\n", encoding="utf-8")
+    proc = run_linter("--no-suppressions", str(target))
+    assert proc.returncode == 0
+
+
+def test_src_tree_has_zero_suppressions():
+    # the enforced policy: no `# simlint: disable=` anywhere under src/
+    proc = run_linter("--no-suppressions", "src")
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,6 +1,8 @@
 """Runtime sanitizer tests: invariant hooks fire, violations are caught,
 and a sanitized run is observationally identical to an unsanitized one."""
 
+import types
+
 import pytest
 
 from repro.analysis.sanitizer import (
@@ -72,6 +74,34 @@ def test_negative_pin_detected():
     cache._entries["a"].pins = -1
     with pytest.raises(SanitizerViolation, match="negative pin count"):
         cache.put("b", object(), 10)
+
+
+def test_staged_bytes_at_quiesce_detected():
+    # the runtime half of R001's staging obligation: a prefetch_begin
+    # nobody completes or cancels must fail the run at quiesce
+    san = RunSanitizer(label="staged")
+    engine = SimEngine()
+    san.attach_engine(engine)
+    cache = CachingService(capacity_bytes=100)
+    san.attach_cache(cache, name="c0")
+    assert cache.prefetch_begin("a", 10)
+    engine.run()
+    with pytest.raises(SanitizerViolation, match="staged prefetch bytes"):
+        san.after_run(engine, report=None)
+
+
+def test_taken_prefetch_passes_quiesce():
+    san = RunSanitizer(label="staged-ok")
+    engine = SimEngine()
+    san.attach_engine(engine)
+    cache = CachingService(capacity_bytes=100)
+    san.attach_cache(cache, name="c0")
+    assert cache.prefetch_begin("a", 10)
+    cache.prefetch_complete("a", object())
+    cache.take_prefetched("a")
+    engine.run()
+    report = types.SimpleNamespace(bytes_from_storage=0)
+    san.after_run(engine, report=report)
 
 
 def test_pending_process_detected_at_end_of_run():

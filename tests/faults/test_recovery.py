@@ -280,3 +280,44 @@ class TestPinLifecycle:
         qes.run()
         for cache in qes.caches:
             assert cache.pinned_bytes == 0
+
+
+class TestStagingLifecycle:
+    """Regression: staging reservations taken by a prefetcher must be
+    handed back on *every* exit path.  Pre-fix, ``_prefetch_pair``
+    cancelled its reservation only for ``FaultError``; a joiner killed
+    mid-transfer unwound through the yield with the budget still held,
+    and ready-staged entries the dead joiner never consumed stayed
+    parked until quiesce.  (simlint R001 now rejects the bad shape
+    statically — see tests/analysis/test_resource_rules.py.)"""
+
+    def test_compute_crash_leaves_no_staged_bytes(self):
+        ds = build()
+        baseline = run(ds, IndexedJoinQES, pipeline=True)
+        plan = FaultPlan(
+            seed=7,
+            crashes=(
+                NodeCrash("compute", at=0.4 * baseline.total_time, node=1),
+            ),
+        )
+        cluster = paper_cluster(N_S, N_J, spec=SLOW, faults=plan)
+        qes = IndexedJoinQES(
+            cluster, ds.metadata, "T1", "T2", ds.join_attrs, ds.provider,
+            pipeline=True,
+        )
+        rep = qes.run()
+        assert rep.recovery.reassigned_pairs > 0  # the crash really hit
+        for j, cache in enumerate(qes.caches):
+            assert cache.prefetch_bytes == 0, f"joiner {j} leaked staging"
+        assert_matches_oracle(ds, rep)
+
+    def test_fault_free_run_leaves_no_staged_bytes(self):
+        ds = build()
+        cluster = paper_cluster(N_S, N_J, spec=SLOW)
+        qes = IndexedJoinQES(
+            cluster, ds.metadata, "T1", "T2", ds.join_attrs, ds.provider,
+            pipeline=True,
+        )
+        qes.run()
+        for cache in qes.caches:
+            assert cache.prefetch_bytes == 0
