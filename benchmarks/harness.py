@@ -20,7 +20,8 @@ Run as a script, the harness is the benchmark regression tracker::
 
 ``bench`` executes the small tracked configurations (deterministic
 simulated makespans — no wall clock anywhere) and writes
-``results/BENCH_bench_regression.json``; ``check`` walks every
+``results/BENCH_bench_regression.json``, appending a dated summary line
+to the local ``results/history.jsonl`` run log; ``check`` walks every
 ``makespan_s`` leaf of that artifact against the committed baseline under
 ``baselines/`` and exits 1 on any relative regression beyond
 ``--tolerance``, which is what fails CI.  ``--update`` rewrites the
@@ -134,6 +135,31 @@ def record_json(name: str, payload: object) -> Path:
     return path
 
 
+def append_history(name: str, payload: object) -> Path:
+    """Append one dated line for ``payload`` to ``results/history.jsonl``.
+
+    The history file is an append-only local record of every ``bench``
+    run — date, artifact name and all makespan leaves — so a developer
+    can see how tracked makespans moved across their own runs without
+    digging through git history of the baselines.  The date is wall
+    clock (this is host-side tooling, not simulation code, so simlint's
+    no-wall-clock rule does not apply here) and the line layout is
+    sorted-key JSON like every other artifact.
+    """
+    import datetime
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "history.jsonl"
+    entry = {
+        "date": datetime.date.today().isoformat(),
+        "artifact": name,
+        "makespans": dict(iter_makespans(payload)),
+    }
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return path
+
+
 # -- benchmark regression tracking --------------------------------------------------
 
 
@@ -223,6 +249,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     for leaf, value in iter_makespans(payload):
         print(f"{leaf}: {value:.6f}s")
     print(f"wrote {path}")
+    history = append_history(args.name, payload)
+    print(f"appended {history}")
     return 0
 
 

@@ -32,7 +32,14 @@ Commands
     concurrently over per-compute-node shared caches.  ``--baseline``
     adds the serial cold-cache comparison; ``--sanitize`` re-serves with
     the engine tie-break reversed and demands an identical semantic
-    digest.
+    digest.  ``--observe`` records the passive observability layer
+    (windowed time-series, ops log, SLO burn-rate alerts) into the
+    report; ``--oplog-out`` writes the structured ops log as JSONL.
+``top``
+    Render the SLO dashboard from a served report: per-tenant latency
+    percentiles, queue/utilisation/hit-rate sparkline timelines, error
+    budgets, burn-rate alert history and the ops-log event histogram
+    (``--json`` for the machine-readable panels).
 ``sweep``
     Regenerate one of the paper's figure sweeps at a chosen scale
     (``ne-cs``, ``compute-nodes``, ``tuples``, ``attributes``, ``cpu``,
@@ -382,6 +389,28 @@ def _load_tenants(path: Optional[str]):
     return [TenantSpec.from_dict(d) for d in data]
 
 
+def _observability_config(args: argparse.Namespace, tenants) -> Optional[object]:
+    """Build the serve observability config, or ``None`` when not asked.
+
+    SLO objectives come straight from the tenant-mix spec (each tenant's
+    ``"slo"`` object); a tenant without one simply gets no error-budget
+    tracking, while time-series and the ops log cover every tenant.
+    """
+    if not args.observe:
+        return None
+    from repro.server import ObservabilityConfig, SLOObjective
+
+    slo = {}
+    for t in tenants:
+        if t.slo_availability is None and t.slo_latency is None:
+            continue
+        kwargs = {"latency_target": t.slo_latency}
+        if t.slo_availability is not None:
+            kwargs["availability"] = t.slo_availability
+        slo[t.name] = SLOObjective(**kwargs)
+    return ObservabilityConfig(window=args.obs_window, slo=slo)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import dataclasses
 
@@ -410,7 +439,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         on_unrecoverable="raise" if args.fail_mode == "strict" else "fail",
     )
 
-    def build_server(tie_break: str) -> QueryServer:
+    observe = _observability_config(args, tenants)
+
+    def build_server(tie_break: str, observed: bool = False) -> QueryServer:
         dataset = build_oil_reservoir_dataset(
             spec, num_storage=args.storage, functional=args.functional,
             seed=args.seed, replication=args.replication,
@@ -427,16 +458,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             tie_break=tie_break,
             faults=args.faults,
             resilience=resilience,
+            observe=observe if observed and observe is not None else False,
         )
 
     degraded = args.faults is not None or any(
         a.deadline is not None for a in arrivals
     )
-    report = build_server("fifo").serve(arrivals)
+    server = build_server("fifo", observed=True)
+    report = server.serve(arrivals)
     if args.sanitize and not degraded:
         # shadow serve with the engine's same-instant tie-break reversed:
         # the semantic outcome (admission order, per-query answers) must
-        # not depend on how simultaneous events happened to be ordered
+        # not depend on how simultaneous events happened to be ordered.
+        # The shadow runs unobserved — observation is passive by
+        # construction, so the digests must still agree.
         shadow = build_server("reversed").serve(arrivals)
         if shadow.digest() != report.digest():
             raise SanitizerViolation(
@@ -448,10 +483,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # under faults or deadlines, which dispositions win a race *is*
         # trace-order-dependent, so the reversed shadow is not comparable;
         # the replacement guarantee is exact replay: the identical run
-        # must reproduce the full report payload byte for byte
+        # must reproduce the full report payload byte for byte (the
+        # unobserved replay is compared minus the observability section,
+        # which records the serve without perturbing it)
         replay = build_server("fifo").serve(arrivals)
+        observed_payload = dict(report.to_payload())
+        observed_payload.pop("observability", None)
         if json.dumps(replay.to_payload(), sort_keys=True) != json.dumps(
-            report.to_payload(), sort_keys=True
+            observed_payload, sort_keys=True
         ):
             raise SanitizerViolation(
                 "faulted serve did not replay byte-identically"
@@ -505,11 +544,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     elif args.sanitize:
         print("sanitizer: invariant hooks and byte-identical faulted "
               "replay passed")
+    if report.observability is not None:
+        obs = report.observability
+        alerts = obs.get("alerts", [])
+        oplog_summary = obs.get("oplog", {})
+        print(f"observability: {oplog_summary.get('records', 0)} oplog "
+              f"events, {len(alerts)} burn-rate alert(s)")
+        for alert in alerts:
+            cleared = (
+                f"cleared at {alert['cleared_at']:.4f}s"
+                if alert.get("cleared_at") is not None else "still firing"
+            )
+            print(f"  alert[{alert['tenant']}]: fired at "
+                  f"{alert['fired_at']:.4f}s "
+                  f"(burn {alert['short_burn']:.2f}/{alert['long_burn']:.2f} "
+                  f"vs threshold {alert['threshold']:.2f}), {cleared}")
+    if args.oplog_out:
+        if server.observatory is None:
+            raise ValueError("--oplog-out needs --observe")
+        server.observatory.oplog.write(args.oplog_out)
+        print(f"oplog jsonl: {args.oplog_out}")
     if args.json_out:
         with open(args.json_out, "w", encoding="utf-8") as fh:
             json.dump(report.to_payload(), fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"report json: {args.json_out}")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.server.dashboard import (
+        build_dashboard,
+        load_oplog,
+        load_report,
+        render_dashboard,
+    )
+
+    payload = load_report(args.report)
+    oplog = load_oplog(args.oplog) if args.oplog else None
+    dash = build_dashboard(payload, oplog)
+    if args.json:
+        print(json.dumps(dash, indent=2, sort_keys=True))
+    else:
+        print(render_dashboard(dash, width=args.width), end="")
     return 0
 
 
@@ -798,7 +875,38 @@ def build_parser() -> argparse.ArgumentParser:
                               "aborts the run with a structured error "
                               "(exit 3); graceful: record it as failed "
                               "and keep serving")
+    p_serve.add_argument("--observe", action="store_true",
+                         help="record the passive observability layer "
+                              "(windowed time-series, structured ops log, "
+                              "per-tenant SLO error budgets and burn-rate "
+                              "alerts); lands in the report payload under "
+                              "'observability' and never perturbs the "
+                              "serve (digest-identical by construction)")
+    p_serve.add_argument("--obs-window", type=float, default=1.0, metavar="S",
+                         help="time-series aggregation window in simulated "
+                              "seconds (default 1.0)")
+    p_serve.add_argument("--oplog-out", type=str, default=None, metavar="FILE",
+                         help="write the structured ops log as JSONL "
+                              "(one lifecycle decision per line; "
+                              "requires --observe)")
     p_serve.set_defaults(fn=_cmd_serve)
+
+    p_top = sub.add_parser(
+        "top",
+        help="render the SLO dashboard from a served report "
+             "(and optionally its ops log)",
+    )
+    p_top.add_argument("report", metavar="REPORT.json",
+                       help="report payload from `repro serve --json-out`")
+    p_top.add_argument("--oplog", type=str, default=None, metavar="FILE",
+                       help="ops-log JSONL from `repro serve --oplog-out` "
+                            "(refines the event histogram panel)")
+    p_top.add_argument("--json", action="store_true",
+                       help="emit the dashboard panels as sorted-key JSON "
+                            "instead of text")
+    p_top.add_argument("--width", type=int, default=60, metavar="COLS",
+                       help="sparkline width in columns (default 60)")
+    p_top.set_defaults(fn=_cmd_top)
 
     p_sweep = sub.add_parser("sweep", help="regenerate one of the paper's sweeps")
     p_sweep.add_argument(

@@ -10,6 +10,11 @@
   queue-wait circuit breaker.
 * :mod:`~repro.server.server` — the :class:`QueryServer` itself plus the
   cold-cache serial baseline it is measured against.
+* :mod:`~repro.server.slo` — per-tenant SLO objectives, error budgets
+  and multi-window burn-rate alerts.
+* :mod:`~repro.server.observatory` — the passive observability layer
+  (windowed time-series, structured ops log, SLO tracking) the
+  ``repro top`` dashboard renders.
 """
 
 from repro.server.admission import (
@@ -37,6 +42,7 @@ from repro.server.resilience import (
     TokenBucketShedder,
     make_shed_policy,
 )
+from repro.server.observatory import ObservabilityConfig, ServeObservatory
 from repro.server.server import (
     QueryRecord,
     QueryServer,
@@ -44,9 +50,11 @@ from repro.server.server import (
     ServerReport,
     run_serial_baseline,
 )
+from repro.server.slo import BurnAlert, SLOObjective, SLOTracker
 
 __all__ = [
     "AdmissionPolicy",
+    "BurnAlert",
     "COMPLETED",
     "CircuitBreaker",
     "DEADLINE_EXCEEDED",
@@ -54,6 +62,7 @@ __all__ = [
     "FAILED",
     "FIFOAdmission",
     "FairShareAdmission",
+    "ObservabilityConfig",
     "PlannedQuery",
     "QueryAborted",
     "QueryRecord",
@@ -64,7 +73,10 @@ __all__ = [
     "ResilienceConfig",
     "RetryPolicy",
     "SHED",
+    "SLOObjective",
+    "SLOTracker",
     "SerialBaseline",
+    "ServeObservatory",
     "ServerReport",
     "ShedPolicy",
     "ShortestPredictedFirst",

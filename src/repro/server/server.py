@@ -61,6 +61,7 @@ from repro.joins.grace_hash import GraceHashQES
 from repro.joins.indexed_join import IndexedJoinQES
 from repro.joins.report import ExecutionReport
 from repro.server.admission import make_admission_policy
+from repro.server.observatory import ObservabilityConfig, ServeObservatory
 from repro.server.queries import PlannedQuery, build_query
 from repro.server.resilience import (
     COMPLETED,
@@ -210,6 +211,11 @@ class ServerReport:
     #: latency stats keyed ``tenant/disposition`` (every disposition, so
     #: "how long did shed queries sit before eviction" is answerable)
     disposition_latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: observability section (timeseries/SLO/alerts/oplog summary) when
+    #: the server ran with ``observe`` enabled, else ``None``; excluded
+    #: from :meth:`digest` by construction — observation never moves the
+    #: semantic outcome
+    observability: Optional[Dict[str, object]] = None
 
     @property
     def cache_hits(self) -> int:
@@ -244,7 +250,7 @@ class ServerReport:
 
     def to_payload(self) -> Dict[str, object]:
         """Deterministic JSON-ready dump (records sorted by qid)."""
-        return {
+        payload: Dict[str, object] = {
             "policy": self.policy,
             "slots": self.slots,
             "makespan_s": self.makespan,
@@ -269,6 +275,56 @@ class ServerReport:
             },
             "queries": [r.to_payload() for r in self.records],
         }
+        if self.observability is not None:
+            payload["observability"] = self.observability
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "ServerReport":
+        """Rebuild a report from its :meth:`to_payload` dump.
+
+        The round trip pins the JSON schema the dashboard consumes:
+        ``digest()`` and the per-tenant disposition counts of a reloaded
+        report must match the original exactly (asserted in tests).
+        Derived per-record fields (``queue_wait``/``latency``/...) are
+        recomputed from the base fields, never trusted from the file.
+        """
+        records = [
+            QueryRecord(
+                qid=q["qid"],
+                tenant=q["tenant"],
+                kind=q["kind"],
+                algorithm=q["algorithm"],
+                arrival_at=q["arrival_at"],
+                admitted_at=q["admitted_at"],
+                finished_at=q["finished_at"],
+                predicted_time=q["predicted_time"],
+                bytes_from_storage=q["bytes_from_storage"],
+                pairs_joined=q["pairs_joined"],
+                cache_hits=q["cache_hits"],
+                cache_misses=q["cache_misses"],
+                result_records=q["result_records"],
+                disposition=q["disposition"],
+                retries=q["retries"],
+                failure=q["failure"],
+            )
+            for q in payload["queries"]
+        ]
+        tenants = payload["tenants"]
+        return cls(
+            policy=payload["policy"],
+            slots=payload["slots"],
+            makespan=payload["makespan_s"],
+            records=records,
+            admission_order=list(payload["admission_order"]),
+            tenant_latency=tenants["latency"],
+            tenant_queue_wait=tenants["queue_wait"],
+            cache_per_node=payload["cache"]["per_node"],
+            bytes_from_storage=payload["bytes_from_storage"],
+            tenant_dispositions=payload["dispositions"]["per_tenant"],
+            disposition_latency=tenants["disposition_latency"],
+            observability=payload.get("observability"),
+        )
 
     def digest(self) -> str:
         """Hash of the tie-break-invariant observables.
@@ -354,6 +410,7 @@ class QueryServer:
         aggregate_mode: str = "central",
         faults=None,
         resilience: Optional[ResilienceConfig] = None,
+        observe=False,
     ):
         if slots <= 0:
             raise ValueError("need at least one execution slot")
@@ -404,6 +461,34 @@ class QueryServer:
                 cache.attach_telemetry(
                     tel, lambda: self.cluster.engine.now, prefix=f"cache.j{j}"
                 )
+        # ``observe`` enables the continuous observability layer: pass
+        # ``True`` for defaults or an ObservabilityConfig for SLOs and
+        # window sizing.  Purely passive — a serve with observability on
+        # replays byte-identically to one without (asserted in tests and
+        # by the CLI sanitizer).
+        self.observatory: Optional[ServeObservatory] = None
+        if observe:
+            config = (
+                observe
+                if isinstance(observe, ObservabilityConfig)
+                else ObservabilityConfig()
+            )
+            span_source = (
+                self.cluster.telemetry.recorder.current_span_id
+                if telemetry
+                else None
+            )
+            self.observatory = ServeObservatory(
+                config,
+                clock=lambda: self.cluster.engine.now,
+                slots=slots,
+                span_source=span_source,
+            )
+            self.observatory.watch_policy(self._policy)
+            if self._breaker is not None:
+                self.observatory.watch_breaker(self._breaker)
+            for j, cache in enumerate(self.caches):
+                self.observatory.watch_cache(j, cache)
         # -- serve-time state ------------------------------------------
         self._served = False
         self._slots_free = slots
@@ -482,6 +567,8 @@ class QueryServer:
             },
             disposition_latency=self._disposition_latency.summary(),
         )
+        if self.observatory is not None:
+            report.observability = self.observatory.finalize(makespan)
         if self.sanitizer is not None:
             # one pseudo-report covering the whole serving run: the byte
             # ledger is the sum over every query (scans included), so
@@ -529,9 +616,13 @@ class QueryServer:
                 yield engine.timeout(arrival.at - engine.now)
             planned = build_query(self.dataset, self.planner, arrival)
             entry = QueuedQuery(planned, engine.now, engine.event())
+            if self.observatory is not None:
+                self.observatory.on_submit(entry)
             if self._shed_on_submit(entry):
                 continue
             self._policy.submit(entry)
+            if self.observatory is not None:
+                self.observatory.on_queue(entry, len(self._policy))
             engine.process(self._lifecycle(entry), name=f"server-q{entry.qid}")
             self._kick()
         self._arrivals_done = True
@@ -564,6 +655,8 @@ class QueryServer:
         if not self._policy.remove(victim):
             # the victim was admitted at this very instant; nobody sheds
             return False
+        if self.observatory is not None:
+            self.observatory.on_evict(victim, note)
         victim.admitted.fail(QueryShed(victim.qid, note))
         return False
 
@@ -587,6 +680,10 @@ class QueryServer:
                 self._admission_order.append(entry.qid)
                 if self._breaker is not None:
                     self._breaker.observe_wait(engine.now - entry.submitted_at)
+                if self.observatory is not None:
+                    self.observatory.on_admit(
+                        entry, self._slots_free, len(self._policy)
+                    )
                 entry.admitted.succeed()
             if (
                 self._arrivals_done
@@ -649,6 +746,8 @@ class QueryServer:
             self._slots_free += 1
         self._terminal += 1
         self._last_terminal_at = engine.now
+        if self.observatory is not None:
+            self.observatory.on_terminal(record, self._slots_free)
         self._kick()
 
     def _lifecycle(self, entry: QueuedQuery):
@@ -714,9 +813,13 @@ class QueryServer:
                 # but the deadline won the race: hand the slot straight
                 # back (it was never used)
                 self._slots_free += 1
+                if self.observatory is not None:
+                    self.observatory.on_slots(self._slots_free)
                 self._kick()
             else:
                 self._policy.remove(entry)
+            if self.observatory is not None:
+                self.observatory.on_deadline(entry, "queued")
             self._finalize(
                 entry, DEADLINE_EXCEEDED, _Outcome(), note="deadline while queued"
             )
@@ -770,6 +873,8 @@ class QueryServer:
             except (FaultError, UnrecoverableFault) as exc:
                 failure = exc
             if deadline_hit:
+                if self.observatory is not None:
+                    self.observatory.on_deadline(entry, "executing")
                 yield from self._abort_attempt(entry, exec_proc, ctx)
                 self._salvage(outcome, ctx)
                 outcome.bytes_from_storage += wasted
@@ -787,6 +892,8 @@ class QueryServer:
                 return
             # the attempt died on a fault: kill its leftovers (surviving
             # joiners of a half-dead execution) and decide its fate
+            if self.observatory is not None:
+                self.observatory.on_fault(entry, attempt, failure)
             self._salvage(outcome, ctx)
             if ctx.handle is not None:
                 ctx.handle.abort(QueryAborted(entry.qid, "attempt failed"))
@@ -805,6 +912,8 @@ class QueryServer:
                 return
             wasted += outcome.bytes_from_storage
             delay = retry.backoff(planned.arrival.seed, attempt)
+            if self.observatory is not None:
+                self.observatory.on_retry(entry, attempt, delay)
             timer = engine.timeout(delay)
             if deadline_ev is None:
                 yield timer
@@ -812,6 +921,8 @@ class QueryServer:
                 brace = engine.any_of([timer, deadline_ev])
                 yield brace
                 if brace.first_index == 1:
+                    if self.observatory is not None:
+                        self.observatory.on_deadline(entry, "backoff")
                     self._finalize(
                         entry, DEADLINE_EXCEEDED,
                         _Outcome(bytes_from_storage=wasted),

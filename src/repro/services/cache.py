@@ -342,6 +342,8 @@ class CachingService(Generic[K, V]):
         self.stats = CacheStats()
         #: invariant checks run after every mutating operation (sanitizer)
         self._validators: List = []
+        #: passive observers called as fn(op, cache) after ops and gets
+        self._observers: List = []
         self._telemetry = None
         self._clock = None
         self._metric_prefix = "cache"
@@ -370,6 +372,20 @@ class CachingService(Generic[K, V]):
         """
         self._validators.append(fn)
 
+    def attach_observer(self, fn) -> None:
+        """Register ``fn(op, cache)`` to run after ops and lookups.
+
+        Unlike validators (sanitizer invariants) and telemetry (span
+        traces), observers feed the observability time-series: occupancy,
+        staged bytes and hit/miss deltas sampled at each state change.
+        Observers must treat the cache as read-only.
+        """
+        self._observers.append(fn)
+
+    def _notify_observers(self, op: str) -> None:
+        for fn in self._observers:
+            fn(op, self)
+
     def _after_op(self, op: str) -> None:
         if self._telemetry is not None:
             self._telemetry.metrics.gauge(
@@ -377,6 +393,7 @@ class CachingService(Generic[K, V]):
             ).set(self._clock(), float(self._bytes))
         for fn in self._validators:
             fn(op)
+        self._notify_observers(op)
 
     # -- observers ----------------------------------------------------------------
 
@@ -417,11 +434,13 @@ class CachingService(Generic[K, V]):
                 self._telemetry.metrics.counter(
                     f"{self._metric_prefix}.misses"
                 ).inc()
+            self._notify_observers("get")
             return None
         self.stats.hits += 1
         if self._telemetry is not None:
             self._telemetry.metrics.counter(f"{self._metric_prefix}.hits").inc()
         self.policy.on_access(key)
+        self._notify_observers("get")
         return entry.value
 
     def peek(self, key: K) -> Optional[V]:

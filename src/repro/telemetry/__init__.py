@@ -26,11 +26,19 @@ from repro.telemetry.metrics import (
     DEFAULT_SECONDS_BUCKETS,
     MetricsRegistry,
 )
+from repro.telemetry.oplog import OpLog, validate_oplog
 from repro.telemetry.spans import (
     NULL_SPAN,
     Span,
     SpanRecorder,
     maybe_span,
+)
+from repro.telemetry.timeseries import (
+    CounterTrack,
+    GaugeTrack,
+    TimeSeriesRecorder,
+    roll_counter,
+    roll_gauge,
 )
 
 __all__ = [
@@ -39,8 +47,15 @@ __all__ = [
     "SpanRecorder",
     "LatencyTracker",
     "MetricsRegistry",
+    "CounterTrack",
+    "GaugeTrack",
+    "TimeSeriesRecorder",
+    "OpLog",
     "maybe_span",
     "percentile",
+    "roll_counter",
+    "roll_gauge",
+    "validate_oplog",
     "NULL_SPAN",
 ]
 

@@ -29,16 +29,31 @@ def goodput(completed: int, makespan: float) -> float:
     """
     if completed < 0:
         raise ValueError(f"negative completed count {completed}")
+    if makespan < 0:
+        raise ValueError(f"negative makespan {makespan}")
     return completed / makespan if makespan > 0 else 0.0
 
 
 def percentile(values: Sequence[float], q: float) -> float:
     """Nearest-rank percentile of ``values`` (``q`` in [0, 100]).
 
-    The rank is ``ceil(q/100 * n)`` clamped to ``[1, n]``, so ``q=50``
-    over an even count returns the lower middle value and ``q=100`` the
-    maximum.  Raises on an empty sequence — a tenant with no completed
-    queries has no latency distribution to summarise.
+    The convention, precisely:
+
+    * ``q`` is read at 0.01-percentile granularity — it is scaled by 100
+      and truncated to an integer, so ``q=99.99`` and ``q=99.994`` are
+      the same question and finer digits never move the rank.
+    * The rank is ``ceil(q/100 * n)`` computed in exact integer
+      arithmetic, clamped to ``[1, n]`` — the clamp makes ``q=0`` the
+      minimum (rank 1) rather than an out-of-range rank 0.
+    * The result is ``sorted(values)[rank - 1]``: always a value that
+      actually occurred.  ``q=100`` is the maximum; ``q=50`` over an
+      even count is the *lower* middle value (nearest-rank does not
+      interpolate); a single sample answers every ``q`` with itself;
+      duplicates are counted with multiplicity, so over
+      ``[1, 1, 1, 9]`` the p75 is 1 and only p76 and above reach 9.
+
+    Raises on an empty sequence — a tenant with no completed queries
+    has no latency distribution to summarise.
     """
     if not values:
         raise ValueError("percentile of an empty sequence")

@@ -1,11 +1,22 @@
-"""Structural validator for exported Chrome trace-event JSON.
+"""Structural validators for exported observability artifacts.
 
-Checks the subset of the trace-event format contract that the exporter
-promises: a ``traceEvents`` array whose entries carry the required keys
-for their phase, numeric non-negative timestamps/durations, and paired
-flow events.  CI runs this over the traced smoke-run artifact
-(``python -m repro.telemetry.validate run.json``); tests call
-:func:`validate_chrome_trace` directly.
+Three artifact kinds, one CLI:
+
+* **Chrome trace-event JSON** (``repro trace``): the ``traceEvents``
+  contract — required keys per phase, numeric non-negative
+  timestamps/durations, paired flow events, counter ('C') series
+  timestamp-monotonic per (pid, name), and the embedded metrics dump
+  internally consistent (gauge samples timestamp-monotonic, counters
+  non-negative).
+* **Ops logs** (``.jsonl`` from ``repro serve --oplog-out``): delegated
+  to :func:`repro.telemetry.oplog.validate_oplog`.
+* **Server reports** (``repro serve --json-out``): the embedded
+  ``observability`` section — windows contiguous over ``[0, t_end]``,
+  per-window counter counts non-negative and summing to the track
+  total, alert history ordered by fire time.
+
+CI runs ``python -m repro.telemetry.validate <artifacts...>`` over the
+smoke-run outputs; tests call the validators directly.
 """
 
 from __future__ import annotations
@@ -14,7 +25,14 @@ import json
 import sys
 from typing import Any, Dict, List
 
-__all__ = ["validate_chrome_trace", "main"]
+from repro.telemetry.oplog import validate_oplog
+
+__all__ = [
+    "validate_chrome_trace",
+    "validate_observability",
+    "validate_oplog",
+    "main",
+]
 
 #: phases the exporter emits → keys every such event must carry
 _REQUIRED_KEYS = {
@@ -26,6 +44,52 @@ _REQUIRED_KEYS = {
 }
 
 _METADATA_NAMES = {"process_name", "process_sort_index", "thread_name"}
+
+
+def _validate_metrics_dump(metrics: Any, errors: List[str]) -> None:
+    """Check the ``otherData.metrics`` registry dump embedded in a trace.
+
+    Gauge samples must be timestamp-monotonic (strictly increasing —
+    the recorder coalesces same-instant re-samples) and counters must
+    be non-negative: both are invariants the instruments enforce at
+    write time, so a violation here means the exporter corrupted them.
+    """
+    if not isinstance(metrics, dict):
+        errors.append("otherData.metrics: not an object")
+        return
+    for name in sorted(metrics):
+        dump = metrics[name]
+        if not isinstance(dump, dict):
+            errors.append(f"metric {name!r}: not an object")
+            continue
+        kind = dump.get("type")
+        if kind == "counter":
+            value = dump.get("value")
+            if not isinstance(value, (int, float)) or value < 0:
+                errors.append(
+                    f"metric {name!r}: counter value {value!r} negative "
+                    "or non-numeric"
+                )
+        elif kind == "gauge":
+            samples = dump.get("samples", [])
+            prev = None
+            for j, sample in enumerate(samples):
+                if (
+                    not isinstance(sample, (list, tuple))
+                    or len(sample) != 2
+                    or not all(isinstance(x, (int, float)) for x in sample)
+                ):
+                    errors.append(
+                        f"metric {name!r}: sample {j} malformed {sample!r}"
+                    )
+                    continue
+                t = sample[0]
+                if prev is not None and t <= prev:
+                    errors.append(
+                        f"metric {name!r}: sample {j} timestamp {t} not "
+                        f"increasing from {prev}"
+                    )
+                prev = t
 
 
 def validate_chrome_trace(doc: Any) -> List[str]:
@@ -41,6 +105,7 @@ def validate_chrome_trace(doc: Any) -> List[str]:
 
     flow_starts: Dict[Any, int] = {}
     flow_ends: Dict[Any, int] = {}
+    counter_last_ts: Dict[Any, float] = {}
     for i, ev in enumerate(events):
         where = f"traceEvents[{i}]"
         if not isinstance(ev, dict):
@@ -71,6 +136,19 @@ def validate_chrome_trace(doc: Any) -> List[str]:
             flow_starts[ev.get("id")] = flow_starts.get(ev.get("id"), 0) + 1
         if ph == "f":
             flow_ends[ev.get("id")] = flow_ends.get(ev.get("id"), 0) + 1
+        if ph == "C" and isinstance(ev.get("ts"), (int, float)):
+            # counter samples render as a time series per (pid, name);
+            # the exporter walks gauge samples in recorded order, so a
+            # backwards timestamp means the source gauge was corrupted
+            key = (ev.get("pid"), ev.get("name"))
+            ts = ev["ts"]
+            prev = counter_last_ts.get(key)
+            if prev is not None and ts < prev:
+                errors.append(
+                    f"{where}: counter series {ev.get('name')!r} ts {ts} "
+                    f"decreases from {prev}"
+                )
+            counter_last_ts[key] = ts
 
     for fid in sorted(set(flow_starts) | set(flow_ends), key=repr):
         if flow_starts.get(fid, 0) != flow_ends.get(fid, 0):
@@ -78,30 +156,137 @@ def validate_chrome_trace(doc: Any) -> List[str]:
                 f"flow id {fid!r}: {flow_starts.get(fid, 0)} starts vs "
                 f"{flow_ends.get(fid, 0)} ends"
             )
+    other = doc.get("otherData")
+    if isinstance(other, dict) and "metrics" in other:
+        _validate_metrics_dump(other["metrics"], errors)
     return errors
+
+
+def _check_windows(
+    name: str, windows: Any, t_end: float, errors: List[str]
+) -> None:
+    """Shared window-geometry checks: contiguous cover of [0, t_end]."""
+    if not isinstance(windows, list) or not windows:
+        errors.append(f"{name}: missing or empty windows")
+        return
+    prev_t1 = 0.0
+    for j, win in enumerate(windows):
+        if not isinstance(win, dict):
+            errors.append(f"{name}: window {j} not an object")
+            return
+        t0, t1 = win.get("t0"), win.get("t1")
+        if not isinstance(t0, (int, float)) or not isinstance(t1, (int, float)):
+            errors.append(f"{name}: window {j} has non-numeric edges")
+            return
+        if t0 != prev_t1:
+            errors.append(
+                f"{name}: window {j} starts at {t0}, expected {prev_t1}"
+            )
+        if t1 < t0:
+            errors.append(f"{name}: window {j} ends {t1} before start {t0}")
+        prev_t1 = t1
+    if prev_t1 != t_end:
+        errors.append(
+            f"{name}: windows end at {prev_t1}, horizon is {t_end}"
+        )
+
+
+def validate_observability(section: Any) -> List[str]:
+    """Validate the ``observability`` section of a server report.
+
+    Counter tracks must be non-decreasing (every per-window count
+    ``>= 0``) and their windows must sum to the reported total; gauge
+    and counter windows must tile ``[0, t_end]`` contiguously; the
+    alert history must be ordered by fire time.
+    """
+    errors: List[str] = []
+    if not isinstance(section, dict):
+        return ["observability section is not an object"]
+    ts = section.get("timeseries")
+    if not isinstance(ts, dict):
+        return ["missing 'timeseries' object"]
+    t_end = ts.get("t_end")
+    if not isinstance(t_end, (int, float)) or t_end < 0:
+        return [f"bad t_end {t_end!r}"]
+    for name in sorted(ts.get("counters", {})):
+        track = ts["counters"][name]
+        _check_windows(f"counter {name!r}", track.get("windows"), t_end, errors)
+        counts = [
+            w.get("count")
+            for w in track.get("windows", [])
+            if isinstance(w, dict)
+        ]
+        if any(not isinstance(c, (int, float)) or c < 0 for c in counts):
+            errors.append(f"counter {name!r}: negative or missing count")
+        elif counts and sum(counts) != track.get("total"):
+            errors.append(
+                f"counter {name!r}: windows sum to {sum(counts)}, "
+                f"total is {track.get('total')}"
+            )
+    for name in sorted(ts.get("gauges", {})):
+        track = ts["gauges"][name]
+        _check_windows(f"gauge {name!r}", track.get("windows"), t_end, errors)
+    alerts = section.get("alerts", [])
+    if isinstance(alerts, list):
+        fired = [
+            a.get("fired_at") for a in alerts if isinstance(a, dict)
+        ]
+        if any(not isinstance(t, (int, float)) for t in fired):
+            errors.append("alert with missing or non-numeric fired_at")
+        elif fired != sorted(fired):
+            errors.append("alert history not ordered by fired_at")
+    else:
+        errors.append("'alerts' is not an array")
+    return errors
+
+
+def _validate_file(path: str) -> List[str]:
+    """Dispatch one artifact to the right validator by shape."""
+    if path.endswith(".jsonl"):
+        records = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    return [f"line {lineno}: unparseable ({exc})"]
+        return validate_oplog(records)
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        return validate_chrome_trace(doc)
+    if isinstance(doc, dict) and "observability" in doc:
+        return validate_observability(doc["observability"])
+    if isinstance(doc, dict) and "queries" in doc:
+        # a server report without observability: nothing to check here
+        return []
+    return ["unrecognised artifact (not a trace, oplog, or server report)"]
 
 
 def main(argv: List[str]) -> int:
     if not argv:
-        print("usage: python -m repro.telemetry.validate TRACE.json ...")
+        print(
+            "usage: python -m repro.telemetry.validate "
+            "ARTIFACT.json|ARTIFACT.jsonl ..."
+        )
         return 2
     status = 0
     for path in argv:
         try:
-            with open(path, "r", encoding="utf-8") as fh:
-                doc = json.load(fh)
+            errors = _validate_file(path)
         except (OSError, json.JSONDecodeError) as exc:
             print(f"{path}: unreadable ({exc})")
             status = 1
             continue
-        errors = validate_chrome_trace(doc)
         if errors:
             status = 1
             for err in errors:
                 print(f"{path}: {err}")
         else:
-            n = len(doc["traceEvents"])
-            print(f"{path}: OK ({n} events)")
+            print(f"{path}: OK")
     return status
 
 

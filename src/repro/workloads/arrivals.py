@@ -83,6 +83,13 @@ class TenantSpec:
     means heavier bursts; must exceed 1 so the mean gap exists.
     ``deadline`` is an optional per-query SLO (simulated seconds from
     submission) stamped on every arrival the tenant issues.
+
+    ``slo_availability`` / ``slo_latency`` are the tenant's *service*
+    objectives (an availability target in (0, 1) and an optional latency
+    cap), declared under a ``"slo"`` object in the tenant-mix JSON.  The
+    workload generator ignores them — they parameterise the server's
+    error-budget accounting and burn-rate alerting
+    (:mod:`repro.server.slo`), not the arrival stream.
     """
 
     name: str
@@ -92,6 +99,8 @@ class TenantSpec:
     process: str = "poisson"
     alpha: float = 1.5
     deadline: Optional[float] = None
+    slo_availability: Optional[float] = None
+    slo_latency: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -112,6 +121,17 @@ class TenantSpec:
         if self.deadline is not None and self.deadline <= 0:
             raise ValueError(
                 f"tenant {self.name!r}: deadline must be positive"
+            )
+        if self.slo_availability is not None and not (
+            0.0 < self.slo_availability < 1.0
+        ):
+            raise ValueError(
+                f"tenant {self.name!r}: slo availability "
+                f"{self.slo_availability} outside (0, 1)"
+            )
+        if self.slo_latency is not None and self.slo_latency <= 0:
+            raise ValueError(
+                f"tenant {self.name!r}: slo latency must be positive"
             )
         if not self.mix:
             raise ValueError(f"tenant {self.name!r}: empty query mix")
@@ -140,6 +160,12 @@ class TenantSpec:
         else:
             mix_t = tuple((str(k), float(v)) for k, v in mix)
         raw_deadline = data.get("deadline")
+        slo = data.get("slo") or {}
+        if not isinstance(slo, Mapping):
+            raise ValueError(f"tenant slo must be an object, got {slo!r}")
+        unknown = sorted(set(slo) - {"availability", "latency"})
+        if unknown:
+            raise ValueError(f"unknown slo keys {unknown}")
         return cls(
             name=str(data["name"]),
             rate=float(data.get("rate", 1.0)),
@@ -148,6 +174,10 @@ class TenantSpec:
             process=str(data.get("process", "poisson")),
             alpha=float(data.get("alpha", 1.5)),
             deadline=None if raw_deadline is None else float(raw_deadline),
+            slo_availability=(
+                float(slo["availability"]) if "availability" in slo else None
+            ),
+            slo_latency=float(slo["latency"]) if "latency" in slo else None,
         )
 
 

@@ -1,0 +1,159 @@
+"""Windowed time-series tracks: recording, rolling, serialisation."""
+
+import json
+
+import pytest
+
+from repro.telemetry.timeseries import (
+    CounterTrack,
+    GaugeTrack,
+    TimeSeriesRecorder,
+    roll_counter,
+    roll_gauge,
+    window_edges,
+)
+
+
+class TestCounterTrack:
+    def test_accumulates_with_timestamps(self):
+        c = CounterTrack("x")
+        c.inc(0.5)
+        c.inc(0.5, 2.0)
+        c.inc(1.5)
+        assert c.total == 4.0
+        assert c.events == [(0.5, 1.0), (0.5, 3.0), (1.5, 4.0)]
+
+    def test_rejects_decreasing_time_and_negative_amount(self):
+        c = CounterTrack("x")
+        c.inc(1.0)
+        with pytest.raises(ValueError):
+            c.inc(0.5)
+        with pytest.raises(ValueError):
+            c.inc(2.0, -1.0)
+
+
+class TestGaugeTrack:
+    def test_same_instant_last_write_wins(self):
+        g = GaugeTrack("depth")
+        g.set(1.0, 2.0)
+        g.set(1.0, 5.0)
+        assert g.samples == [(1.0, 5.0)]
+
+    def test_equal_consecutive_values_coalesced(self):
+        g = GaugeTrack("depth")
+        g.set(0.0, 1.0)
+        g.set(1.0, 1.0)
+        g.set(2.0, 3.0)
+        assert g.samples == [(0.0, 1.0), (2.0, 3.0)]
+        assert g.last == 3.0
+        assert g.peak == 3.0
+
+    def test_rejects_time_travel(self):
+        g = GaugeTrack("depth")
+        g.set(2.0, 1.0)
+        with pytest.raises(ValueError):
+            g.set(1.0, 0.0)
+
+
+class TestWindowEdges:
+    def test_final_window_closed_at_horizon(self):
+        assert window_edges(1.0, 2.5) == [(0.0, 1.0), (1.0, 2.0), (2.0, 2.5)]
+
+    def test_exact_multiple_has_no_stub_window(self):
+        assert window_edges(1.0, 2.0) == [(0.0, 1.0), (1.0, 2.0)]
+
+    def test_empty_horizon_still_one_window(self):
+        assert window_edges(1.0, 0.0) == [(0.0, 0.0)]
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            window_edges(0.0, 1.0)
+        with pytest.raises(ValueError):
+            window_edges(1.0, -1.0)
+
+
+class TestRollCounter:
+    def test_counts_sum_to_total(self):
+        events = [(0.2, 1.0), (0.8, 2.0), (1.1, 5.0), (2.5, 6.0)]
+        windows = roll_counter(events, 1.0, 2.5)
+        assert sum(w["count"] for w in windows) == 6.0
+        assert [w["count"] for w in windows] == [2.0, 3.0, 1.0]
+
+    def test_event_at_horizon_lands_in_final_window(self):
+        windows = roll_counter([(2.0, 1.0)], 1.0, 2.0)
+        assert [w["count"] for w in windows] == [0.0, 1.0]
+
+    def test_rate_uses_window_span(self):
+        windows = roll_counter([(0.25, 4.0)], 0.5, 0.5)
+        assert windows == [{"t0": 0.0, "t1": 0.5, "count": 4.0, "rate": 8.0}]
+
+
+class TestRollGauge:
+    def test_time_weighted_mean(self):
+        # level 0 on [0,1), 4 on [1,2): window [0,2) mean is 2
+        windows = roll_gauge([(0.0, 0.0), (1.0, 4.0)], 2.0, 2.0)
+        assert windows[0]["mean"] == 2.0
+        assert windows[0]["max"] == 4.0
+        assert windows[0]["last"] == 4.0
+
+    def test_undefined_before_first_sample(self):
+        windows = roll_gauge([(1.5, 7.0)], 1.0, 2.0)
+        assert windows[0] == {
+            "t0": 0.0, "t1": 1.0, "mean": None, "max": None, "last": None,
+        }
+        assert windows[1]["mean"] == 7.0
+
+    def test_initial_level_defines_the_gap(self):
+        windows = roll_gauge([(1.5, 7.0)], 1.0, 2.0, initial=1.0)
+        assert windows[0]["mean"] == 1.0
+        # second window: 1.0 for 0.5s then 7.0 for 0.5s
+        assert windows[1]["mean"] == 4.0
+
+    def test_no_samples_at_all(self):
+        assert roll_gauge([], 1.0, 1.0) == [
+            {"t0": 0.0, "t1": 1.0, "mean": None, "max": None, "last": None}
+        ]
+        assert roll_gauge([], 1.0, 1.0, initial=3.0)[0]["mean"] == 3.0
+
+
+class TestTimeSeriesRecorder:
+    def _recorder(self):
+        state = {"now": 0.0}
+        rec = TimeSeriesRecorder(lambda: state["now"], window=1.0)
+        return state, rec
+
+    def test_stamps_through_the_clock(self):
+        state, rec = self._recorder()
+        rec.inc("served")
+        state["now"] = 1.5
+        rec.inc("served")
+        rec.set("depth", 3.0)
+        assert rec.counter("served").events == [(0.0, 1.0), (1.5, 2.0)]
+        assert rec.gauge("depth").samples == [(1.5, 3.0)]
+        assert rec.point_count() == 3
+
+    def test_payload_is_byte_identical_across_identical_runs(self):
+        def run():
+            state, rec = self._recorder()
+            for t in (0.1, 0.7, 1.2, 2.9):
+                state["now"] = t
+                rec.inc("served")
+                rec.set("depth", t * 2)
+            return rec.to_json(3.0)
+
+        assert run() == json.dumps(json.loads(run()), sort_keys=True)
+        assert run() == run()
+
+    def test_payload_counts_sum_and_names_sorted(self):
+        state, rec = self._recorder()
+        rec.inc("b.count", 2.0)
+        state["now"] = 1.4
+        rec.inc("a.count")
+        payload = rec.to_payload(2.0)
+        assert list(payload["counters"]) == ["a.count", "b.count"]
+        for track in payload["counters"].values():
+            assert sum(w["count"] for w in track["windows"]) == track["total"]
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeriesRecorder(lambda: 0.0, window=0.0)

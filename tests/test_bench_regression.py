@@ -113,6 +113,25 @@ class TestTrackerCli:
         assert harness.main(["check"]) == 1
         assert "no current artifact" in capsys.readouterr().err
 
+    def test_bench_appends_dated_history_line(self, dirs, capsys):
+        results, _ = dirs
+        assert harness.main(["bench"]) == 0
+        assert harness.main(["bench"]) == 0
+        history = results / "history.jsonl"
+        lines = [
+            json.loads(line)
+            for line in history.read_text().splitlines() if line
+        ]
+        assert len(lines) == 2
+        for entry in lines:
+            assert set(entry) == {"artifact", "date", "makespans"}
+            assert entry["artifact"] == "bench_regression"
+            # ISO date, e.g. 2026-08-08
+            assert len(entry["date"].split("-")) == 3
+            assert "switched_small/ij/makespan_s" in entry["makespans"]
+        # deterministic simulation: both runs logged identical makespans
+        assert lines[0]["makespans"] == lines[1]["makespans"]
+
     def test_committed_baseline_matches_current_behaviour(self):
         """The baseline in git must reproduce on this checkout — the same
         determinism CI relies on."""

@@ -172,3 +172,111 @@ class TestServe:
     def test_serve_rejects_belady(self, capsys):
         assert main(self.SMALL + ["--cache-policy", "belady"]) == 2
         assert "belady" in capsys.readouterr().err
+
+
+class TestObservedServe:
+    SMALL = TestServe.SMALL
+
+    @pytest.fixture()
+    def slo_tenants(self, tmp_path):
+        spec = tmp_path / "tenants.json"
+        spec.write_text(json.dumps({"tenants": [
+            {"name": "gold", "rate": 2.0, "num_queries": 6,
+             "mix": {"scan": 2.0, "join": 1.0},
+             "slo": {"availability": 0.9, "latency": 0.5}},
+            {"name": "bulk", "rate": 0.5, "num_queries": 3,
+             "process": "bursty", "mix": {"aggregate": 1.0}},
+        ]}))
+        return str(spec)
+
+    def test_observe_writes_artifacts(self, tmp_path, slo_tenants, capsys):
+        report = tmp_path / "report.json"
+        oplog = tmp_path / "ops.jsonl"
+        assert main(self.SMALL + [
+            "--tenants", slo_tenants, "--observe", "--obs-window", "0.5",
+            "--json-out", str(report), "--oplog-out", str(oplog),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "observability:" in out
+        payload = json.loads(report.read_text())
+        obs = payload["observability"]
+        assert obs["timeseries"]["window_s"] == 0.5
+        assert "gold" in obs["slo"]
+        assert "bulk" not in obs["slo"]  # no slo object in its spec
+        lines = oplog.read_text().splitlines()
+        assert len(lines) == obs["oplog"]["records"]
+        assert json.loads(lines[0])["event"] == "submit"
+
+    def test_observe_does_not_move_the_digest(self, capsys):
+        def digest(extra):
+            assert main(self.SMALL + extra) == 0
+            out = capsys.readouterr().out
+            (line,) = [
+                ln for ln in out.splitlines() if ln.startswith("digest:")
+            ]
+            return line.split()[1]
+
+        assert digest([]) == digest(["--observe"])
+
+    def test_observe_with_faulted_sanitized_serve(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        assert main(self.SMALL + [
+            "--replication", "2", "--faults", "seed=7,storage_crash=0.3",
+            "--sanitize", "--observe", "--json-out", str(report),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "byte-identical faulted replay passed" in out
+        assert "observability" in json.loads(report.read_text())
+
+    def test_oplog_out_requires_observe(self, tmp_path, capsys):
+        assert main(self.SMALL + [
+            "--oplog-out", str(tmp_path / "ops.jsonl"),
+        ]) == 2
+        assert "--observe" in capsys.readouterr().err
+
+
+class TestTop:
+    def _artifacts(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        oplog = tmp_path / "ops.jsonl"
+        assert main(TestServe.SMALL + [
+            "--observe", "--json-out", str(report), "--oplog-out", str(oplog),
+        ]) == 0
+        capsys.readouterr()
+        return str(report), str(oplog)
+
+    def test_top_renders_panels(self, tmp_path, capsys):
+        report, oplog = self._artifacts(tmp_path, capsys)
+        assert main(["top", report, "--oplog", oplog]) == 0
+        out = capsys.readouterr().out
+        for panel in ("== serve", "== tenants", "== timelines",
+                      "== error budget", "== alerts", "== ops log"):
+            assert panel in out
+        assert "interactive" in out and "batch" in out
+
+    def test_top_json_is_deterministic(self, tmp_path, capsys):
+        report, oplog = self._artifacts(tmp_path, capsys)
+
+        def dump():
+            assert main(["top", report, "--oplog", oplog, "--json"]) == 0
+            return capsys.readouterr().out
+
+        first = dump()
+        assert first == dump()
+        dash = json.loads(first)
+        assert dash["meta"]["observed"] is True
+        assert dash["oplog"]["submit"] == dash["meta"]["queries"]
+
+    def test_top_without_observability_degrades(self, tmp_path, capsys):
+        report = tmp_path / "plain.json"
+        assert main(TestServe.SMALL + ["--json-out", str(report)]) == 0
+        capsys.readouterr()
+        assert main(["top", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "observability: disabled" in out
+
+    def test_top_rejects_non_report(self, tmp_path, capsys):
+        bogus = tmp_path / "x.json"
+        bogus.write_text(json.dumps({"hello": 1}))
+        assert main(["top", str(bogus)]) == 2
+        assert "not a server report" in capsys.readouterr().err
