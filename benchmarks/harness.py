@@ -49,6 +49,11 @@ BASELINES_DIR = Path(__file__).parent / "baselines"
 #: arithmetic.
 DEFAULT_TOLERANCE = 0.02
 
+#: Leaf keys the regression tracker walks: simulated makespans plus the
+#: reuse bench's what-if miss ratios (both are "smaller is better", so
+#: the same growth-beyond-tolerance rule applies).
+TRACKED_LEAVES = ("makespan_s", "miss_ratio")
+
 
 def record_table(
     name: str,
@@ -194,16 +199,17 @@ def run_tracked_benchmarks() -> Dict[str, object]:
 
 
 def iter_makespans(payload: object, prefix: str = "") -> List[Tuple[str, float]]:
-    """All ``makespan_s`` leaves of a benchmark artifact, path-sorted.
+    """All tracked leaves (:data:`TRACKED_LEAVES`) of a benchmark
+    artifact, path-sorted.
 
     Paths are slash-joined dict keys / list indices, e.g.
-    ``switched_small/ij/makespan_s``.
+    ``switched_small/ij/makespan_s`` or ``mrc/2/miss_ratio``.
     """
     found: List[Tuple[str, float]] = []
     if isinstance(payload, dict):
         for key in sorted(payload):
             path = f"{prefix}/{key}" if prefix else str(key)
-            if key == "makespan_s":
+            if key in TRACKED_LEAVES:
                 found.append((path, float(payload[key])))
             else:
                 found.extend(iter_makespans(payload[key], path))
@@ -285,8 +291,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 print(f"{name}: REGRESSION: {line}", file=sys.stderr)
             status = 1
         else:
-            print(f"{name}: OK — {len(iter_makespans(current))} makespans "
-                  f"within {args.tolerance:.0%} of baseline")
+            print(f"{name}: OK — {len(iter_makespans(current))} tracked "
+                  f"leaves within {args.tolerance:.0%} of baseline")
     return status
 
 

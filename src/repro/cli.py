@@ -38,8 +38,15 @@ Commands
 ``top``
     Render the SLO dashboard from a served report: per-tenant latency
     percentiles, queue/utilisation/hit-rate sparkline timelines, error
-    budgets, burn-rate alert history and the ops-log event histogram
-    (``--json`` for the machine-readable panels).
+    budgets, burn-rate alert history, the ops-log event histogram and
+    the cache-reuse panel (top advisor candidates + what-if miss-ratio
+    curve) when the report carries one (``--json`` for the
+    machine-readable panels).
+``advise``
+    Read a served report's ``observability.reuse`` section and print the
+    materialization advisor's verdict: trace summary, the what-if
+    miss-ratio curve at alternative cache capacities, and the top
+    cost-ranked :class:`MaterializationCandidate` rows.
 ``sweep``
     Regenerate one of the paper's figure sweeps at a chosen scale
     (``ne-cs``, ``compute-nodes``, ``tuples``, ``attributes``, ``cpu``,
@@ -408,7 +415,10 @@ def _observability_config(args: argparse.Namespace, tenants) -> Optional[object]
         if t.slo_availability is not None:
             kwargs["availability"] = t.slo_availability
         slo[t.name] = SLOObjective(**kwargs)
-    return ObservabilityConfig(window=args.obs_window, slo=slo)
+    return ObservabilityConfig(
+        window=args.obs_window, slo=slo,
+        reuse=not getattr(args, "no_reuse", False),
+    )
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -550,6 +560,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         oplog_summary = obs.get("oplog", {})
         print(f"observability: {oplog_summary.get('records', 0)} oplog "
               f"events, {len(alerts)} burn-rate alert(s)")
+        reuse = obs.get("reuse")
+        if reuse is not None:
+            trace = reuse["trace"]
+            candidates = reuse["advisor"]["candidates"]
+            top = f", top candidate {candidates[0]['key']}" if candidates \
+                else ""
+            print(f"reuse: {trace['accesses']} accesses over "
+                  f"{trace['distinct_keys']} keys "
+                  f"({trace['hits']} hits / {trace['misses']} misses)"
+                  f"{top} — run `repro advise` on the report")
         for alert in alerts:
             cleared = (
                 f"cleared at {alert['cleared_at']:.4f}s"
@@ -587,6 +607,69 @@ def _cmd_top(args: argparse.Namespace) -> int:
         print(json.dumps(dash, indent=2, sort_keys=True))
     else:
         print(render_dashboard(dash, width=args.width), end="")
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.server.dashboard import load_report
+
+    payload = load_report(args.report)
+    reuse = (payload.get("observability") or {}).get("reuse")
+    if reuse is None:
+        raise ValueError(
+            f"{args.report} carries no reuse section; serve it with "
+            f"--observe (and without --no-reuse)"
+        )
+    if args.json:
+        print(json.dumps(reuse, indent=2, sort_keys=True))
+        return 0
+
+    trace = reuse["trace"]
+    hit_rate = trace["hits"] / trace["accesses"] if trace["accesses"] else 0.0
+    print(f"cache reuse — {trace['accesses']} accesses over "
+          f"{trace['distinct_keys']} keys, hit rate {hit_rate:.1%}, "
+          f"footprint {trace['footprint_bytes']:,} B "
+          f"(capacity {reuse['capacity_bytes']:,} B, "
+          f"policy {reuse['policy']})")
+
+    print("\nwhat-if miss-ratio curve (per-node capacity):")
+    configured = reuse["capacity_bytes"]
+    rows = [
+        [
+            f"{point['capacity_bytes']:,}"
+            + (" *" if point["capacity_bytes"] == configured else ""),
+            point["misses"],
+            f"{point['miss_ratio']:.3f}",
+        ]
+        for point in reuse["mrc"]["global"]
+    ]
+    print(_table(["capacity (B)", "misses", "miss ratio"], rows))
+    print("(* = configured capacity; per-tenant curves in --json)")
+
+    candidates = reuse["advisor"]["candidates"]
+    if not candidates:
+        print("\nadvisor: no candidates (no cost model or empty trace)")
+        return 0
+    print(f"\ntop {min(args.top, len(candidates))} materialization "
+          f"candidates (of {len(candidates)} scored):")
+    rows = [
+        [
+            rank + 1, c["key"], c["origin"], c["nbytes"], c["accesses"],
+            c["misses"], f"{c['benefit_s']:.6f}", f"{c['cost_s']:.6f}",
+            f"{c['score_s']:.6f}",
+        ]
+        for rank, c in enumerate(candidates[: args.top])
+    ]
+    print(_table(
+        ["#", "key", "origin", "bytes", "accesses", "misses",
+         "benefit (s)", "cost (s)", "score (s)"],
+        rows,
+    ))
+    best = candidates[0]
+    print(f"advise: materialize {best['key']} ({best['origin']}, "
+          f"{best['nbytes']} B) — observed {best['misses']} misses across "
+          f"{best['nodes']} node(s), est. net saving "
+          f"{best['score_s']:.6f}s per serve")
     return 0
 
 
@@ -889,6 +972,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the structured ops log as JSONL "
                               "(one lifecycle decision per line; "
                               "requires --observe)")
+    p_serve.add_argument("--no-reuse", action="store_true",
+                         help="within --observe, skip the per-entry cache "
+                              "access trace and reuse analysis (miss-ratio "
+                              "curves, working set, materialization advisor)")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_top = sub.add_parser(
@@ -907,6 +994,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_top.add_argument("--width", type=int, default=60, metavar="COLS",
                        help="sparkline width in columns (default 60)")
     p_top.set_defaults(fn=_cmd_top)
+
+    p_advise = sub.add_parser(
+        "advise",
+        help="rank materialization candidates from a served report's "
+             "cache reuse trace",
+    )
+    p_advise.add_argument("report", metavar="REPORT.json",
+                          help="report payload from `repro serve --observe "
+                               "--json-out` (needs the reuse section)")
+    p_advise.add_argument("--top", type=int, default=5, metavar="K",
+                          help="number of candidates to show (default 5)")
+    p_advise.add_argument("--json", action="store_true",
+                          help="emit the full reuse section as sorted-key "
+                               "JSON instead of text")
+    p_advise.set_defaults(fn=_cmd_advise)
 
     p_sweep = sub.add_parser("sweep", help="regenerate one of the paper's sweeps")
     p_sweep.add_argument(

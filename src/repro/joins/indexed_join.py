@@ -513,9 +513,14 @@ class IndexedJoinQES:
                         desc.num_records
                     )
             # left entries are charged double: sub-table + its hash table
-            # (this is exactly the 2·c_R term of the memory assumption)
+            # (this is exactly the 2·c_R term of the memory assumption) —
+            # and classified as derived DDS output for the reuse advisor,
+            # since re-creating one costs a fetch *plus* a hash build
             nbytes = desc.size * 2 if is_left else desc.size
-            cached = scope.put(sid, entry, nbytes, pin=True, source=serving)
+            origin = "derived" if is_left else "base"
+            cached = scope.put(
+                sid, entry, nbytes, pin=True, source=serving, origin=origin
+            )
             return entry, cached
 
     def _joiner(self, j: int, pairs, cache: CachingService,

@@ -11,6 +11,9 @@ and the simulated executions they predict:
 - :mod:`repro.observe.drift` — the persistent drift store behind
   ``repro run --analyze`` / ``repro drift``, and the calibration hook
   that feeds fitted per-term constants back into the planner.
+- :mod:`repro.observe.reuse` — the cache reuse observatory behind
+  ``repro advise``: per-entry access traces, Mattson miss-ratio
+  curves, working-set windows and the materialization advisor.
 """
 
 from repro.observe.drift import (
@@ -33,6 +36,17 @@ from repro.observe.profile import (
     planned_operators,
     profile_execution,
 )
+from repro.observe.reuse import (
+    AccessTraceRecorder,
+    EntryCostModel,
+    MaterializationCandidate,
+    miss_ratio_curve,
+    prewarm,
+    rank_candidates,
+    resolve_chunk,
+    reuse_distances,
+    working_set_windows,
+)
 
 __all__ = [
     "CALIBRATION_FIELD_OF_TERM",
@@ -52,4 +66,13 @@ __all__ = [
     "PlannedOperator",
     "planned_operators",
     "profile_execution",
+    "AccessTraceRecorder",
+    "EntryCostModel",
+    "MaterializationCandidate",
+    "miss_ratio_curve",
+    "prewarm",
+    "rank_candidates",
+    "resolve_chunk",
+    "reuse_distances",
+    "working_set_windows",
 ]

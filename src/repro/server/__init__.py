@@ -13,7 +13,8 @@
 * :mod:`~repro.server.slo` — per-tenant SLO objectives, error budgets
   and multi-window burn-rate alerts.
 * :mod:`~repro.server.observatory` — the passive observability layer
-  (windowed time-series, structured ops log, SLO tracking) the
+  (windowed time-series, structured ops log, SLO tracking, and the
+  per-entry cache reuse trace behind ``repro advise``) the
   ``repro top`` dashboard renders.
 """
 

@@ -31,6 +31,11 @@ Panels
 ``oplog``
     Event histogram — from the ``.jsonl`` when given, else from the
     summary embedded in the report.
+``reuse``
+    Cache-reuse observatory — per-window working-set/hit-rate
+    sparklines, the what-if miss-ratio curve at alternative capacities,
+    and the top materialization-advisor candidates.  Degrades to a
+    one-line notice when the report was served with ``--no-reuse``.
 """
 
 from __future__ import annotations
@@ -155,6 +160,7 @@ def build_dashboard(
         "slo": {},
         "alerts": [],
         "oplog": {},
+        "reuse": None,
     }
     if obs is not None:
         ts = obs.get("timeseries", {})
@@ -171,6 +177,25 @@ def build_dashboard(
         dash["slo"] = obs.get("slo", {})
         dash["alerts"] = list(obs.get("alerts", []))
         dash["oplog"] = dict(obs.get("oplog", {}).get("events", {}))
+        reuse = obs.get("reuse")
+        if reuse is not None:
+            windows = reuse.get("working_set", {}).get("windows", [])
+            candidates = reuse.get("advisor", {}).get("candidates", [])
+            dash["reuse"] = {
+                "capacity_bytes": reuse.get("capacity_bytes"),
+                "policy": reuse.get("policy"),
+                "trace": dict(reuse.get("trace", {})),
+                "hit_rate": [
+                    (w["hits"] / w["accesses"] if w["accesses"] else None)
+                    for w in windows
+                ],
+                "working_set_bytes": [
+                    float(w["distinct_bytes"]) for w in windows
+                ],
+                "mrc": list(reuse.get("mrc", {}).get("global", [])),
+                "candidates": candidates[:5],
+                "num_candidates": len(candidates),
+            }
     if oplog_records is not None:
         counts: Dict[str, int] = {}
         for rec in oplog_records:
@@ -277,6 +302,61 @@ def render_dashboard(dash: Dict[str, Any], width: int = 60) -> str:
         lines += _panel(
             "alerts", alert_lines if alert_lines else ["no burn-rate alerts"]
         )
+        reuse = dash.get("reuse")
+        if reuse is None:
+            lines += _panel("cache reuse", ["reuse: disabled for this serve"])
+        else:
+            trace = reuse["trace"]
+            body = [
+                f"{trace.get('accesses')} accesses over "
+                f"{trace.get('distinct_keys')} keys   "
+                f"footprint {trace.get('footprint_bytes')} B   "
+                f"capacity {reuse.get('capacity_bytes')} B "
+                f"({reuse.get('policy')})",
+            ]
+            for name, track in (
+                ("hit_rate", reuse["hit_rate"]),
+                ("working_set_bytes", reuse["working_set_bytes"]),
+            ):
+                peak = max((v for v in track if v is not None), default=0.0)
+                body.append(
+                    f"{name.rjust(17)} |{sparkline(track, width)}| "
+                    f"peak {_fmt(peak, 3)}"
+                )
+            mrc_rows = [
+                [
+                    str(p["capacity_bytes"])
+                    + ("*" if p["capacity_bytes"] == reuse["capacity_bytes"]
+                       else ""),
+                    str(p["misses"]),
+                    _fmt(p["miss_ratio"], 3),
+                ]
+                for p in reuse["mrc"]
+            ]
+            if mrc_rows:
+                body.append("")
+                body += _aligned(
+                    ["capacity (B)", "misses", "miss ratio"], mrc_rows
+                )
+                body.append("(* = configured capacity)")
+            cand_rows = [
+                [
+                    str(i + 1), c["key"], c["origin"], str(c["nbytes"]),
+                    str(c["misses"]), _fmt(c["score_s"], 6),
+                ]
+                for i, c in enumerate(reuse["candidates"])
+            ]
+            if cand_rows:
+                body.append("")
+                body.append(
+                    f"advisor top {len(cand_rows)} of "
+                    f"{reuse['num_candidates']} candidates:"
+                )
+                body += _aligned(
+                    ["#", "key", "origin", "bytes", "misses", "score (s)"],
+                    cand_rows,
+                )
+            lines += _panel("cache reuse", body)
     if dash["oplog"]:
         total = sum(dash["oplog"].values())
         op_rows = [

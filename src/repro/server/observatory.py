@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
+from repro.observe.reuse import AccessTraceRecorder
 from repro.server.resilience import (
     COMPLETED,
     DEADLINE_EXCEEDED,
@@ -57,6 +58,10 @@ class ObservabilityConfig:
     long_window: float = 20.0
     burn_threshold: float = 2.0
     min_events: int = 4
+    #: record per-entry cache access traces and emit the reuse analysis
+    #: (miss-ratio curves, working set, materialization advisor) under
+    #: ``observability.reuse``; passive like everything else here
+    reuse: bool = True
 
     def __post_init__(self) -> None:
         if self.window <= 0:
@@ -86,6 +91,13 @@ class ServeObservatory:
             min_events=config.min_events,
         )
         self._cache_nodes: List[int] = []
+        #: key-granular access recorder feeding the reuse analysis
+        #: (None when config.reuse is off)
+        self.reuse: Optional[AccessTraceRecorder] = (
+            AccessTraceRecorder(clock, window=config.window)
+            if config.reuse
+            else None
+        )
         # level gauges start at their true t=0 values so the first
         # window's time-weighted means are defined from the origin
         self.series.set("server.queue_depth", 0.0)
@@ -112,6 +124,8 @@ class ServeObservatory:
     def watch_cache(self, node: int, cache) -> None:
         """Sample one compute node's shared cache at each state change."""
         self._cache_nodes.append(node)
+        if self.reuse is not None:
+            self.reuse.watch(node, cache)
         prefix = f"cache.j{node}"
         self.series.set(f"{prefix}.occupancy_bytes", 0.0)
         self.series.set(f"{prefix}.staged_bytes", 0.0)
@@ -139,6 +153,8 @@ class ServeObservatory:
     # -- lifecycle hooks (called by the server) ------------------------
 
     def on_submit(self, entry) -> None:
+        if self.reuse is not None:
+            self.reuse.note_query(entry.qid, entry.tenant)
         self.series.inc("server.submitted")
         self.oplog.emit(
             "submit",
@@ -270,7 +286,7 @@ class ServeObservatory:
         """Roll every track over ``[0, makespan]`` and assemble the
         ``observability`` section of the server report."""
         timeseries = self.series.to_payload(makespan)
-        return {
+        payload = {
             "timeseries": timeseries,
             "derived": {
                 "cache_hit_rate": self._derived_hit_rate(timeseries, makespan)
@@ -282,3 +298,6 @@ class ServeObservatory:
                 "events": self.oplog.counts(),
             },
         }
+        if self.reuse is not None:
+            payload["reuse"] = self.reuse.analyze(makespan)
+        return payload

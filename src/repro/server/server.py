@@ -60,6 +60,7 @@ from repro.faults.errors import (
 from repro.joins.grace_hash import GraceHashQES
 from repro.joins.indexed_join import IndexedJoinQES
 from repro.joins.report import ExecutionReport
+from repro.observe.reuse import EntryCostModel
 from repro.server.admission import make_admission_policy
 from repro.server.observatory import ObservabilityConfig, ServeObservatory
 from repro.server.queries import PlannedQuery, build_query
@@ -378,6 +379,16 @@ class _ExecContext:
         self.views: Optional[List[QueryCacheView]] = None
 
 
+def _record_size(dataset: OilReservoirDataset) -> float:
+    """Bytes per tuple, read off the catalog — converts cached entry
+    bytes back to tuple counts for the advisor's hash-build term."""
+    for catalog in dataset.metadata.tables():
+        for desc in catalog.all_chunks():
+            if desc.num_records > 0:
+                return desc.size / desc.num_records
+    return 1.0
+
+
 class QueryServer:
     """Serve one arrival stream on one simulated cluster.
 
@@ -489,6 +500,14 @@ class QueryServer:
                 self.observatory.watch_breaker(self._breaker)
             for j, cache in enumerate(self.caches):
                 self.observatory.watch_cache(j, cache)
+            if self.observatory.reuse is not None:
+                # price recompute-vs-fetch with the same machine constants
+                # (and calibration) the planner itself uses
+                self.observatory.reuse.cost_model = EntryCostModel.from_machine(
+                    machine,
+                    record_size=_record_size(dataset),
+                    calibration=calibration,
+                )
         # -- serve-time state ------------------------------------------
         self._served = False
         self._slots_free = slots
@@ -1063,7 +1082,7 @@ class QueryServer:
             # the scan dies with its compute node, like a joiner would
             injector.register_compute(compute, cluster.engine.current_process)
         cache: QueryCacheView = QueryCacheView(
-            self.caches[compute], name=f"q{planned.qid}"
+            self.caches[compute], name=f"q{planned.qid}", qid=planned.qid
         )
         ctx.views = [cache]
         tel = cluster.telemetry
@@ -1131,7 +1150,9 @@ class QueryServer:
         )
         if planned.algorithm == "indexed-join":
             caches = [
-                QueryCacheView(shared, name=f"q{planned.qid}.j{j}")
+                QueryCacheView(
+                    shared, name=f"q{planned.qid}.j{j}", qid=planned.qid
+                )
                 for j, shared in enumerate(self.caches)
             ]
             ctx.views = caches

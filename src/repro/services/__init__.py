@@ -21,6 +21,7 @@ from repro.services.bds import (
 )
 from repro.services.cache import (
     BeladyPolicy,
+    CacheAccess,
     CacheStats,
     CachingService,
     EvictionPolicy,
@@ -33,6 +34,7 @@ from repro.services.cache import (
 __all__ = [
     "BasicDataSourceService",
     "BeladyPolicy",
+    "CacheAccess",
     "CacheStats",
     "CachingService",
     "EvictionPolicy",

@@ -21,6 +21,14 @@ byte budget (``prefetch_budget_bytes``, the double-buffer memory).  The
 consumer later takes a staged entry and inserts it through the ordinary
 :meth:`put` path, which keeps the cache's hit/miss/eviction sequence
 byte-identical to a run without prefetching.
+
+For the reuse observatory the service also keeps *per-entry* access
+bookkeeping — access count, last-access tick, and the entry's origin
+(``"base"`` for a BDS chunk fetched as-is, ``"derived"`` for a DDS
+output such as a sub-table with its built hash table) — and exposes a
+key-granular access-event channel (:meth:`attach_access_observer`).
+Both are passive: they never evict, pin, schedule or draw randomness,
+so enabling them changes no digest and no report byte.
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ from typing import (
 )
 
 __all__ = [
+    "CacheAccess",
     "CacheStats",
     "CachingService",
     "EvictionPolicy",
@@ -54,6 +63,26 @@ __all__ = [
 
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
+
+
+@dataclass(frozen=True)
+class CacheAccess(Generic[K]):
+    """One key-granular cache event, as seen by access observers.
+
+    ``op`` is one of ``"hit"``/``"miss"`` (lookups), ``"insert"``
+    (successful put, fresh or replacing) or ``"drop"`` (explicit remove
+    or invalidation — *not* a capacity eviction, which a what-if replay
+    must re-derive itself).  ``nbytes``/``origin`` are ``None`` on a
+    miss (there is no entry to describe); ``qid`` carries the query the
+    access is attributed to when the operation arrived through a
+    :class:`QueryCacheView` with a known query id.
+    """
+
+    op: str
+    key: K
+    nbytes: Optional[int] = None
+    origin: Optional[str] = None
+    qid: Optional[int] = None
 
 
 @dataclass
@@ -297,6 +326,13 @@ class _Entry(Generic[V]):
     pins: int = 0
     #: storage node the bytes came from (None when untracked)
     source: Optional[int] = None
+    #: "base" BDS chunk vs "derived" DDS output (chunk + built hash table)
+    origin: str = "base"
+    #: lookup hits on this entry since it was (last) inserted
+    accesses: int = 0
+    #: cache-wide access tick of the last lookup that hit this entry
+    #: (-1 until the first hit; ticks advance on every get, hit or miss)
+    last_access: int = -1
 
 
 @dataclass
@@ -344,6 +380,12 @@ class CachingService(Generic[K, V]):
         self._validators: List = []
         #: passive observers called as fn(op, cache) after ops and gets
         self._observers: List = []
+        #: key-granular observers called as fn(CacheAccess)
+        self._access_observers: List = []
+        #: query id the current forwarded view operation attributes to
+        self.access_context: Optional[int] = None
+        #: monotone lookup counter driving per-entry ``last_access``
+        self._ticks = 0
         self._telemetry = None
         self._clock = None
         self._metric_prefix = "cache"
@@ -382,9 +424,36 @@ class CachingService(Generic[K, V]):
         """
         self._observers.append(fn)
 
+    def attach_access_observer(self, fn) -> None:
+        """Register ``fn(event)`` for key-granular :class:`CacheAccess`
+        events (hit/miss/insert/drop).
+
+        This is the reuse observatory's trace feed.  Like coarse
+        observers, access observers are strictly passive: they run after
+        the state change they describe and must treat the cache as
+        read-only.
+        """
+        self._access_observers.append(fn)
+
     def _notify_observers(self, op: str) -> None:
         for fn in self._observers:
             fn(op, self)
+
+    def _notify_access(
+        self,
+        op: str,
+        key: K,
+        nbytes: Optional[int] = None,
+        origin: Optional[str] = None,
+    ) -> None:
+        if not self._access_observers:
+            return
+        event = CacheAccess(
+            op=op, key=key, nbytes=nbytes, origin=origin,
+            qid=self.access_context,
+        )
+        for fn in self._access_observers:
+            fn(event)
 
     def _after_op(self, op: str) -> None:
         if self._telemetry is not None:
@@ -421,12 +490,32 @@ class CachingService(Generic[K, V]):
     def keys(self) -> Iterable[K]:
         return self._entries.keys()
 
+    def entry_stats(self) -> Dict[K, Dict[str, object]]:
+        """Per-resident-entry bookkeeping for the reuse observatory.
+
+        Purely a read-out of state the cache maintains anyway; calling
+        it (or not) cannot change any digest or report byte.
+        """
+        return {
+            key: {
+                "nbytes": e.nbytes,
+                "origin": e.origin,
+                "accesses": e.accesses,
+                "last_access": e.last_access,
+                "pins": e.pins,
+                "source": e.source,
+            }
+            for key, e in self._entries.items()
+        }
+
     # -- core operations -------------------------------------------------------------
 
     def get(self, key: K) -> Optional[V]:
         """Look up ``key``; counts a hit or miss and informs the policy."""
         if isinstance(self.policy, BeladyPolicy):
             self.policy.note_reference(key)
+        tick = self._ticks
+        self._ticks += 1
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
@@ -434,12 +523,16 @@ class CachingService(Generic[K, V]):
                 self._telemetry.metrics.counter(
                     f"{self._metric_prefix}.misses"
                 ).inc()
+            self._notify_access("miss", key)
             self._notify_observers("get")
             return None
         self.stats.hits += 1
+        entry.accesses += 1
+        entry.last_access = tick
         if self._telemetry is not None:
             self._telemetry.metrics.counter(f"{self._metric_prefix}.hits").inc()
         self.policy.on_access(key)
+        self._notify_access("hit", key, entry.nbytes, entry.origin)
         self._notify_observers("get")
         return entry.value
 
@@ -455,6 +548,7 @@ class CachingService(Generic[K, V]):
         nbytes: int,
         pin: bool = False,
         source: Optional[int] = None,
+        origin: str = "base",
     ) -> bool:
         """Insert ``key``; evicts unpinned victims until the entry fits.
 
@@ -466,11 +560,14 @@ class CachingService(Generic[K, V]):
         and the growth delta is accounted in ``stats.bytes_inserted``.
 
         ``source`` records which storage node served the bytes, enabling
-        :meth:`invalidate_from` when that node later fails.
+        :meth:`invalidate_from` when that node later fails.  ``origin``
+        classifies the bytes for the reuse observatory: ``"base"`` for a
+        BDS chunk as fetched, ``"derived"`` for a DDS product (e.g. a
+        left sub-table bundled with its built hash table).
         """
         # validators must also see failed puts: a put can evict victims and
         # still return False when the entry ultimately cannot fit
-        ok = self._put(key, value, nbytes, pin, source)
+        ok = self._put(key, value, nbytes, pin, source, origin)
         self._after_op("put")
         return ok
 
@@ -481,6 +578,7 @@ class CachingService(Generic[K, V]):
         nbytes: int,
         pin: bool,
         source: Optional[int],
+        origin: str,
     ) -> bool:
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
@@ -497,19 +595,24 @@ class CachingService(Generic[K, V]):
             old.value = value
             old.nbytes = nbytes
             old.source = source
+            old.origin = origin
             if pin:
                 old.pins += 1
             self.policy.on_access(key)
+            self._notify_access("insert", key, nbytes, origin)
             return True
         if nbytes > self.capacity_bytes:
             return False
         while self._bytes + nbytes > self.capacity_bytes:
             if not self._evict_one():
                 return False
-        self._entries[key] = _Entry(value, nbytes, pins=1 if pin else 0, source=source)
+        self._entries[key] = _Entry(
+            value, nbytes, pins=1 if pin else 0, source=source, origin=origin
+        )
         self._bytes += nbytes
         self.stats.bytes_inserted += nbytes
         self.policy.on_insert(key)
+        self._notify_access("insert", key, nbytes, origin)
         return True
 
     def pin(self, key: K) -> None:
@@ -650,6 +753,7 @@ class CachingService(Generic[K, V]):
             return False
         self._bytes -= entry.nbytes
         self.policy.on_remove(key)
+        self._notify_access("drop", key, entry.nbytes, entry.origin)
         self._after_op("remove")
         return True
 
@@ -718,10 +822,13 @@ class PinScope(Generic[K, V]):
         nbytes: int,
         pin: bool = False,
         source: Optional[int] = None,
+        origin: str = "base",
     ) -> bool:
         """Forwarding :meth:`CachingService.put`; a successful pinned
         insert is tracked exactly like an explicit :meth:`pin`."""
-        ok = self._cache.put(key, value, nbytes, pin=pin, source=source)
+        ok = self._cache.put(
+            key, value, nbytes, pin=pin, source=source, origin=origin
+        )
         if ok and pin:
             self._held.append(key)
         return ok
@@ -756,11 +863,24 @@ class QueryCacheView(Generic[K, V]):
 
     Only stats are virtualised; entries, budgets and pins are the shared
     cache's own (that sharing is the point of a view server).
+
+    ``qid`` tags forwarded lookups and inserts with the owning query so
+    key-granular access observers can attribute traffic per query (and,
+    through the server's submit records, per tenant).  The tag is set on
+    the shared cache only for the duration of each forwarded call — the
+    simulation is single-threaded and cache operations are atomic — and
+    is pure bookkeeping: it changes no eviction, pin or stat decision.
     """
 
-    def __init__(self, shared: CachingService[K, V], name: str = "") -> None:
+    def __init__(
+        self,
+        shared: CachingService[K, V],
+        name: str = "",
+        qid: Optional[int] = None,
+    ) -> None:
         self.shared = shared
         self.name = name
+        self.qid = qid
         self.stats = CacheStats()
 
     def _absorb(self, before: CacheStats) -> None:
@@ -811,9 +931,12 @@ class QueryCacheView(Generic[K, V]):
 
     def get(self, key: K) -> Optional[V]:
         before = self.shared.stats.snapshot()
+        prev = self.shared.access_context
+        self.shared.access_context = self.qid
         try:
             return self.shared.get(key)
         finally:
+            self.shared.access_context = prev
             self._absorb(before)
 
     def put(
@@ -823,11 +946,17 @@ class QueryCacheView(Generic[K, V]):
         nbytes: int,
         pin: bool = False,
         source: Optional[int] = None,
+        origin: str = "base",
     ) -> bool:
         before = self.shared.stats.snapshot()
+        prev = self.shared.access_context
+        self.shared.access_context = self.qid
         try:
-            return self.shared.put(key, value, nbytes, pin=pin, source=source)
+            return self.shared.put(
+                key, value, nbytes, pin=pin, source=source, origin=origin
+            )
         finally:
+            self.shared.access_context = prev
             self._absorb(before)
 
     def pin(self, key: K) -> None:
@@ -837,7 +966,17 @@ class QueryCacheView(Generic[K, V]):
         self.shared.unpin(key)
 
     def pin_scope(self) -> PinScope[K, V]:
-        return self.shared.pin_scope()
+        """A pin scope over *this view*, so its inserts carry the view's
+        query attribution for access observers.
+
+        The scope's pins and puts land on the shared cache exactly as
+        before (a pin is global state); routing them through the view
+        additionally tags insert events with ``qid`` and absorbs the
+        operations' stat deltas into the view's private ledger.  Hits
+        and misses — the counters queries report — are untouched by
+        put/pin/unpin, so attribution of reported stats is unchanged.
+        """
+        return PinScope(self)
 
     def prefetch_begin(self, key: K, nbytes: int) -> bool:
         before = self.shared.stats.snapshot()

@@ -13,7 +13,11 @@ Three artifact kinds, one CLI:
 * **Server reports** (``repro serve --json-out``): the embedded
   ``observability`` section — windows contiguous over ``[0, t_end]``,
   per-window counter counts non-negative and summing to the track
-  total, alert history ordered by fire time.
+  total, alert history ordered by fire time.  When the report carries
+  a ``reuse`` section, additionally: every miss-ratio curve monotone
+  non-increasing in capacity, working-set window accesses summing to
+  the trace total, and advisor candidate scores finite and in the
+  deterministic (-score, nbytes, key) order.
 
 CI runs ``python -m repro.telemetry.validate <artifacts...>`` over the
 smoke-run outputs; tests call the validators directly.
@@ -22,6 +26,7 @@ smoke-run outputs; tests call the validators directly.
 from __future__ import annotations
 
 import json
+import math
 import sys
 from typing import Any, Dict, List
 
@@ -191,6 +196,102 @@ def _check_windows(
         )
 
 
+def _check_mrc(name: str, points: Any, errors: List[str]) -> None:
+    """One miss-ratio curve: capacities strictly increasing, misses
+    monotone non-increasing in capacity (LRU stack inclusion), ratios
+    consistent with the counts."""
+    if not isinstance(points, list):
+        errors.append(f"{name}: not an array")
+        return
+    prev_cap = None
+    prev_misses = None
+    for j, point in enumerate(points):
+        if not isinstance(point, dict):
+            errors.append(f"{name}: point {j} not an object")
+            return
+        cap = point.get("capacity_bytes")
+        misses = point.get("misses")
+        accesses = point.get("accesses")
+        ratio = point.get("miss_ratio")
+        if not isinstance(cap, int) or not isinstance(misses, int):
+            errors.append(f"{name}: point {j} non-integer capacity/misses")
+            return
+        if prev_cap is not None and cap <= prev_cap:
+            errors.append(
+                f"{name}: point {j} capacity {cap} not increasing "
+                f"from {prev_cap}"
+            )
+        if prev_misses is not None and misses > prev_misses:
+            errors.append(
+                f"{name}: point {j} misses {misses} grew from "
+                f"{prev_misses} despite larger capacity"
+            )
+        if isinstance(accesses, int) and accesses > 0:
+            expect = misses / accesses
+            if not isinstance(ratio, (int, float)) or abs(ratio - expect) > 1e-9:
+                errors.append(
+                    f"{name}: point {j} miss_ratio {ratio!r} != "
+                    f"misses/accesses ({expect})"
+                )
+        prev_cap, prev_misses = cap, misses
+
+
+def _validate_reuse(reuse: Any, errors: List[str]) -> None:
+    """The ``observability.reuse`` payload from the access-trace
+    recorder: see the module docstring for the three invariants."""
+    if not isinstance(reuse, dict):
+        errors.append("'reuse' is not an object")
+        return
+    trace = reuse.get("trace")
+    if not isinstance(trace, dict):
+        errors.append("reuse: missing 'trace' summary")
+        return
+    mrc = reuse.get("mrc", {})
+    if not isinstance(mrc, dict):
+        errors.append("reuse: 'mrc' is not an object")
+        return
+    _check_mrc("reuse mrc global", mrc.get("global"), errors)
+    per_tenant = mrc.get("per_tenant", {})
+    if isinstance(per_tenant, dict):
+        for tenant in sorted(per_tenant):
+            _check_mrc(f"reuse mrc tenant {tenant!r}", per_tenant[tenant],
+                       errors)
+    else:
+        errors.append("reuse: 'mrc.per_tenant' is not an object")
+    windows = reuse.get("working_set", {}).get("windows", [])
+    if isinstance(windows, list) and windows:
+        total = sum(
+            w.get("accesses", 0) for w in windows if isinstance(w, dict)
+        )
+        if total != trace.get("accesses"):
+            errors.append(
+                f"reuse: working-set windows sum to {total} accesses, "
+                f"trace recorded {trace.get('accesses')}"
+            )
+    else:
+        errors.append("reuse: missing working-set windows")
+    candidates = reuse.get("advisor", {}).get("candidates", [])
+    if not isinstance(candidates, list):
+        errors.append("reuse: 'advisor.candidates' is not an array")
+        return
+    prev_key = None
+    for j, c in enumerate(candidates):
+        if not isinstance(c, dict):
+            errors.append(f"reuse: candidate {j} not an object")
+            return
+        score = c.get("score_s")
+        if not isinstance(score, (int, float)) or not math.isfinite(score):
+            errors.append(f"reuse: candidate {j} score {score!r} not finite")
+            continue
+        order = (-score, c.get("nbytes", 0), str(c.get("key")))
+        if prev_key is not None and order < prev_key:
+            errors.append(
+                f"reuse: candidate {j} ({c.get('key')!r}) out of "
+                "deterministic (-score, nbytes, key) order"
+            )
+        prev_key = order
+
+
 def validate_observability(section: Any) -> List[str]:
     """Validate the ``observability`` section of a server report.
 
@@ -237,6 +338,8 @@ def validate_observability(section: Any) -> List[str]:
             errors.append("alert history not ordered by fired_at")
     else:
         errors.append("'alerts' is not an array")
+    if "reuse" in section:
+        _validate_reuse(section["reuse"], errors)
     return errors
 
 

@@ -1,5 +1,8 @@
 """Tests for the Caching Service and its eviction policies."""
 
+import dataclasses
+import json
+
 import pytest
 from hypothesis import given, strategies as st
 
@@ -11,6 +14,7 @@ from repro.services import (
     LRUPolicy,
     make_policy,
 )
+from repro.services.cache import QueryCacheView
 
 
 class TestBasicOperations:
@@ -326,6 +330,84 @@ class TestFactory:
     def test_unknown(self):
         with pytest.raises(ValueError):
             make_policy("marvellous")
+
+
+class TestAccessTraceFeed:
+    """The key-granular access channel the reuse observatory subscribes
+    to: purely additive bookkeeping, no behavioural change."""
+
+    @staticmethod
+    def run_trace(c):
+        for key in "abacbdaa":
+            if c.get(key) is None:
+                c.put(key, key.upper(), 10, origin="derived" if key == "b"
+                      else "base")
+        c.remove("c")
+        return c
+
+    def test_observer_changes_no_stats_or_contents(self):
+        plain = self.run_trace(CachingService(100))
+        seen = []
+        watched = CachingService(100)
+        watched.attach_access_observer(seen.append)
+        self.run_trace(watched)
+        assert dataclasses.asdict(watched.stats) == \
+            dataclasses.asdict(plain.stats)
+        assert sorted(watched.keys()) == sorted(plain.keys())
+        assert watched.used_bytes == plain.used_bytes
+        assert seen, "observer saw no events"
+
+    def test_access_feed_reconciles_with_counters(self):
+        seen = []
+        c = CachingService(100)
+        c.attach_access_observer(seen.append)
+        self.run_trace(c)
+        ops = [a.op for a in seen]
+        assert ops.count("hit") == c.stats.hits
+        assert ops.count("miss") == c.stats.misses
+        assert ops.count("insert") == 4  # a b c d
+        assert ops.count("drop") == 1
+        # misses carry no size yet (the value does not exist); hits,
+        # inserts and drops always do
+        assert all(a.nbytes is None for a in seen if a.op == "miss")
+        assert all(a.nbytes == 10 for a in seen if a.op != "miss")
+
+    def test_entry_stats_track_access_counts_and_origin(self):
+        c = self.run_trace(CachingService(100))
+        stats = c.entry_stats()
+        assert stats["a"]["origin"] == "base"
+        assert stats["b"]["origin"] == "derived"
+        assert stats["a"]["accesses"] == 3  # hits only; misses precede insert
+        assert stats["b"]["accesses"] == 1
+        assert stats["a"]["last_access"] > stats["b"]["last_access"]
+        assert "c" not in stats  # removed entries drop out
+
+    def test_view_tags_accesses_with_qid(self):
+        shared = CachingService(100)
+        seen = []
+        shared.attach_access_observer(seen.append)
+        view = QueryCacheView(shared, name="q7", qid=7)
+        view.get("x")
+        view.put("x", 1, 10)
+        with view.pin_scope() as scope:
+            scope.put("y", 2, 10)
+        shared.get("x")
+        by_op = {(a.op, a.key): a.qid for a in seen}
+        assert by_op[("miss", "x")] == 7
+        assert by_op[("insert", "x")] == 7
+        assert by_op[("insert", "y")] == 7
+        assert by_op[("hit", "x")] is None  # direct access: no context
+
+    def test_no_observer_costs_nothing_on_report_bytes(self):
+        # the digest/report regression: stats snapshots are identical
+        # whether the access channel has subscribers or not
+        plain = self.run_trace(CachingService(100))
+        watched = CachingService(100)
+        watched.attach_access_observer(lambda access: None)
+        self.run_trace(watched)
+        assert json.dumps(
+            dataclasses.asdict(plain.stats), sort_keys=True
+        ) == json.dumps(dataclasses.asdict(watched.stats), sort_keys=True)
 
 
 # -- property tests -------------------------------------------------------------

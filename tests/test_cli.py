@@ -280,3 +280,55 @@ class TestTop:
         bogus.write_text(json.dumps({"hello": 1}))
         assert main(["top", str(bogus)]) == 2
         assert "not a server report" in capsys.readouterr().err
+
+    def test_top_renders_reuse_panel(self, tmp_path, capsys):
+        report, _ = self._artifacts(tmp_path, capsys)
+        assert main(["top", report]) == 0
+        out = capsys.readouterr().out
+        assert "== cache reuse" in out
+        assert "advisor top" in out
+        assert "configured capacity" in out
+
+    def test_top_degrades_when_served_with_no_reuse(self, tmp_path, capsys):
+        # an observed report from before the reuse observatory existed
+        # looks exactly like one served with --no-reuse: the panel must
+        # degrade, not crash
+        report = tmp_path / "no_reuse.json"
+        assert main(TestServe.SMALL + [
+            "--observe", "--no-reuse", "--json-out", str(report),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["top", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "reuse: disabled for this serve" in out
+
+
+class TestAdvise:
+    def _report(self, tmp_path, capsys, extra=()):
+        report = tmp_path / "report.json"
+        assert main(TestServe.SMALL + [
+            "--observe", *extra, "--json-out", str(report),
+        ]) == 0
+        capsys.readouterr()
+        return str(report)
+
+    def test_advise_ranks_candidates(self, tmp_path, capsys):
+        report = self._report(tmp_path, capsys)
+        assert main(["advise", report, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "cache reuse —" in out
+        assert "what-if miss-ratio curve" in out
+        assert "advise: materialize" in out
+
+    def test_advise_json_matches_report_section(self, tmp_path, capsys):
+        report = self._report(tmp_path, capsys)
+        assert main(["advise", report, "--json"]) == 0
+        out = capsys.readouterr().out
+        with open(report, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert json.loads(out) == payload["observability"]["reuse"]
+
+    def test_advise_rejects_report_without_reuse(self, tmp_path, capsys):
+        report = self._report(tmp_path, capsys, extra=("--no-reuse",))
+        assert main(["advise", report]) == 2
+        assert "no reuse section" in capsys.readouterr().err
